@@ -1,0 +1,169 @@
+package sched
+
+// The benchmark harness regenerates every experiment of the reproduction
+// (DESIGN.md §4, EXPERIMENTS.md): BenchmarkE1 … BenchmarkE11 run the
+// corresponding experiment end-to-end (in quick mode so `go test -bench=.`
+// terminates in reasonable time; `go run ./cmd/schedbench -all` runs the
+// full sizes and prints the tables). The remaining benchmarks measure the
+// individual algorithms.
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+
+	"repro/internal/baseline"
+	"repro/internal/exact"
+	"repro/internal/experiments"
+	"repro/internal/gen"
+	"repro/internal/ptas"
+	"repro/internal/rounding"
+	"repro/internal/special"
+)
+
+func benchExperiment(b *testing.B, id string) {
+	e, ok := experiments.ByID(id)
+	if !ok {
+		b.Fatalf("unknown experiment %s", id)
+	}
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if _, err := e.Run(experiments.Config{Seed: 1, Quick: true}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkE1LPTLemma21(b *testing.B)           { benchExperiment(b, "E1") }
+func BenchmarkE2PTASvsEps(b *testing.B)            { benchExperiment(b, "E2") }
+func BenchmarkE3Figure1(b *testing.B)              { benchExperiment(b, "E3") }
+func BenchmarkE4RandomizedRounding(b *testing.B)   { benchExperiment(b, "E4") }
+func BenchmarkE5IntegralityGap(b *testing.B)       { benchExperiment(b, "E5") }
+func BenchmarkE6SetCoverSeparation(b *testing.B)   { benchExperiment(b, "E6") }
+func BenchmarkE7ClassUniformRA(b *testing.B)       { benchExperiment(b, "E7") }
+func BenchmarkE8ClassUniformPT(b *testing.B)       { benchExperiment(b, "E8") }
+func BenchmarkE9PlaceholderAblation(b *testing.B)  { benchExperiment(b, "E9") }
+func BenchmarkE10IterationAblation(b *testing.B)   { benchExperiment(b, "E10") }
+func BenchmarkE11RuntimeScaling(b *testing.B)      { benchExperiment(b, "E11") }
+func BenchmarkE12HeuristicLandscape(b *testing.B)  { benchExperiment(b, "E12") }
+func BenchmarkE13LocalSearchAblation(b *testing.B) { benchExperiment(b, "E13") }
+func BenchmarkE14SplittableTradeoff(b *testing.B)  { benchExperiment(b, "E14") }
+
+// --- algorithm micro-benchmarks --------------------------------------------
+
+func BenchmarkLemma21LPT(b *testing.B) {
+	for _, n := range []int{100, 1000} {
+		b.Run(fmt.Sprintf("n=%d", n), func(b *testing.B) {
+			rng := rand.New(rand.NewSource(1))
+			in := gen.Uniform(rng, gen.Params{N: n, M: 8, K: 10})
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if _, err := baseline.Lemma21LPT(in); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+func BenchmarkGreedy(b *testing.B) {
+	for _, n := range []int{100, 1000} {
+		b.Run(fmt.Sprintf("n=%d", n), func(b *testing.B) {
+			rng := rand.New(rand.NewSource(1))
+			in := gen.Unrelated(rng, gen.Params{N: n, M: 8, K: 10})
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if _, err := baseline.Greedy(in); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+func BenchmarkPTAS(b *testing.B) {
+	for _, eps := range []float64{0.5, 0.25} {
+		b.Run(fmt.Sprintf("eps=%.2f", eps), func(b *testing.B) {
+			rng := rand.New(rand.NewSource(1))
+			in := gen.Uniform(rng, gen.Params{N: 14, M: 4, K: 3})
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if _, _, err := ptas.Schedule(in, ptas.Options{Eps: eps}); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+func BenchmarkRoundingLPSolve(b *testing.B) {
+	for _, n := range []int{8, 16} {
+		b.Run(fmt.Sprintf("n=m=%d", n), func(b *testing.B) {
+			rng := rand.New(rand.NewSource(1))
+			in := gen.Unrelated(rng, gen.Params{N: n, M: n, K: 4})
+			g, err := baseline.Greedy(in)
+			if err != nil {
+				b.Fatal(err)
+			}
+			T := g.Makespan(in)
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if _, err := rounding.SolveLP(in, T); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+func BenchmarkRandomizedRoundingFull(b *testing.B) {
+	rng := rand.New(rand.NewSource(1))
+	in := gen.Unrelated(rng, gen.Params{N: 16, M: 6, K: 4})
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := rounding.Schedule(in, rounding.Options{Rng: rng}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkClassUniformRA(b *testing.B) {
+	rng := rand.New(rand.NewSource(1))
+	in := gen.RestrictedClassUniform(rng, gen.Params{N: 30, M: 6, K: 5})
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := special.ScheduleClassUniformRA(in, special.Options{}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkClassUniformPT(b *testing.B) {
+	rng := rand.New(rand.NewSource(1))
+	in := gen.UnrelatedClassUniform(rng, gen.Params{N: 30, M: 6, K: 5})
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := special.ScheduleClassUniformPT(in, special.Options{}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkBranchAndBound(b *testing.B) {
+	rng := rand.New(rand.NewSource(1))
+	in := gen.Uniform(rng, gen.Params{N: 12, M: 3, K: 3})
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, _, proven := exact.BranchAndBound(in, exact.Options{}); !proven {
+			b.Fatal("not proven")
+		}
+	}
+}

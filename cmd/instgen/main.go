@@ -1,0 +1,63 @@
+// Command instgen generates random scheduling instances in the library's
+// JSON format.
+//
+// Usage:
+//
+//	instgen -kind uniform -n 50 -m 8 -k 5 -seed 3 > instance.json
+//	instgen -kind unrelated -n 20 -m 4 -k 3
+//	instgen -kind restricted-cu ...       (class-uniform restrictions)
+//	instgen -kind unrelated-cu ...        (class-uniform processing times)
+package main
+
+import (
+	"flag"
+	"fmt"
+	"math/rand"
+	"os"
+
+	"repro/internal/core"
+	"repro/internal/gen"
+)
+
+func main() {
+	var (
+		kind     = flag.String("kind", "uniform", "identical|uniform|unrelated|restricted|restricted-cu|unrelated-cu")
+		n        = flag.Int("n", 20, "number of jobs")
+		m        = flag.Int("m", 4, "number of machines")
+		k        = flag.Int("k", 3, "number of setup classes")
+		seed     = flag.Int64("seed", 1, "random seed")
+		minJob   = flag.Int("min-job", 1, "minimum job size")
+		maxJob   = flag.Int("max-job", 100, "maximum job size")
+		minSetup = flag.Int("min-setup", 1, "minimum setup size")
+		maxSetup = flag.Int("max-setup", 50, "maximum setup size")
+	)
+	flag.Parse()
+	rng := rand.New(rand.NewSource(*seed))
+	p := gen.Params{
+		N: *n, M: *m, K: *k,
+		MinJob: *minJob, MaxJob: *maxJob,
+		MinSetup: *minSetup, MaxSetup: *maxSetup,
+	}
+	var in *core.Instance
+	switch *kind {
+	case "identical":
+		in = gen.Identical(rng, p)
+	case "uniform":
+		in = gen.Uniform(rng, p)
+	case "unrelated":
+		in = gen.Unrelated(rng, p)
+	case "restricted":
+		in = gen.Restricted(rng, p)
+	case "restricted-cu":
+		in = gen.RestrictedClassUniform(rng, p)
+	case "unrelated-cu":
+		in = gen.UnrelatedClassUniform(rng, p)
+	default:
+		fmt.Fprintf(os.Stderr, "instgen: unknown kind %q\n", *kind)
+		os.Exit(2)
+	}
+	if err := in.WriteJSON(os.Stdout); err != nil {
+		fmt.Fprintln(os.Stderr, "instgen:", err)
+		os.Exit(1)
+	}
+}

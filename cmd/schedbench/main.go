@@ -1,0 +1,69 @@
+// Command schedbench regenerates the paper-validation experiments (see
+// DESIGN.md §4 and EXPERIMENTS.md).
+//
+// Usage:
+//
+//	schedbench -list              list all experiments
+//	schedbench -exp E4            run one experiment
+//	schedbench -all               run the whole suite
+//	schedbench -all -quick        smaller sizes (seconds instead of minutes)
+//	schedbench -seed 7 -exp E2    change the master seed
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"repro/internal/experiments"
+)
+
+func main() {
+	var (
+		list  = flag.Bool("list", false, "list experiments and exit")
+		exp   = flag.String("exp", "", "experiment id to run (e.g. E4)")
+		all   = flag.Bool("all", false, "run every experiment")
+		quick = flag.Bool("quick", false, "reduced instance sizes")
+		seed  = flag.Int64("seed", 1, "master random seed")
+	)
+	flag.Parse()
+
+	cfg := experiments.Config{Seed: *seed, Quick: *quick}
+	switch {
+	case *list:
+		for _, e := range experiments.All() {
+			fmt.Printf("%-4s %s\n     claim: %s\n", e.ID, e.Name, e.Claim)
+		}
+	case *exp != "":
+		e, ok := experiments.ByID(*exp)
+		if !ok {
+			fmt.Fprintf(os.Stderr, "unknown experiment %q (use -list)\n", *exp)
+			os.Exit(2)
+		}
+		if err := run(e, cfg); err != nil {
+			fmt.Fprintln(os.Stderr, "error:", err)
+			os.Exit(1)
+		}
+	case *all:
+		for _, e := range experiments.All() {
+			if err := run(e, cfg); err != nil {
+				fmt.Fprintln(os.Stderr, "error:", err)
+				os.Exit(1)
+			}
+		}
+	default:
+		flag.Usage()
+		os.Exit(2)
+	}
+}
+
+func run(e experiments.Experiment, cfg experiments.Config) error {
+	fmt.Printf("### %s — %s\n", e.ID, e.Name)
+	fmt.Printf("### paper claim: %s\n\n", e.Claim)
+	out, err := e.Run(cfg)
+	if err != nil {
+		return fmt.Errorf("%s: %w", e.ID, err)
+	}
+	fmt.Println(out)
+	return nil
+}

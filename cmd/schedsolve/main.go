@@ -1,0 +1,92 @@
+// Command schedsolve reads a scheduling instance in the library's JSON
+// format and solves it with the requested algorithm.
+//
+// Usage:
+//
+//	schedsolve -in instance.json                 auto-dispatch (sched.Solve)
+//	schedsolve -in instance.json -algo ptas -eps 0.25
+//	schedsolve -in instance.json -algo rounding
+//	schedsolve -in instance.json -algo lpt|greedy|optimal|ra2|pt3
+//
+// The chosen assignment is printed as JSON: {"machine": [...], "makespan": X}.
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+
+	"repro"
+)
+
+func main() {
+	var (
+		inPath = flag.String("in", "", "instance JSON file (required)")
+		algo   = flag.String("algo", "auto", "auto|lpt|greedy|ptas|rounding|ra2|pt3|optimal")
+		eps    = flag.Float64("eps", 0.5, "accuracy parameter for -algo ptas")
+		gantt  = flag.Bool("gantt", false, "print an ASCII Gantt chart of the result to stderr")
+	)
+	flag.Parse()
+	if *inPath == "" {
+		flag.Usage()
+		os.Exit(2)
+	}
+	f, err := os.Open(*inPath)
+	if err != nil {
+		fatal(err)
+	}
+	defer f.Close()
+	in, err := sched.ReadInstance(f)
+	if err != nil {
+		fatal(err)
+	}
+
+	var res sched.Result
+	switch *algo {
+	case "auto":
+		res, err = sched.Solve(in)
+	case "lpt":
+		res, err = sched.LPT(in)
+	case "greedy":
+		res, err = sched.Greedy(in)
+	case "ptas":
+		res, err = sched.PTAS(in, *eps)
+	case "rounding":
+		res, err = sched.RandomizedRounding(in, nil)
+	case "ra2":
+		res, err = sched.ClassUniformRA(in)
+	case "pt3":
+		res, err = sched.ClassUniformPT(in)
+	case "optimal":
+		res, _, err = sched.Optimal(in, 0)
+	default:
+		fatal(fmt.Errorf("unknown algorithm %q", *algo))
+	}
+	if err != nil {
+		fatal(err)
+	}
+	out := struct {
+		Algorithm  string  `json:"algorithm"`
+		Machine    []int   `json:"machine"`
+		Makespan   float64 `json:"makespan"`
+		LowerBound float64 `json:"lowerBound,omitempty"`
+	}{res.Algorithm, res.Schedule.Assign, res.Makespan, res.LowerBound}
+	enc := json.NewEncoder(os.Stdout)
+	enc.SetIndent("", " ")
+	if err := enc.Encode(out); err != nil {
+		fatal(err)
+	}
+	if *gantt {
+		tl, err := sched.BuildTimeline(in, res.Schedule)
+		if err != nil {
+			fatal(err)
+		}
+		fmt.Fprint(os.Stderr, tl.Gantt(72))
+	}
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "schedsolve:", err)
+	os.Exit(1)
+}

@@ -1,0 +1,79 @@
+// Firmware: restricted assignment with class-uniform restrictions — the
+// Theorem 3.10 special case, with its 2-approximation.
+//
+// A test lab flashes firmware images onto device batches. Each firmware
+// family (class) can only run on the rigs holding the matching hardware
+// revision — the same rig set for every batch of the family (class-uniform
+// restrictions). Flashing a family on a rig first requires installing its
+// toolchain (the setup).
+//
+// Run with: go run ./examples/firmware
+package main
+
+import (
+	"fmt"
+	"log"
+	"math/rand"
+
+	"repro"
+)
+
+func main() {
+	rng := rand.New(rand.NewSource(3))
+
+	const (
+		nBatches  = 30
+		nFamilies = 6
+		nRigs     = 8
+	)
+	// Rig compatibility per firmware family: a contiguous-ish random rig
+	// subset, identical for all batches of the family.
+	famRigs := make([][]int, nFamilies)
+	for f := range famRigs {
+		for r := 0; r < nRigs; r++ {
+			if rng.Float64() < 0.45 {
+				famRigs[f] = append(famRigs[f], r)
+			}
+		}
+		if len(famRigs[f]) == 0 {
+			famRigs[f] = []int{rng.Intn(nRigs)}
+		}
+	}
+
+	sizes := make([]float64, nBatches)
+	family := make([]int, nBatches)
+	eligible := make([][]int, nBatches)
+	for b := range sizes {
+		sizes[b] = float64(3 + rng.Intn(28)) // 3–30 minutes per batch
+		family[b] = rng.Intn(nFamilies)
+		eligible[b] = famRigs[family[b]]
+	}
+	toolchain := make([]float64, nFamilies)
+	for f := range toolchain {
+		toolchain[f] = float64(10 + rng.Intn(21)) // 10–30 minutes install
+	}
+
+	in, err := sched.NewRestricted(sizes, family, toolchain, nRigs, eligible)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	res, err := sched.ClassUniformRA(in) // Theorem 3.10: ≤ 2·Opt
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("2-approximation:    makespan %.1f min\n", res.Makespan)
+	fmt.Printf("certified bound:    optimum ≥ %.1f min (ratio ≤ %.2f)\n",
+		res.LowerBound, res.Makespan/res.LowerBound)
+
+	fmt.Println("\nrig plan:")
+	loads := res.Schedule.Loads(in)
+	for r, js := range res.Schedule.MachineJobs(in) {
+		fams := map[int]bool{}
+		for _, j := range js {
+			fams[family[j]] = true
+		}
+		fmt.Printf("  rig %d: %2d batches, %d toolchains installed, busy %.1f min\n",
+			r, len(js), len(fams), loads[r])
+	}
+}

@@ -1,0 +1,214 @@
+package baseline
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/core"
+	"repro/internal/exact"
+	"repro/internal/gen"
+)
+
+func TestLemma21LPTFeasible(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		p := gen.Params{N: 1 + rng.Intn(40), M: 1 + rng.Intn(6), K: 1 + rng.Intn(5)}
+		var in *core.Instance
+		if rng.Intn(2) == 0 {
+			in = gen.Identical(rng, p)
+		} else {
+			in = gen.Uniform(rng, p)
+		}
+		sched, err := Lemma21LPT(in)
+		if err != nil {
+			return false
+		}
+		return sched.Complete() && sched.Validate(in) == nil
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 150}); err != nil {
+		t.Error(err)
+	}
+}
+
+// The heart of experiment E1: the Lemma 2.1 guarantee holds against the
+// exact optimum on small instances.
+func TestLemma21RatioWithinBound(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		p := gen.Params{N: 1 + rng.Intn(9), M: 1 + rng.Intn(3), K: 1 + rng.Intn(3)}
+		var in *core.Instance
+		if rng.Intn(2) == 0 {
+			in = gen.Identical(rng, p)
+		} else {
+			in = gen.Uniform(rng, p)
+		}
+		_, opt, proven := exact.BranchAndBound(in, exact.Options{})
+		if !proven || opt <= 0 {
+			return true // skip degenerate zero-makespan cases
+		}
+		sched, err := Lemma21LPT(in)
+		if err != nil {
+			return false
+		}
+		return sched.Makespan(in) <= Lemma21Factor*opt+core.Eps
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 120}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestLemma21SetupDominatedInstance(t *testing.T) {
+	// Many tiny jobs of one class: the placeholder mechanism must batch
+	// them instead of spreading across all machines.
+	n, m := 40, 4
+	p := make([]float64, n)
+	class := make([]int, n)
+	for j := range p {
+		p[j] = 1
+	}
+	in, err := core.NewIdentical(p, class, []float64{100}, m)
+	if err != nil {
+		t.Fatalf("NewIdentical: %v", err)
+	}
+	sched, err := Lemma21LPT(in)
+	if err != nil {
+		t.Fatalf("Lemma21LPT: %v", err)
+	}
+	// 40 volume => one placeholder of size 100 => a single machine gets all
+	// jobs: makespan 100(setup)+40 = 140. Spreading over 4 machines would
+	// cost 4 setups; total 440 spread as ~110 each... the batched schedule
+	// should use few machines. Opt = 140 here.
+	if got := sched.Makespan(in); got > 140+core.Eps {
+		t.Errorf("makespan = %v, want <= 140 (batched)", got)
+	}
+	if got := sched.SetupCount(in); got != 1 {
+		t.Errorf("setups = %d, want 1", got)
+	}
+}
+
+func TestLPTIgnoringClassesWorseOnSetupHeavy(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	in := gen.Identical(rng, gen.SetupHeavy(60, 4, 3))
+	withPH, err := Lemma21LPT(in)
+	if err != nil {
+		t.Fatalf("Lemma21LPT: %v", err)
+	}
+	withoutPH, err := LPTIgnoringClasses(in)
+	if err != nil {
+		t.Fatalf("LPTIgnoringClasses: %v", err)
+	}
+	if withoutPH.Makespan(in) < withPH.Makespan(in)-core.Eps {
+		// Not a theorem, but on setup-heavy instances the placeholder
+		// variant should not lose; flag if it does so we notice.
+		t.Logf("note: no-placeholder LPT beat Lemma 2.1 LPT: %v < %v",
+			withoutPH.Makespan(in), withPH.Makespan(in))
+	}
+	if err := withoutPH.Validate(in); err != nil {
+		t.Errorf("ablation schedule invalid: %v", err)
+	}
+}
+
+func TestLemma21RejectsUnrelated(t *testing.T) {
+	in, err := core.NewUnrelated([][]float64{{1}}, []int{0}, [][]float64{{1}})
+	if err != nil {
+		t.Fatalf("NewUnrelated: %v", err)
+	}
+	if _, err := Lemma21LPT(in); err == nil {
+		t.Error("Lemma21LPT accepted an unrelated instance")
+	}
+}
+
+func TestGreedyFeasibleAllKinds(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		p := gen.Params{N: 1 + rng.Intn(30), M: 1 + rng.Intn(5), K: 1 + rng.Intn(4)}
+		var in *core.Instance
+		switch rng.Intn(4) {
+		case 0:
+			in = gen.Identical(rng, p)
+		case 1:
+			in = gen.Uniform(rng, p)
+		case 2:
+			in = gen.Unrelated(rng, p)
+		default:
+			in = gen.Restricted(rng, p)
+		}
+		sched, err := Greedy(in)
+		if err != nil {
+			return false
+		}
+		return sched.Complete() && sched.Validate(in) == nil
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 150}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestGreedyIsSetupAware(t *testing.T) {
+	// A single job whose class has different setup times per machine:
+	// greedy must include the setup in its load comparison and pick the
+	// cheap-setup machine.
+	in, err := core.NewUnrelated(
+		[][]float64{{1}, {1}},
+		[]int{0},
+		[][]float64{{5}, {1}},
+	)
+	if err != nil {
+		t.Fatalf("NewUnrelated: %v", err)
+	}
+	sched, err := Greedy(in)
+	if err != nil {
+		t.Fatalf("Greedy: %v", err)
+	}
+	if sched.Assign[0] != 1 {
+		t.Errorf("greedy chose machine %d, want 1 (setup 1 vs 5)", sched.Assign[0])
+	}
+}
+
+func TestGreedySpreadsWhenParallelSetupsWin(t *testing.T) {
+	// 10 unit jobs of one class with setup 1000 on 4 machines: paying the
+	// setup in parallel (makespan ≈ 1003) beats batching (1010); greedy
+	// should find the spread solution.
+	p := make([]float64, 10)
+	class := make([]int, 10)
+	for j := range p {
+		p[j] = 1
+	}
+	in, err := core.NewIdentical(p, class, []float64{1000}, 4)
+	if err != nil {
+		t.Fatalf("NewIdentical: %v", err)
+	}
+	sched, err := Greedy(in)
+	if err != nil {
+		t.Fatalf("Greedy: %v", err)
+	}
+	if got := sched.Makespan(in); got > 1003+core.Eps {
+		t.Errorf("makespan = %v, want <= 1003 (parallel setups)", got)
+	}
+}
+
+func TestMinProcessing(t *testing.T) {
+	in, err := core.NewUnrelated(
+		[][]float64{{9, 1}, {2, 8}},
+		[]int{0, 0},
+		[][]float64{{1}, {1}},
+	)
+	if err != nil {
+		t.Fatalf("NewUnrelated: %v", err)
+	}
+	sched := MinProcessing(in)
+	if sched.Assign[0] != 1 || sched.Assign[1] != 0 {
+		t.Errorf("assignment = %v, want [1 0]", sched.Assign)
+	}
+	if err := sched.Validate(in); err != nil {
+		t.Errorf("Validate: %v", err)
+	}
+}
+
+func TestLemma21FactorValue(t *testing.T) {
+	if math.Abs(Lemma21Factor-4.732) > 0.001 {
+		t.Errorf("Lemma21Factor = %v, want ≈ 4.732", Lemma21Factor)
+	}
+}

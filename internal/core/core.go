@@ -1,0 +1,71 @@
+// Package core defines the instance and schedule model for the problem of
+// scheduling jobs with class setup times on parallel machines, as studied in
+// "Scheduling on (Un-)Related Machines with Setup Times" (Jansen, Maack,
+// Mäcker; IPPS 2019).
+//
+// An instance consists of n jobs partitioned into K classes and m machines.
+// Processing job j on machine i takes p_{ij} time, and a machine pays the
+// setup time s_{ik} once for every class k of which it processes at least one
+// job. The load of machine i under an assignment σ is
+//
+//	L_i = Σ_{j: σ(j)=i} p_{ij} + Σ_{k used on i} s_{ik}
+//
+// and the objective is to minimize the makespan max_i L_i.
+//
+// Four machine environments are supported (Kind): identical, uniformly
+// related, restricted assignment, and unrelated. All environments are
+// materialized into full processing-time and setup-time matrices so that
+// algorithms can be written uniformly; environment-specific base data (job
+// sizes, speeds, eligibility sets) is retained for algorithms that exploit
+// it, such as the uniform-machines PTAS.
+package core
+
+import (
+	"fmt"
+	"math"
+)
+
+// Eps is the absolute slack used for floating-point load comparisons
+// throughout the library. Generators emit integral sizes, so accumulated
+// error stays far below this threshold for all supported instance sizes.
+const Eps = 1e-9
+
+// Inf marks an infeasible processing or setup time (job not eligible on the
+// machine, or class that can never be set up there).
+var Inf = math.Inf(1)
+
+// Kind identifies the machine environment of an instance.
+type Kind int
+
+const (
+	// Identical machines: p_{ij} = p_j and s_{ik} = s_k.
+	Identical Kind = iota
+	// Uniform machines: machine speeds v_i with p_{ij} = p_j/v_i and
+	// s_{ik} = s_k/v_i.
+	Uniform
+	// RestrictedAssignment: p_{ij} ∈ {p_j, ∞} and s_{ik} ∈ {s_k, ∞}.
+	RestrictedAssignment
+	// Unrelated machines: arbitrary p_{ij} ≥ 0 and s_{ik} ≥ 0 (∞ allowed).
+	Unrelated
+)
+
+// String returns the conventional name of the machine environment.
+func (k Kind) String() string {
+	switch k {
+	case Identical:
+		return "identical"
+	case Uniform:
+		return "uniform"
+	case RestrictedAssignment:
+		return "restricted"
+	case Unrelated:
+		return "unrelated"
+	default:
+		return fmt.Sprintf("Kind(%d)", int(k))
+	}
+}
+
+// IsFinite reports whether x is a usable (non-infinite, non-NaN) time value.
+func IsFinite(x float64) bool {
+	return !math.IsInf(x, 0) && !math.IsNaN(x)
+}

@@ -1,0 +1,136 @@
+package core
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"math"
+)
+
+// fileInstance is the on-disk JSON representation of an Instance. Infinite
+// times are encoded as the string "inf" because JSON has no Inf literal.
+type fileInstance struct {
+	Kind      string      `json:"kind"`
+	N         int         `json:"n"`
+	M         int         `json:"m"`
+	K         int         `json:"k"`
+	Class     []int       `json:"class"`
+	P         [][]jsonNum `json:"p"`
+	S         [][]jsonNum `json:"s"`
+	JobSize   []float64   `json:"jobSize,omitempty"`
+	SetupSize []float64   `json:"setupSize,omitempty"`
+	Speed     []float64   `json:"speed,omitempty"`
+	Eligible  [][]bool    `json:"eligible,omitempty"`
+}
+
+// jsonNum marshals float64 with Inf support.
+type jsonNum float64
+
+// MarshalJSON encodes +Inf as the string "inf".
+func (x jsonNum) MarshalJSON() ([]byte, error) {
+	if math.IsInf(float64(x), 1) {
+		return []byte(`"inf"`), nil
+	}
+	return json.Marshal(float64(x))
+}
+
+// UnmarshalJSON decodes either a number or the string "inf".
+func (x *jsonNum) UnmarshalJSON(b []byte) error {
+	var s string
+	if err := json.Unmarshal(b, &s); err == nil {
+		if s == "inf" {
+			*x = jsonNum(math.Inf(1))
+			return nil
+		}
+		return fmt.Errorf("core: unknown time literal %q", s)
+	}
+	var f float64
+	if err := json.Unmarshal(b, &f); err != nil {
+		return err
+	}
+	*x = jsonNum(f)
+	return nil
+}
+
+func kindName(k Kind) string { return k.String() }
+
+func kindFromName(s string) (Kind, error) {
+	switch s {
+	case "identical":
+		return Identical, nil
+	case "uniform":
+		return Uniform, nil
+	case "restricted":
+		return RestrictedAssignment, nil
+	case "unrelated":
+		return Unrelated, nil
+	}
+	return 0, fmt.Errorf("core: unknown kind %q", s)
+}
+
+// WriteJSON serializes the instance to w in the library's JSON format.
+func (in *Instance) WriteJSON(w io.Writer) error {
+	fi := fileInstance{
+		Kind: kindName(in.Kind), N: in.N, M: in.M, K: in.K,
+		Class:     in.Class,
+		JobSize:   in.JobSize,
+		SetupSize: in.SetupSize,
+		Speed:     in.Speed,
+		Eligible:  in.Eligible,
+	}
+	fi.P = make([][]jsonNum, len(in.P))
+	for i := range in.P {
+		fi.P[i] = make([]jsonNum, len(in.P[i]))
+		for j, v := range in.P[i] {
+			fi.P[i][j] = jsonNum(v)
+		}
+	}
+	fi.S = make([][]jsonNum, len(in.S))
+	for i := range in.S {
+		fi.S[i] = make([]jsonNum, len(in.S[i]))
+		for j, v := range in.S[i] {
+			fi.S[i][j] = jsonNum(v)
+		}
+	}
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", " ")
+	return enc.Encode(fi)
+}
+
+// ReadJSON deserializes an instance written by WriteJSON and validates it.
+func ReadJSON(r io.Reader) (*Instance, error) {
+	var fi fileInstance
+	if err := json.NewDecoder(r).Decode(&fi); err != nil {
+		return nil, fmt.Errorf("core: decoding instance: %w", err)
+	}
+	kind, err := kindFromName(fi.Kind)
+	if err != nil {
+		return nil, err
+	}
+	in := &Instance{
+		Kind: kind, N: fi.N, M: fi.M, K: fi.K,
+		Class:     fi.Class,
+		JobSize:   fi.JobSize,
+		SetupSize: fi.SetupSize,
+		Speed:     fi.Speed,
+		Eligible:  fi.Eligible,
+	}
+	in.P = make([][]float64, len(fi.P))
+	for i := range fi.P {
+		in.P[i] = make([]float64, len(fi.P[i]))
+		for j, v := range fi.P[i] {
+			in.P[i][j] = float64(v)
+		}
+	}
+	in.S = make([][]float64, len(fi.S))
+	for i := range fi.S {
+		in.S[i] = make([]float64, len(fi.S[i]))
+		for j, v := range fi.S[i] {
+			in.S[i][j] = float64(v)
+		}
+	}
+	if err := in.Validate(); err != nil {
+		return nil, err
+	}
+	return in, nil
+}

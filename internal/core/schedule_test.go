@@ -1,0 +1,243 @@
+package core
+
+import (
+	"bytes"
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestLoadsCountsSetupOncePerClass(t *testing.T) {
+	in, err := NewIdentical([]float64{3, 4, 5}, []int{0, 0, 1}, []float64{10, 20}, 2)
+	if err != nil {
+		t.Fatalf("NewIdentical: %v", err)
+	}
+	s := &Schedule{Assign: []int{0, 0, 0}}
+	loads := s.Loads(in)
+	// 3+4+5 processing + one setup of 10 (class 0) + one of 20 (class 1).
+	if math.Abs(loads[0]-42) > Eps {
+		t.Errorf("load[0] = %v, want 42", loads[0])
+	}
+	if loads[1] != 0 {
+		t.Errorf("load[1] = %v, want 0", loads[1])
+	}
+	if got := s.SetupCount(in); got != 2 {
+		t.Errorf("SetupCount = %d, want 2", got)
+	}
+}
+
+func TestLoadsSplitClassPaysSetupTwice(t *testing.T) {
+	in, err := NewIdentical([]float64{3, 4}, []int{0, 0}, []float64{10}, 2)
+	if err != nil {
+		t.Fatalf("NewIdentical: %v", err)
+	}
+	s := &Schedule{Assign: []int{0, 1}}
+	loads := s.Loads(in)
+	if math.Abs(loads[0]-13) > Eps || math.Abs(loads[1]-14) > Eps {
+		t.Errorf("loads = %v, want [13 14]", loads)
+	}
+	if got := s.SetupCount(in); got != 2 {
+		t.Errorf("SetupCount = %d, want 2 (class split across machines)", got)
+	}
+}
+
+func TestMakespanUniform(t *testing.T) {
+	in := mustUniform(t, []float64{6, 6}, []int{0, 0}, []float64{2}, []float64{1, 2})
+	s := &Schedule{Assign: []int{0, 1}}
+	// Machine 0: (6+2)/1 = 8; machine 1: (6+2)/2 = 4.
+	if ms := s.Makespan(in); math.Abs(ms-8) > Eps {
+		t.Errorf("makespan = %v, want 8", ms)
+	}
+}
+
+func TestValidateCatchesInfeasibleAssignment(t *testing.T) {
+	in, err := NewRestricted([]float64{1, 1}, []int{0, 1}, []float64{1, 1}, 2,
+		[][]int{{0}, {1}})
+	if err != nil {
+		t.Fatalf("NewRestricted: %v", err)
+	}
+	good := &Schedule{Assign: []int{0, 1}}
+	if err := good.Validate(in); err != nil {
+		t.Errorf("feasible schedule rejected: %v", err)
+	}
+	bad := &Schedule{Assign: []int{1, 1}}
+	if err := bad.Validate(in); err == nil {
+		t.Error("ineligible assignment accepted")
+	}
+	out := &Schedule{Assign: []int{0, 7}}
+	if err := out.Validate(in); err == nil {
+		t.Error("out-of-range machine accepted")
+	}
+	incomplete := NewSchedule(2)
+	if err := incomplete.Validate(in); err == nil {
+		t.Error("incomplete schedule accepted")
+	}
+	short := &Schedule{Assign: []int{0}}
+	if err := short.Validate(in); err == nil {
+		t.Error("short schedule accepted")
+	}
+}
+
+func TestValidateWithin(t *testing.T) {
+	in, err := NewIdentical([]float64{5}, []int{0}, []float64{5}, 1)
+	if err != nil {
+		t.Fatalf("NewIdentical: %v", err)
+	}
+	s := &Schedule{Assign: []int{0}}
+	if err := s.ValidateWithin(in, 10); err != nil {
+		t.Errorf("makespan 10 within bound 10 rejected: %v", err)
+	}
+	if err := s.ValidateWithin(in, 9.5); err == nil {
+		t.Error("makespan 10 accepted within bound 9.5")
+	}
+}
+
+func TestNewScheduleAndComplete(t *testing.T) {
+	s := NewSchedule(3)
+	if s.Complete() {
+		t.Error("fresh schedule reports complete")
+	}
+	for j := range s.Assign {
+		s.Assign[j] = 0
+	}
+	if !s.Complete() {
+		t.Error("fully assigned schedule reports incomplete")
+	}
+}
+
+func TestMachineJobs(t *testing.T) {
+	in, err := NewIdentical([]float64{1, 1, 1}, []int{0, 0, 0}, []float64{1}, 2)
+	if err != nil {
+		t.Fatalf("NewIdentical: %v", err)
+	}
+	s := &Schedule{Assign: []int{1, 0, 1}}
+	mj := s.MachineJobs(in)
+	if len(mj[0]) != 1 || mj[0][0] != 1 {
+		t.Errorf("machine 0 jobs = %v, want [1]", mj[0])
+	}
+	if len(mj[1]) != 2 {
+		t.Errorf("machine 1 jobs = %v, want 2 jobs", mj[1])
+	}
+}
+
+func TestResultRatio(t *testing.T) {
+	r := Result{Makespan: 6, LowerBound: 3}
+	if got := r.Ratio(); math.Abs(got-2) > Eps {
+		t.Errorf("Ratio = %v, want 2", got)
+	}
+	if got := (Result{Makespan: 6}).Ratio(); !math.IsNaN(got) {
+		t.Errorf("Ratio without lower bound = %v, want NaN", got)
+	}
+}
+
+// Property: for any random identical instance and any assignment, the
+// makespan equals the maximum over machines of (sum of processing times +
+// sum of distinct class setups), computed independently here.
+func TestMakespanMatchesDirectComputation(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 1 + rng.Intn(12)
+		m := 1 + rng.Intn(4)
+		kk := 1 + rng.Intn(3)
+		p := make([]float64, n)
+		class := make([]int, n)
+		for j := range p {
+			p[j] = float64(1 + rng.Intn(50))
+			class[j] = rng.Intn(kk)
+		}
+		s := make([]float64, kk)
+		for k := range s {
+			s[k] = float64(rng.Intn(20))
+		}
+		in, err := NewIdentical(p, class, s, m)
+		if err != nil {
+			return false
+		}
+		sched := NewSchedule(n)
+		for j := range sched.Assign {
+			sched.Assign[j] = rng.Intn(m)
+		}
+		// Direct recomputation.
+		want := 0.0
+		for i := 0; i < m; i++ {
+			li := 0.0
+			classes := map[int]bool{}
+			for j := 0; j < n; j++ {
+				if sched.Assign[j] == i {
+					li += p[j]
+					classes[class[j]] = true
+				}
+			}
+			for k := range classes {
+				li += s[k]
+			}
+			if li > want {
+				want = li
+			}
+		}
+		return math.Abs(sched.Makespan(in)-want) < Eps
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: JSON round-trips preserve instances exactly.
+func TestJSONRoundTrip(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		var in *Instance
+		var err error
+		switch rng.Intn(3) {
+		case 0:
+			in, err = NewIdentical([]float64{1, 2, 3}, []int{0, 1, 0}, []float64{4, 5}, 2)
+		case 1:
+			in, err = NewUniform([]float64{1, 2}, []int{0, 0}, []float64{3}, []float64{1, 2.5})
+		default:
+			in, err = NewUnrelated(
+				[][]float64{{1, Inf}, {2, 3}},
+				[]int{0, 1},
+				[][]float64{{1, Inf}, {0, 2}},
+			)
+		}
+		if err != nil {
+			return false
+		}
+		var buf bytes.Buffer
+		if err := in.WriteJSON(&buf); err != nil {
+			return false
+		}
+		out, err := ReadJSON(&buf)
+		if err != nil {
+			return false
+		}
+		if out.Kind != in.Kind || out.N != in.N || out.M != in.M || out.K != in.K {
+			return false
+		}
+		for i := range in.P {
+			for j := range in.P[i] {
+				a, b := in.P[i][j], out.P[i][j]
+				if a != b && !(math.IsInf(a, 1) && math.IsInf(b, 1)) {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestReadJSONRejectsGarbage(t *testing.T) {
+	if _, err := ReadJSON(bytes.NewBufferString("{")); err == nil {
+		t.Error("truncated JSON accepted")
+	}
+	if _, err := ReadJSON(bytes.NewBufferString(`{"kind":"alien","n":1,"m":1,"k":1}`)); err == nil {
+		t.Error("unknown kind accepted")
+	}
+	if _, err := ReadJSON(bytes.NewBufferString(`{"kind":"identical","n":1,"m":1,"k":1,"class":[0],"p":[["oops"]],"s":[[1]]}`)); err == nil {
+		t.Error("bad time literal accepted")
+	}
+}

@@ -1,0 +1,80 @@
+// Package dual implements the Hochbaum–Shmoys dual approximation framework
+// (Section 1.1.1 of the paper): given a decision procedure that, for a
+// makespan guess T, either produces a schedule with makespan at most α·T or
+// correctly reports that no schedule with makespan T exists, a
+// multiplicative binary search over T yields an α(1+δ)-approximation.
+package dual
+
+import (
+	"math"
+
+	"repro/internal/core"
+)
+
+// Decider is the per-guess decision procedure. For a guess T it returns
+// (schedule, true) when it constructed a schedule with makespan ≤ α·T, or
+// (nil, false) when it certifies that no schedule with makespan ≤ T exists.
+type Decider func(T float64) (*core.Schedule, bool)
+
+// Outcome is the result of a dual approximation search.
+type Outcome struct {
+	// Schedule is the best (smallest makespan) schedule produced by any
+	// accepted guess; nil when every guess was rejected.
+	Schedule *core.Schedule
+	// Makespan is the makespan of Schedule under the instance the decider
+	// was built for (recorded by the decider via Observe; see Search).
+	Makespan float64
+	// LowerBound is the largest guess that was rejected — a certified lower
+	// bound on the optimal makespan (Opt > LowerBound). It equals the
+	// initial lb if no guess was ever rejected.
+	LowerBound float64
+	// Guesses is the number of decision-procedure invocations.
+	Guesses int
+}
+
+// Search runs multiplicative binary search for the smallest accepted guess
+// in [lb, ub]. precision is the relative gap at which the search stops
+// (e.g. 0.05 narrows to a factor 1.05). The instance is needed to evaluate
+// makespans of returned schedules.
+//
+// lb may be 0; it is raised to a tiny fraction of ub to keep the geometric
+// search well-defined. ub must be achievable (the caller typically passes
+// the makespan of a heuristic schedule and that schedule as a fallback via
+// fallback; pass nil to allow an empty outcome when all guesses fail).
+func Search(in *core.Instance, lb, ub, precision float64, fallback *core.Schedule, decide Decider) Outcome {
+	out := Outcome{LowerBound: lb, Makespan: math.Inf(1)}
+	if fallback != nil {
+		out.Schedule = fallback
+		out.Makespan = fallback.Makespan(in)
+	}
+	if ub <= 0 {
+		// Zero-makespan instance (all sizes 0): any complete feasible
+		// assignment achieves 0; the fallback already is one.
+		return out
+	}
+	if precision <= 0 {
+		precision = 0.05
+	}
+	if lb < ub*1e-9 || lb <= 0 {
+		lb = ub * 1e-9
+	}
+	lo, hi := lb, ub
+	for hi/lo > 1+precision {
+		mid := math.Sqrt(lo * hi)
+		out.Guesses++
+		if sched, ok := decide(mid); ok {
+			if sched != nil {
+				if ms := sched.Makespan(in); ms < out.Makespan {
+					out.Schedule, out.Makespan = sched, ms
+				}
+			}
+			hi = mid
+		} else {
+			lo = mid
+			if mid > out.LowerBound {
+				out.LowerBound = mid
+			}
+		}
+	}
+	return out
+}

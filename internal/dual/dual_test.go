@@ -1,0 +1,105 @@
+package dual
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/core"
+)
+
+func testInstance(t *testing.T) *core.Instance {
+	t.Helper()
+	in, err := core.NewIdentical([]float64{4, 4}, []int{0, 1}, []float64{1, 1}, 2)
+	if err != nil {
+		t.Fatalf("NewIdentical: %v", err)
+	}
+	return in
+}
+
+func TestSearchConvergesToThreshold(t *testing.T) {
+	in := testInstance(t)
+	perfect := &core.Schedule{Assign: []int{0, 1}} // makespan 5
+	// Decider accepts exactly when T >= 5 and returns the perfect schedule.
+	out := Search(in, 1, 100, 0.01, nil, func(T float64) (*core.Schedule, bool) {
+		if T >= 5 {
+			return perfect, true
+		}
+		return nil, false
+	})
+	if out.Schedule == nil {
+		t.Fatal("no schedule found")
+	}
+	if math.Abs(out.Makespan-5) > core.Eps {
+		t.Errorf("makespan = %v, want 5", out.Makespan)
+	}
+	// Lower bound must be below 5 but close to it (within the precision).
+	if out.LowerBound >= 5 || out.LowerBound < 5/1.02 {
+		t.Errorf("lower bound = %v, want just below 5", out.LowerBound)
+	}
+	if out.Guesses == 0 {
+		t.Error("no guesses recorded")
+	}
+}
+
+func TestSearchAllRejectedKeepsFallback(t *testing.T) {
+	in := testInstance(t)
+	fb := &core.Schedule{Assign: []int{0, 0}} // makespan 10
+	out := Search(in, 1, 100, 0.05, fb, func(T float64) (*core.Schedule, bool) {
+		return nil, false
+	})
+	if out.Schedule != fb {
+		t.Error("fallback schedule not kept")
+	}
+	if math.Abs(out.Makespan-10) > core.Eps {
+		t.Errorf("makespan = %v, want 10 (fallback)", out.Makespan)
+	}
+	// Every guess rejected: lower bound should have climbed near ub.
+	if out.LowerBound < 90 {
+		t.Errorf("lower bound = %v, want near 100", out.LowerBound)
+	}
+}
+
+func TestSearchZeroUpperBound(t *testing.T) {
+	in := testInstance(t)
+	fb := core.NewSchedule(2)
+	out := Search(in, 0, 0, 0.05, fb, func(T float64) (*core.Schedule, bool) {
+		t.Error("decider called despite ub=0")
+		return nil, false
+	})
+	if out.Guesses != 0 || out.Schedule != fb {
+		t.Error("zero upper bound not short-circuited")
+	}
+}
+
+func TestSearchZeroLowerBound(t *testing.T) {
+	in := testInstance(t)
+	// lb=0 must not cause sqrt(0*ub)=0 loops forever.
+	calls := 0
+	out := Search(in, 0, 16, 0.05, nil, func(T float64) (*core.Schedule, bool) {
+		calls++
+		if calls > 200 {
+			t.Fatal("search did not terminate")
+		}
+		return &core.Schedule{Assign: []int{0, 1}}, true
+	})
+	if out.Schedule == nil {
+		t.Fatal("no schedule")
+	}
+}
+
+func TestSearchKeepsBestScheduleAcrossGuesses(t *testing.T) {
+	in := testInstance(t)
+	good := &core.Schedule{Assign: []int{0, 1}} // makespan 5
+	bad := &core.Schedule{Assign: []int{0, 0}}  // makespan 10
+	first := true
+	out := Search(in, 1, 100, 0.05, nil, func(T float64) (*core.Schedule, bool) {
+		if first {
+			first = false
+			return good, true
+		}
+		return bad, true // later guesses return worse schedules
+	})
+	if math.Abs(out.Makespan-5) > core.Eps {
+		t.Errorf("makespan = %v, want 5 (best across guesses)", out.Makespan)
+	}
+}

@@ -1,0 +1,301 @@
+// Package exact computes optimal makespans for small instances by
+// depth-first branch-and-bound, and certified lower bounds for instances too
+// large to solve exactly. The experiment harness measures approximation
+// ratios of the paper's algorithms against these values.
+package exact
+
+import (
+	"math"
+	"sort"
+
+	"repro/internal/core"
+)
+
+// MaxJobs is the default job-count guard above which BranchAndBound refuses
+// to run (the search is exponential in n).
+const MaxJobs = 16
+
+// Options tunes the branch-and-bound search.
+type Options struct {
+	// MaxJobs overrides the job-count guard (0 means MaxJobs).
+	MaxJobs int
+	// NodeLimit caps the number of explored search nodes; 0 means no cap.
+	// When the cap is hit, the returned schedule is the best found so far
+	// and the bool result is false (not proven optimal).
+	NodeLimit int64
+	// UpperBound primes the search with a known feasible makespan (e.g.
+	// from a heuristic); 0 means start from the trivial single-machine
+	// bound.
+	UpperBound float64
+}
+
+// BranchAndBound returns an optimal schedule and its makespan. The second
+// return is true when optimality was proven (no limit hit). Instances with
+// more than Options.MaxJobs jobs yield (nil, 0, false) immediately.
+func BranchAndBound(in *core.Instance, opt Options) (*core.Schedule, float64, bool) {
+	guard := opt.MaxJobs
+	if guard == 0 {
+		guard = MaxJobs
+	}
+	if in.N > guard {
+		return nil, 0, false
+	}
+	s := &searcher{in: in, nodeLimit: opt.NodeLimit}
+	s.prepare()
+	best := opt.UpperBound
+	if best <= 0 {
+		best = math.Inf(1)
+	}
+	s.bestVal = best
+	s.cur = core.NewSchedule(in.N)
+	s.loads = make([]float64, in.M)
+	s.classOn = make([][]bool, in.M)
+	for i := range s.classOn {
+		s.classOn[i] = make([]bool, in.K)
+	}
+	s.dfs(0)
+	if s.best == nil {
+		return nil, 0, false
+	}
+	return s.best, s.bestVal, !s.limitHit
+}
+
+type searcher struct {
+	in        *core.Instance
+	order     []int     // jobs sorted by decreasing min processing time
+	sufMin    []float64 // suffix sums of min_i p_{ij} over the order
+	sameRows  [][]bool  // sameRows[a][b]: machines a and b fully identical
+	cur       *core.Schedule
+	best      *core.Schedule
+	bestVal   float64
+	loads     []float64
+	classOn   [][]bool
+	nodes     int64
+	nodeLimit int64
+	limitHit  bool
+}
+
+func (s *searcher) prepare() {
+	in := s.in
+	s.order = make([]int, in.N)
+	minP := make([]float64, in.N)
+	for j := 0; j < in.N; j++ {
+		s.order[j] = j
+		m := math.Inf(1)
+		for i := 0; i < in.M; i++ {
+			if in.Eligibility(i, j, math.Inf(1)) && in.P[i][j] < m {
+				m = in.P[i][j]
+			}
+		}
+		minP[j] = m
+	}
+	sort.Slice(s.order, func(a, b int) bool { return minP[s.order[a]] > minP[s.order[b]] })
+	s.sufMin = make([]float64, in.N+1)
+	for idx := in.N - 1; idx >= 0; idx-- {
+		s.sufMin[idx] = s.sufMin[idx+1] + minP[s.order[idx]]
+	}
+	// Machines with identical processing and setup rows are interchangeable;
+	// record the relation once for symmetry pruning.
+	s.sameRows = make([][]bool, in.M)
+	for a := 0; a < in.M; a++ {
+		s.sameRows[a] = make([]bool, in.M)
+		for b := 0; b < in.M; b++ {
+			s.sameRows[a][b] = equalRows(in, a, b)
+		}
+	}
+}
+
+func equalRows(in *core.Instance, a, b int) bool {
+	for j := 0; j < in.N; j++ {
+		if in.P[a][j] != in.P[b][j] {
+			return false
+		}
+	}
+	for k := 0; k < in.K; k++ {
+		if in.S[a][k] != in.S[b][k] {
+			return false
+		}
+	}
+	return true
+}
+
+// lower bound for the partial assignment: max of the current max load and
+// the average of (current total load + cheapest completion of the rest).
+func (s *searcher) lowerBound(idx int) float64 {
+	maxLoad, sumLoad := 0.0, 0.0
+	for _, l := range s.loads {
+		sumLoad += l
+		if l > maxLoad {
+			maxLoad = l
+		}
+	}
+	avg := (sumLoad + s.sufMin[idx]) / float64(s.in.M)
+	if avg > maxLoad {
+		return avg
+	}
+	return maxLoad
+}
+
+func (s *searcher) dfs(idx int) {
+	if s.limitHit {
+		return
+	}
+	s.nodes++
+	if s.nodeLimit > 0 && s.nodes > s.nodeLimit {
+		s.limitHit = true
+		return
+	}
+	if s.lowerBound(idx) >= s.bestVal-core.Eps {
+		return
+	}
+	in := s.in
+	if idx == in.N {
+		ms := 0.0
+		for _, l := range s.loads {
+			if l > ms {
+				ms = l
+			}
+		}
+		if ms < s.bestVal-core.Eps {
+			s.bestVal = ms
+			s.best = s.cur.Clone()
+		}
+		return
+	}
+	j := s.order[idx]
+	k := in.Class[j]
+	// Symmetry breaking: if an earlier machine i2 is fully interchangeable
+	// with i (identical processing and setup rows) and currently has the
+	// same load and class profile, the subtree rooted at "j → i" is
+	// isomorphic to "j → i2", so only the first is explored.
+	for i := 0; i < in.M; i++ {
+		if !in.Eligibility(i, j, math.Inf(1)) {
+			continue
+		}
+		delta := in.P[i][j]
+		addedSetup := false
+		if !s.classOn[i][k] {
+			delta += in.S[i][k]
+			addedSetup = true
+		}
+		if s.loads[i]+delta >= s.bestVal-core.Eps {
+			continue
+		}
+		skip := false
+		for i2 := 0; i2 < i; i2++ {
+			if s.sameRows[i][i2] && math.Abs(s.loads[i2]-s.loads[i]) < core.Eps &&
+				sameProfile(s, i, i2) {
+				skip = true
+				break
+			}
+		}
+		if skip {
+			continue
+		}
+		s.loads[i] += delta
+		if addedSetup {
+			s.classOn[i][k] = true
+		}
+		s.cur.Assign[j] = i
+		s.dfs(idx + 1)
+		s.cur.Assign[j] = -1
+		if addedSetup {
+			s.classOn[i][k] = false
+		}
+		s.loads[i] -= delta
+	}
+}
+
+// sameProfile reports whether machines a and b currently host exactly the
+// same set of classes (used for symmetry pruning; only sound when the two
+// machines also agree on loads and on the job's processing/setup times).
+func sameProfile(s *searcher, a, b int) bool {
+	for k := range s.classOn[a] {
+		if s.classOn[a][k] != s.classOn[b][k] {
+			return false
+		}
+	}
+	return true
+}
+
+// VolumeLowerBound returns a certified lower bound on the optimal makespan:
+// the maximum of
+//
+//   - the cheapest single placement max_j min_i (p_{ij} + s_{i,k_j}),
+//   - total volume: (Σ_j min_i p_{ij} + Σ_k min_i s_{ik}) / m for identical
+//     machines, and the speed-weighted analogue for uniform machines
+//     (every class pays its setup at least once somewhere).
+//
+// For unrelated machines the volume term uses per-job minima, which remains
+// valid (any schedule processes j somewhere at cost ≥ min_i p_{ij}).
+func VolumeLowerBound(in *core.Instance) float64 {
+	// Cheapest single placement.
+	lb := 0.0
+	for j := 0; j < in.N; j++ {
+		best := math.Inf(1)
+		for i := 0; i < in.M; i++ {
+			if !core.IsFinite(in.P[i][j]) || !core.IsFinite(in.S[i][in.Class[j]]) {
+				continue
+			}
+			if v := in.P[i][j] + in.S[i][in.Class[j]]; v < best {
+				best = v
+			}
+		}
+		if best > lb {
+			lb = best
+		}
+	}
+	// Volume: total minimal work plus one minimal setup per class, spread
+	// over the machines. For uniform machines, "capacity" per unit time is
+	// Σ v_i and job j consumes p_j capacity; for identical, v_i = 1; for
+	// unrelated we use min_i p_{ij} over m machines (weaker but valid).
+	switch in.Kind {
+	case core.Uniform:
+		totalSpeed := 0.0
+		for _, v := range in.Speed {
+			totalSpeed += v
+		}
+		vol := 0.0
+		for _, pj := range in.JobSize {
+			vol += pj
+		}
+		used := map[int]bool{}
+		for _, k := range in.Class {
+			used[k] = true
+		}
+		for k := range used {
+			vol += in.SetupSize[k]
+		}
+		if v := vol / totalSpeed; v > lb {
+			lb = v
+		}
+	default:
+		vol := 0.0
+		for j := 0; j < in.N; j++ {
+			best := math.Inf(1)
+			for i := 0; i < in.M; i++ {
+				if in.P[i][j] < best {
+					best = in.P[i][j]
+				}
+			}
+			vol += best
+		}
+		used := map[int]bool{}
+		for _, k := range in.Class {
+			used[k] = true
+		}
+		for k := range used {
+			best := math.Inf(1)
+			for i := 0; i < in.M; i++ {
+				if in.S[i][k] < best {
+					best = in.S[i][k]
+				}
+			}
+			vol += best
+		}
+		if v := vol / float64(in.M); v > lb {
+			lb = v
+		}
+	}
+	return lb
+}

@@ -1,0 +1,169 @@
+package exact
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/core"
+	"repro/internal/gen"
+)
+
+// bruteForce enumerates all m^n assignments (tiny instances only).
+func bruteForce(in *core.Instance) float64 {
+	sched := core.NewSchedule(in.N)
+	best := math.Inf(1)
+	var rec func(j int)
+	rec = func(j int) {
+		if j == in.N {
+			if err := sched.Validate(in); err == nil {
+				if ms := sched.Makespan(in); ms < best {
+					best = ms
+				}
+			}
+			return
+		}
+		for i := 0; i < in.M; i++ {
+			sched.Assign[j] = i
+			rec(j + 1)
+		}
+		sched.Assign[j] = -1
+	}
+	rec(0)
+	return best
+}
+
+func TestBranchAndBoundMatchesBruteForce(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		p := gen.Params{N: 1 + rng.Intn(7), M: 1 + rng.Intn(3), K: 1 + rng.Intn(3)}
+		var in *core.Instance
+		switch rng.Intn(4) {
+		case 0:
+			in = gen.Identical(rng, p)
+		case 1:
+			in = gen.Uniform(rng, p)
+		case 2:
+			in = gen.Unrelated(rng, p)
+		default:
+			in = gen.Restricted(rng, p)
+		}
+		want := bruteForce(in)
+		sched, got, proven := BranchAndBound(in, Options{})
+		if !proven || sched == nil {
+			return false
+		}
+		if err := sched.Validate(in); err != nil {
+			return false
+		}
+		if math.Abs(sched.Makespan(in)-got) > core.Eps {
+			return false
+		}
+		return math.Abs(got-want) < 1e-6
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 120}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestBranchAndBoundKnownOptimum(t *testing.T) {
+	// Two machines, two classes with setup 10 each, jobs 5+5 per class.
+	// Optimal: dedicate one machine per class => makespan 20.
+	in, err := core.NewIdentical(
+		[]float64{5, 5, 5, 5}, []int{0, 0, 1, 1}, []float64{10, 10}, 2)
+	if err != nil {
+		t.Fatalf("NewIdentical: %v", err)
+	}
+	_, opt, proven := BranchAndBound(in, Options{})
+	if !proven || math.Abs(opt-20) > core.Eps {
+		t.Errorf("opt = %v (proven=%v), want 20", opt, proven)
+	}
+}
+
+func TestBranchAndBoundRespectsJobGuard(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	in := gen.Identical(rng, gen.Params{N: MaxJobs + 1, M: 2, K: 2})
+	if sched, _, proven := BranchAndBound(in, Options{}); sched != nil || proven {
+		t.Error("guard did not trip for oversized instance")
+	}
+	if sched, _, _ := BranchAndBound(in, Options{MaxJobs: MaxJobs + 1}); sched == nil {
+		t.Error("override of job guard did not take effect")
+	}
+}
+
+func TestBranchAndBoundNodeLimit(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	in := gen.Unrelated(rng, gen.Params{N: 12, M: 4, K: 3})
+	sched, _, proven := BranchAndBound(in, Options{NodeLimit: 50})
+	if proven {
+		t.Error("claims proven optimality despite tiny node limit")
+	}
+	if sched != nil {
+		if err := sched.Validate(in); err != nil {
+			t.Errorf("partial-search schedule invalid: %v", err)
+		}
+	}
+}
+
+func TestBranchAndBoundUsesUpperBound(t *testing.T) {
+	in, err := core.NewIdentical([]float64{4, 4}, []int{0, 1}, []float64{1, 1}, 2)
+	if err != nil {
+		t.Fatalf("NewIdentical: %v", err)
+	}
+	// Optimal makespan is 5 (one job per machine). Priming with a bound of
+	// 5 means nothing strictly better exists; the search must still return
+	// a schedule achieving it... it cannot, since pruning is strict. So
+	// prime with 6: the optimum 5 must be found.
+	sched, opt, proven := BranchAndBound(in, Options{UpperBound: 6})
+	if !proven || sched == nil || math.Abs(opt-5) > core.Eps {
+		t.Errorf("opt = %v (proven=%v), want 5", opt, proven)
+	}
+}
+
+func TestVolumeLowerBoundSoundOnRandomInstances(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		p := gen.Params{N: 1 + rng.Intn(6), M: 1 + rng.Intn(3), K: 1 + rng.Intn(2)}
+		var in *core.Instance
+		switch rng.Intn(3) {
+		case 0:
+			in = gen.Identical(rng, p)
+		case 1:
+			in = gen.Uniform(rng, p)
+		default:
+			in = gen.Unrelated(rng, p)
+		}
+		opt := bruteForce(in)
+		lb := VolumeLowerBound(in)
+		return lb <= opt+1e-6
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 150}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestVolumeLowerBoundPositive(t *testing.T) {
+	in, err := core.NewIdentical([]float64{3}, []int{0}, []float64{2}, 4)
+	if err != nil {
+		t.Fatalf("NewIdentical: %v", err)
+	}
+	// Single job must pay 3+2 somewhere.
+	if lb := VolumeLowerBound(in); math.Abs(lb-5) > core.Eps {
+		t.Errorf("lb = %v, want 5", lb)
+	}
+}
+
+func TestSymmetryPruningStillOptimal(t *testing.T) {
+	// Many identical machines: symmetry pruning must not cut the optimum.
+	in, err := core.NewIdentical(
+		[]float64{9, 8, 7, 6, 5, 4}, []int{0, 0, 0, 0, 0, 0}, []float64{0}, 3)
+	if err != nil {
+		t.Fatalf("NewIdentical: %v", err)
+	}
+	_, opt, proven := BranchAndBound(in, Options{})
+	if !proven || math.Abs(opt-13) > core.Eps {
+		// Sizes sum to 39; best balance on 3 machines is 13 = 9+4 = 8+5 = 7+6.
+		t.Errorf("opt = %v (proven=%v), want 13", opt, proven)
+	}
+}

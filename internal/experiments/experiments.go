@@ -1,0 +1,63 @@
+// Package experiments implements the reproduction harness: one experiment
+// per theorem/figure of the paper (see DESIGN.md §4 for the index). The
+// paper is a theory paper without empirical tables, so each experiment
+// validates the corresponding claim — approximation ratios against exact
+// optima or certified lower bounds, the Θ(log n + log m) growth, the
+// set-cover separation, and the Figure 1 structure.
+//
+// Experiments are deterministic for a fixed Config.Seed.
+package experiments
+
+import (
+	"fmt"
+	"sort"
+)
+
+// Config controls experiment scale.
+type Config struct {
+	// Seed drives all randomness.
+	Seed int64
+	// Quick shrinks instance sizes and repetition counts so the whole
+	// suite runs in seconds (used by tests; benchmarks use full mode).
+	Quick bool
+}
+
+// Experiment is one reproducible experiment.
+type Experiment struct {
+	// ID is the short identifier used by `schedbench -exp` and the
+	// Benchmark functions (e.g. "E1").
+	ID string
+	// Name is a one-line description.
+	Name string
+	// Claim is the paper statement the experiment validates.
+	Claim string
+	// Run executes the experiment and returns its rendered tables.
+	Run func(cfg Config) (string, error)
+}
+
+var registry []Experiment
+
+func register(e Experiment) { registry = append(registry, e) }
+
+// All returns the experiments sorted by ID.
+func All() []Experiment {
+	out := append([]Experiment(nil), registry...)
+	sort.Slice(out, func(a, b int) bool {
+		// E1 < E2 < … < E10 < E11 (numeric order, not lexicographic).
+		var na, nb int
+		fmt.Sscanf(out[a].ID, "E%d", &na)
+		fmt.Sscanf(out[b].ID, "E%d", &nb)
+		return na < nb
+	})
+	return out
+}
+
+// ByID looks an experiment up by its identifier.
+func ByID(id string) (Experiment, bool) {
+	for _, e := range registry {
+		if e.ID == id {
+			return e, true
+		}
+	}
+	return Experiment{}, false
+}

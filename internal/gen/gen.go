@@ -1,0 +1,235 @@
+// Package gen provides seeded random instance generators for every machine
+// environment and for the structured special cases of Section 3.3 of the
+// paper. The paper itself contains no workloads (it is a theory paper), so
+// these generators are designed to cover the regimes its analysis
+// distinguishes: setup-dominated vs job-dominated loads, few large vs many
+// small classes, and homogeneous vs highly skewed machine speeds.
+//
+// All generators take an explicit *rand.Rand so experiments are reproducible.
+package gen
+
+import (
+	"fmt"
+	"math/rand"
+
+	"repro/internal/core"
+)
+
+// Params controls the shape of generated instances. Zero fields are replaced
+// by the documented defaults in normalize.
+type Params struct {
+	// N, M, K are the number of jobs, machines and setup classes.
+	N, M, K int
+	// MinJob and MaxJob bound the (integral) job sizes. Defaults: 1, 100.
+	MinJob, MaxJob int
+	// MinSetup and MaxSetup bound the (integral) setup sizes.
+	// Defaults: 1, 50.
+	MinSetup, MaxSetup int
+	// SpeedMax, for uniform instances, is the maximum machine speed; speeds
+	// are drawn uniformly from {1, …, SpeedMax}. Default: 4.
+	SpeedMax int
+	// EligibleProb, for restricted instances, is the probability that a
+	// machine is eligible (per job or per class); at least one machine is
+	// always made eligible. Default: 0.5.
+	EligibleProb float64
+}
+
+func (p Params) normalize() Params {
+	if p.MinJob == 0 && p.MaxJob == 0 {
+		p.MinJob, p.MaxJob = 1, 100
+	}
+	if p.MinSetup == 0 && p.MaxSetup == 0 {
+		p.MinSetup, p.MaxSetup = 1, 50
+	}
+	if p.SpeedMax == 0 {
+		p.SpeedMax = 4
+	}
+	if p.EligibleProb == 0 {
+		p.EligibleProb = 0.5
+	}
+	if p.K <= 0 {
+		p.K = 1
+	}
+	return p
+}
+
+func (p Params) check() {
+	if p.N <= 0 || p.M <= 0 {
+		panic(fmt.Sprintf("gen: need positive N and M, got N=%d M=%d", p.N, p.M))
+	}
+	if p.MinJob < 0 || p.MaxJob < p.MinJob || p.MinSetup < 0 || p.MaxSetup < p.MinSetup {
+		panic(fmt.Sprintf("gen: bad size ranges %+v", p))
+	}
+}
+
+func intIn(rng *rand.Rand, lo, hi int) float64 {
+	if hi <= lo {
+		return float64(lo)
+	}
+	return float64(lo + rng.Intn(hi-lo+1))
+}
+
+func (p Params) jobs(rng *rand.Rand) ([]float64, []int, []float64) {
+	sizes := make([]float64, p.N)
+	class := make([]int, p.N)
+	for j := range sizes {
+		sizes[j] = intIn(rng, p.MinJob, p.MaxJob)
+		class[j] = rng.Intn(p.K)
+	}
+	setups := make([]float64, p.K)
+	for k := range setups {
+		setups[k] = intIn(rng, p.MinSetup, p.MaxSetup)
+	}
+	return sizes, class, setups
+}
+
+// Identical generates an identical-machines instance.
+func Identical(rng *rand.Rand, p Params) *core.Instance {
+	p = p.normalize()
+	p.check()
+	sizes, class, setups := p.jobs(rng)
+	in, err := core.NewIdentical(sizes, class, setups, p.M)
+	if err != nil {
+		panic(fmt.Sprintf("gen: %v", err)) // generator bug, not input error
+	}
+	return in
+}
+
+// Uniform generates a uniformly-related-machines instance with integral
+// speeds in {1, …, SpeedMax}.
+func Uniform(rng *rand.Rand, p Params) *core.Instance {
+	p = p.normalize()
+	p.check()
+	sizes, class, setups := p.jobs(rng)
+	speeds := make([]float64, p.M)
+	for i := range speeds {
+		speeds[i] = intIn(rng, 1, p.SpeedMax)
+	}
+	in, err := core.NewUniform(sizes, class, setups, speeds)
+	if err != nil {
+		panic(fmt.Sprintf("gen: %v", err))
+	}
+	return in
+}
+
+// Unrelated generates an unrelated-machines instance with independent
+// uniform processing times per job-machine pair and setup times per
+// class-machine pair.
+func Unrelated(rng *rand.Rand, p Params) *core.Instance {
+	p = p.normalize()
+	p.check()
+	_, class, _ := p.jobs(rng)
+	pm := make([][]float64, p.M)
+	sm := make([][]float64, p.M)
+	for i := 0; i < p.M; i++ {
+		pm[i] = make([]float64, p.N)
+		sm[i] = make([]float64, p.K)
+		for j := 0; j < p.N; j++ {
+			pm[i][j] = intIn(rng, p.MinJob, p.MaxJob)
+		}
+		for k := 0; k < p.K; k++ {
+			sm[i][k] = intIn(rng, p.MinSetup, p.MaxSetup)
+		}
+	}
+	in, err := core.NewUnrelated(pm, class, sm)
+	if err != nil {
+		panic(fmt.Sprintf("gen: %v", err))
+	}
+	return in
+}
+
+// Restricted generates a restricted-assignment instance with per-job
+// eligibility sets drawn independently with probability EligibleProb.
+func Restricted(rng *rand.Rand, p Params) *core.Instance {
+	p = p.normalize()
+	p.check()
+	sizes, class, setups := p.jobs(rng)
+	elig := make([][]int, p.N)
+	for j := range elig {
+		for i := 0; i < p.M; i++ {
+			if rng.Float64() < p.EligibleProb {
+				elig[j] = append(elig[j], i)
+			}
+		}
+		if len(elig[j]) == 0 {
+			elig[j] = []int{rng.Intn(p.M)}
+		}
+	}
+	in, err := core.NewRestricted(sizes, class, setups, p.M, elig)
+	if err != nil {
+		panic(fmt.Sprintf("gen: %v", err))
+	}
+	return in
+}
+
+// RestrictedClassUniform generates the special case of Section 3.3.1: a
+// restricted-assignment instance where all jobs of a class share the same
+// eligibility set M_k.
+func RestrictedClassUniform(rng *rand.Rand, p Params) *core.Instance {
+	p = p.normalize()
+	p.check()
+	sizes, class, setups := p.jobs(rng)
+	classElig := make([][]int, p.K)
+	for k := range classElig {
+		for i := 0; i < p.M; i++ {
+			if rng.Float64() < p.EligibleProb {
+				classElig[k] = append(classElig[k], i)
+			}
+		}
+		if len(classElig[k]) == 0 {
+			classElig[k] = []int{rng.Intn(p.M)}
+		}
+	}
+	elig := make([][]int, p.N)
+	for j := range elig {
+		elig[j] = classElig[class[j]]
+	}
+	in, err := core.NewRestricted(sizes, class, setups, p.M, elig)
+	if err != nil {
+		panic(fmt.Sprintf("gen: %v", err))
+	}
+	return in
+}
+
+// UnrelatedClassUniform generates the special case of Section 3.3.2: an
+// unrelated-machines instance where all jobs of a class have the same
+// processing time on any given machine (p_{ij} depends only on (i, class j)).
+func UnrelatedClassUniform(rng *rand.Rand, p Params) *core.Instance {
+	p = p.normalize()
+	p.check()
+	_, class, _ := p.jobs(rng)
+	classTime := make([][]float64, p.M) // classTime[i][k]
+	sm := make([][]float64, p.M)
+	for i := 0; i < p.M; i++ {
+		classTime[i] = make([]float64, p.K)
+		sm[i] = make([]float64, p.K)
+		for k := 0; k < p.K; k++ {
+			classTime[i][k] = intIn(rng, p.MinJob, p.MaxJob)
+			sm[i][k] = intIn(rng, p.MinSetup, p.MaxSetup)
+		}
+	}
+	pm := make([][]float64, p.M)
+	for i := 0; i < p.M; i++ {
+		pm[i] = make([]float64, p.N)
+		for j := 0; j < p.N; j++ {
+			pm[i][j] = classTime[i][class[j]]
+		}
+	}
+	in, err := core.NewUnrelated(pm, class, sm)
+	if err != nil {
+		panic(fmt.Sprintf("gen: %v", err))
+	}
+	return in
+}
+
+// SetupHeavy returns Params biased toward large setup times relative to job
+// sizes (the regime where ignoring classes is most costly).
+func SetupHeavy(n, m, k int) Params {
+	return Params{N: n, M: m, K: k, MinJob: 1, MaxJob: 20, MinSetup: 30, MaxSetup: 100}
+}
+
+// JobHeavy returns Params biased toward large jobs and small setups (the
+// regime closest to classical makespan scheduling).
+func JobHeavy(n, m, k int) Params {
+	return Params{N: n, M: m, K: k, MinJob: 30, MaxJob: 100, MinSetup: 1, MaxSetup: 10}
+}

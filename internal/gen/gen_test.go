@@ -1,0 +1,132 @@
+package gen
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/core"
+)
+
+func TestGeneratorsProduceValidInstances(t *testing.T) {
+	kinds := []struct {
+		name string
+		f    func(*rand.Rand, Params) *core.Instance
+		kind core.Kind
+	}{
+		{"identical", Identical, core.Identical},
+		{"uniform", Uniform, core.Uniform},
+		{"unrelated", Unrelated, core.Unrelated},
+		{"restricted", Restricted, core.RestrictedAssignment},
+		{"restrictedClassUniform", RestrictedClassUniform, core.RestrictedAssignment},
+		{"unrelatedClassUniform", UnrelatedClassUniform, core.Unrelated},
+	}
+	for _, k := range kinds {
+		t.Run(k.name, func(t *testing.T) {
+			f := func(seed int64) bool {
+				rng := rand.New(rand.NewSource(seed))
+				p := Params{N: 1 + rng.Intn(20), M: 1 + rng.Intn(5), K: 1 + rng.Intn(4)}
+				in := k.f(rng, p)
+				if in.Kind != k.kind {
+					return false
+				}
+				if in.N != p.N || in.M != p.M || in.K != p.K {
+					return false
+				}
+				return in.Validate() == nil
+			}
+			if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+				t.Error(err)
+			}
+		})
+	}
+}
+
+func TestDeterminism(t *testing.T) {
+	a := Uniform(rand.New(rand.NewSource(7)), Params{N: 10, M: 3, K: 2})
+	b := Uniform(rand.New(rand.NewSource(7)), Params{N: 10, M: 3, K: 2})
+	for j := range a.JobSize {
+		if a.JobSize[j] != b.JobSize[j] || a.Class[j] != b.Class[j] {
+			t.Fatal("same seed produced different instances")
+		}
+	}
+	for i := range a.Speed {
+		if a.Speed[i] != b.Speed[i] {
+			t.Fatal("same seed produced different speeds")
+		}
+	}
+}
+
+func TestRestrictedClassUniformSharedEligibility(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	in := RestrictedClassUniform(rng, Params{N: 30, M: 5, K: 3})
+	byClass := in.JobsOfClass()
+	for k, jobs := range byClass {
+		for _, j := range jobs[1:] {
+			for i := 0; i < in.M; i++ {
+				if in.Eligible[j][i] != in.Eligible[jobs[0]][i] {
+					t.Fatalf("class %d jobs %d and %d differ in eligibility on machine %d", k, jobs[0], j, i)
+				}
+			}
+		}
+	}
+}
+
+func TestUnrelatedClassUniformSharedTimes(t *testing.T) {
+	rng := rand.New(rand.NewSource(4))
+	in := UnrelatedClassUniform(rng, Params{N: 25, M: 4, K: 3})
+	byClass := in.JobsOfClass()
+	for _, jobs := range byClass {
+		for _, j := range jobs[1:] {
+			for i := 0; i < in.M; i++ {
+				if in.P[i][j] != in.P[i][jobs[0]] {
+					t.Fatalf("jobs %d and %d of the same class differ on machine %d", jobs[0], j, i)
+				}
+			}
+		}
+	}
+}
+
+func TestSizeRangesRespected(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	p := Params{N: 50, M: 3, K: 2, MinJob: 10, MaxJob: 20, MinSetup: 5, MaxSetup: 7}
+	in := Identical(rng, p)
+	for j, s := range in.JobSize {
+		if s < 10 || s > 20 {
+			t.Errorf("job %d size %v outside [10,20]", j, s)
+		}
+	}
+	for k, s := range in.SetupSize {
+		if s < 5 || s > 7 {
+			t.Errorf("class %d setup %v outside [5,7]", k, s)
+		}
+	}
+}
+
+func TestPresets(t *testing.T) {
+	sh := SetupHeavy(10, 2, 3)
+	if sh.MinSetup <= sh.MaxJob {
+		t.Errorf("SetupHeavy should have setups dominating jobs: %+v", sh)
+	}
+	jh := JobHeavy(10, 2, 3)
+	if jh.MinJob <= jh.MaxSetup {
+		t.Errorf("JobHeavy should have jobs dominating setups: %+v", jh)
+	}
+}
+
+func TestParamsPanics(t *testing.T) {
+	for name, p := range map[string]Params{
+		"zero jobs":     {N: 0, M: 1},
+		"zero machines": {N: 1, M: 0},
+		"bad job range": {N: 1, M: 1, MinJob: 5, MaxJob: 2},
+	} {
+		t.Run(name, func(t *testing.T) {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("Params %+v did not panic", p)
+				}
+			}()
+			Identical(rand.New(rand.NewSource(1)), p)
+		})
+	}
+}

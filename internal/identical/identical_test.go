@@ -1,0 +1,134 @@
+package identical
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/core"
+	"repro/internal/exact"
+	"repro/internal/gen"
+)
+
+func TestBothAlgorithmsFeasible(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		in := gen.Identical(rng, gen.Params{N: 1 + rng.Intn(40), M: 1 + rng.Intn(6), K: 1 + rng.Intn(5)})
+		a, err := NextFitBatch(in)
+		if err != nil || a.Validate(in) != nil || !a.Complete() {
+			return false
+		}
+		b, err := SplitBigClasses(in)
+		if err != nil || b.Validate(in) != nil || !b.Complete() {
+			return false
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 120}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestSplitBigClassesConstantFactorEmpirical(t *testing.T) {
+	worst := 0.0
+	checked := 0
+	for seed := int64(0); seed < 30; seed++ {
+		rng := rand.New(rand.NewSource(seed))
+		in := gen.Identical(rng, gen.Params{N: 9, M: 3, K: 3})
+		_, opt, proven := exact.BranchAndBound(in, exact.Options{})
+		if !proven || opt <= 0 {
+			continue
+		}
+		sched, err := SplitBigClasses(in)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if r := sched.Makespan(in) / opt; r > worst {
+			worst = r
+		}
+		checked++
+	}
+	if checked == 0 {
+		t.Fatal("vacuous")
+	}
+	if worst > 4 {
+		t.Errorf("SplitBigClasses worst ratio %v, want ≤ 4 (constant-factor regime)", worst)
+	}
+	t.Logf("SplitBigClasses worst ratio over %d instances: %.3f", checked, worst)
+}
+
+func TestNextFitBatchBatchesClasses(t *testing.T) {
+	// Whole-class batching: each class contributes exactly one setup.
+	in, err := core.NewIdentical(
+		[]float64{1, 1, 1, 2, 2}, []int{0, 0, 0, 1, 1}, []float64{10, 10}, 2)
+	if err != nil {
+		t.Fatalf("NewIdentical: %v", err)
+	}
+	sched, err := NextFitBatch(in)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := sched.SetupCount(in); got != 2 {
+		t.Errorf("setups = %d, want 2 (one per class)", got)
+	}
+}
+
+func TestSplitBigClassesSplitsWhenItPays(t *testing.T) {
+	// One class of 12 unit jobs with setup 1 on 4 machines: volume bound is
+	// (12+1)/4 ≈ 3.25, so the class splits into several batches and the
+	// makespan stays near the bound instead of 13.
+	p := make([]float64, 12)
+	class := make([]int, 12)
+	for j := range p {
+		p[j] = 1
+	}
+	in, err := core.NewIdentical(p, class, []float64{1}, 4)
+	if err != nil {
+		t.Fatalf("NewIdentical: %v", err)
+	}
+	sched, err := SplitBigClasses(in)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := sched.Makespan(in); got > 8 {
+		t.Errorf("makespan = %v, want far below the unsplit 13", got)
+	}
+	whole, err := NextFitBatch(in)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if whole.Makespan(in) < sched.Makespan(in)-core.Eps {
+		t.Errorf("whole-class batching (%v) beat splitting (%v) on a split-friendly instance",
+			whole.Makespan(in), sched.Makespan(in))
+	}
+}
+
+func TestRejectsNonIdentical(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	in := gen.Uniform(rng, gen.Params{N: 5, M: 2, K: 2})
+	if _, err := NextFitBatch(in); err == nil {
+		t.Error("NextFitBatch accepted a uniform instance")
+	}
+	if _, err := SplitBigClasses(in); err == nil {
+		t.Error("SplitBigClasses accepted a uniform instance")
+	}
+}
+
+func TestZeroSizeInstance(t *testing.T) {
+	in, err := core.NewIdentical([]float64{0, 0}, []int{0, 0}, []float64{0}, 2)
+	if err != nil {
+		t.Fatalf("NewIdentical: %v", err)
+	}
+	for name, f := range map[string]func(*core.Instance) (*core.Schedule, error){
+		"NextFitBatch": NextFitBatch, "SplitBigClasses": SplitBigClasses,
+	} {
+		sched, err := f(in)
+		if err != nil {
+			t.Errorf("%s: %v", name, err)
+			continue
+		}
+		if err := sched.Validate(in); err != nil {
+			t.Errorf("%s: %v", name, err)
+		}
+	}
+}

@@ -1,0 +1,315 @@
+// Package improve implements local-search post-optimization for schedules:
+// best-improvement descent over job moves, job swaps and class
+// consolidation. The paper's algorithms come with worst-case guarantees;
+// local search is the standard practical complement (cf. the heuristics
+// literature surveyed by Allahverdi et al. [2,3,1] in the paper's related
+// work) and the E13 ablation quantifies how much it helps each algorithm's
+// schedules.
+package improve
+
+import (
+	"math"
+
+	"repro/internal/core"
+)
+
+// Options bounds the descent.
+type Options struct {
+	// MaxRounds caps the number of full improvement sweeps (default 50).
+	MaxRounds int
+	// Moves enables single-job relocation (default true when zero-valued
+	// Options are used via Improve).
+	Moves bool
+	// Swaps enables pairwise job exchange.
+	Swaps bool
+	// Consolidate enables moving an entire class from one machine to
+	// another (the move that pays off when a setup dominates its jobs).
+	Consolidate bool
+}
+
+// DefaultOptions enables every neighborhood.
+func DefaultOptions() Options {
+	return Options{MaxRounds: 50, Moves: true, Swaps: true, Consolidate: true}
+}
+
+// Result reports what the descent did.
+type Result struct {
+	// Rounds is the number of sweeps performed.
+	Rounds int
+	// Applied is the number of improving steps taken.
+	Applied int
+	// Before and After are the makespans at entry and exit.
+	Before, After float64
+}
+
+// state tracks loads incrementally during the descent.
+type state struct {
+	in      *core.Instance
+	assign  []int
+	loads   []float64
+	classOn [][]int // count of jobs of class k on machine i
+}
+
+func newState(in *core.Instance, sched *core.Schedule) *state {
+	st := &state{
+		in:      in,
+		assign:  append([]int(nil), sched.Assign...),
+		loads:   make([]float64, in.M),
+		classOn: make([][]int, in.M),
+	}
+	for i := range st.classOn {
+		st.classOn[i] = make([]int, in.K)
+	}
+	for j, i := range st.assign {
+		if i < 0 {
+			continue
+		}
+		st.loads[i] += in.P[i][j]
+		if st.classOn[i][in.Class[j]] == 0 {
+			st.loads[i] += in.S[i][in.Class[j]]
+		}
+		st.classOn[i][in.Class[j]]++
+	}
+	return st
+}
+
+func (st *state) makespan() float64 {
+	ms := 0.0
+	for _, l := range st.loads {
+		if l > ms {
+			ms = l
+		}
+	}
+	return ms
+}
+
+// removeCost returns the load decrease on machine i when job j leaves it.
+func (st *state) removeCost(j, i int) float64 {
+	d := st.in.P[i][j]
+	if st.classOn[i][st.in.Class[j]] == 1 {
+		d += st.in.S[i][st.in.Class[j]]
+	}
+	return d
+}
+
+// addCost returns the load increase on machine i when job j joins it.
+func (st *state) addCost(j, i int) float64 {
+	d := st.in.P[i][j]
+	if st.classOn[i][st.in.Class[j]] == 0 {
+		d += st.in.S[i][st.in.Class[j]]
+	}
+	return d
+}
+
+func (st *state) moveJob(j, to int) {
+	from := st.assign[j]
+	k := st.in.Class[j]
+	st.loads[from] -= st.removeCost(j, from)
+	st.classOn[from][k]--
+	st.loads[to] += st.addCost(j, to)
+	st.classOn[to][k]++
+	st.assign[j] = to
+}
+
+// Improve runs best-improvement descent on a copy of sched and returns the
+// improved schedule. The input schedule must be complete and feasible.
+func Improve(in *core.Instance, sched *core.Schedule, opt Options) (*core.Schedule, Result) {
+	if opt.MaxRounds <= 0 {
+		opt = DefaultOptions()
+	}
+	st := newState(in, sched)
+	res := Result{Before: st.makespan()}
+	for res.Rounds = 0; res.Rounds < opt.MaxRounds; res.Rounds++ {
+		improved := false
+		if opt.Moves && st.bestMove() {
+			improved, res.Applied = true, res.Applied+1
+		}
+		if opt.Swaps && st.bestSwap() {
+			improved, res.Applied = true, res.Applied+1
+		}
+		if opt.Consolidate && st.bestConsolidation() {
+			improved, res.Applied = true, res.Applied+1
+		}
+		if !improved {
+			break
+		}
+	}
+	res.After = st.makespan()
+	return &core.Schedule{Assign: st.assign}, res
+}
+
+// bestMove relocates one job off a makespan machine if that strictly
+// reduces the makespan. Returns whether a move was applied.
+func (st *state) bestMove() bool {
+	ms := st.makespan()
+	bestJ, bestI, bestPeak := -1, -1, ms
+	for j, from := range st.assign {
+		if from < 0 || st.loads[from] < ms-core.Eps {
+			continue // only moves off critical machines can help
+		}
+		fromAfter := st.loads[from] - st.removeCost(j, from)
+		for i := 0; i < st.in.M; i++ {
+			if i == from || !st.in.Eligibility(i, j, math.Inf(1)) {
+				continue
+			}
+			toAfter := st.loads[i] + st.addCost(j, i)
+			peak := st.peakAfter(from, i, fromAfter, toAfter)
+			if peak < bestPeak-core.Eps {
+				bestJ, bestI, bestPeak = j, i, peak
+			}
+		}
+	}
+	if bestJ < 0 {
+		return false
+	}
+	st.moveJob(bestJ, bestI)
+	return true
+}
+
+// bestSwap exchanges two jobs across machines if the makespan strictly
+// drops. Only pairs touching a critical machine are considered.
+func (st *state) bestSwap() bool {
+	ms := st.makespan()
+	bestA, bestB, bestPeak := -1, -1, ms
+	for a, ia := range st.assign {
+		if ia < 0 || st.loads[ia] < ms-core.Eps {
+			continue
+		}
+		for b, ib := range st.assign {
+			if ib < 0 || ib == ia || b == a {
+				continue
+			}
+			if !st.in.Eligibility(ib, a, math.Inf(1)) || !st.in.Eligibility(ia, b, math.Inf(1)) {
+				continue
+			}
+			// Simulate: remove a from ia and b from ib, then cross-add.
+			// Class counting interacts when a and b share a class.
+			aAfter, bAfter := st.simulateSwap(a, b)
+			peak := st.peakAfter(ia, ib, aAfter, bAfter)
+			if peak < bestPeak-core.Eps {
+				bestA, bestB, bestPeak = a, b, peak
+			}
+		}
+	}
+	if bestA < 0 {
+		return false
+	}
+	ia, ib := st.assign[bestA], st.assign[bestB]
+	st.moveJob(bestA, ib)
+	st.moveJob(bestB, ia)
+	return true
+}
+
+// simulateSwap returns the post-swap loads of a's and b's machines.
+func (st *state) simulateSwap(a, b int) (loadA, loadB float64) {
+	ia, ib := st.assign[a], st.assign[b]
+	ka, kb := st.in.Class[a], st.in.Class[b]
+	loadA = st.loads[ia] - st.removeCost(a, ia)
+	loadB = st.loads[ib] - st.removeCost(b, ib)
+	// Add b to ia: setup needed unless class kb still present on ia after
+	// a left (a may have been the only kb job — only if ka == kb).
+	cntKbOnIa := st.classOn[ia][kb]
+	if ka == kb {
+		cntKbOnIa--
+	}
+	loadA += st.in.P[ia][b]
+	if cntKbOnIa == 0 {
+		loadA += st.in.S[ia][kb]
+	}
+	cntKaOnIb := st.classOn[ib][ka]
+	if ka == kb {
+		cntKaOnIb--
+	}
+	loadB += st.in.P[ib][a]
+	if cntKaOnIb == 0 {
+		loadB += st.in.S[ib][ka]
+	}
+	return loadA, loadB
+}
+
+// bestConsolidation moves all jobs of one class from one machine onto
+// another machine already hosting (or newly paying for) that class.
+func (st *state) bestConsolidation() bool {
+	ms := st.makespan()
+	type cand struct {
+		from, to, k int
+	}
+	best := cand{-1, -1, -1}
+	bestPeak := ms
+	for from := 0; from < st.in.M; from++ {
+		if st.loads[from] < ms-core.Eps {
+			continue
+		}
+		for k := 0; k < st.in.K; k++ {
+			if st.classOn[from][k] == 0 {
+				continue
+			}
+			// Gather the chunk.
+			var chunk []int
+			vol := 0.0
+			for j, i := range st.assign {
+				if i == from && st.in.Class[j] == k {
+					chunk = append(chunk, j)
+				}
+			}
+			for to := 0; to < st.in.M; to++ {
+				if to == from {
+					continue
+				}
+				ok := true
+				vol = 0
+				for _, j := range chunk {
+					if !st.in.Eligibility(to, j, math.Inf(1)) {
+						ok = false
+						break
+					}
+					vol += st.in.P[to][j]
+				}
+				if !ok {
+					continue
+				}
+				fromAfter := st.loads[from] - chunkRemoveCost(st, chunk, from, k)
+				toAfter := st.loads[to] + vol
+				if st.classOn[to][k] == 0 {
+					toAfter += st.in.S[to][k]
+				}
+				peak := st.peakAfter(from, to, fromAfter, toAfter)
+				if peak < bestPeak-core.Eps {
+					best, bestPeak = cand{from, to, k}, peak
+				}
+			}
+		}
+	}
+	if best.from < 0 {
+		return false
+	}
+	for j, i := range st.assign {
+		if i == best.from && st.in.Class[j] == best.k {
+			st.moveJob(j, best.to)
+		}
+	}
+	return true
+}
+
+func chunkRemoveCost(st *state, chunk []int, from, k int) float64 {
+	vol := st.in.S[from][k]
+	for _, j := range chunk {
+		vol += st.in.P[from][j]
+	}
+	return vol
+}
+
+// peakAfter returns the makespan if machines a and b take the given new
+// loads and everything else stays.
+func (st *state) peakAfter(a, b int, loadA, loadB float64) float64 {
+	peak := math.Max(loadA, loadB)
+	for i, l := range st.loads {
+		if i == a || i == b {
+			continue
+		}
+		if l > peak {
+			peak = l
+		}
+	}
+	return peak
+}

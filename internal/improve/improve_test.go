@@ -1,0 +1,194 @@
+package improve
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/baseline"
+	"repro/internal/core"
+	"repro/internal/exact"
+	"repro/internal/gen"
+)
+
+func randomInstance(rng *rand.Rand, n int) *core.Instance {
+	p := gen.Params{N: n, M: 1 + rng.Intn(4), K: 1 + rng.Intn(3)}
+	switch rng.Intn(4) {
+	case 0:
+		return gen.Identical(rng, p)
+	case 1:
+		return gen.Uniform(rng, p)
+	case 2:
+		return gen.Unrelated(rng, p)
+	default:
+		return gen.Restricted(rng, p)
+	}
+}
+
+// Invariants: the descent never produces an infeasible schedule and never
+// increases the makespan.
+func TestImproveInvariants(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		in := randomInstance(rng, 1+rng.Intn(25))
+		start, err := baseline.Greedy(in)
+		if err != nil {
+			return false
+		}
+		improved, res := Improve(in, start, DefaultOptions())
+		if err := improved.Validate(in); err != nil {
+			return false
+		}
+		ms := improved.Makespan(in)
+		if ms > res.Before+core.Eps {
+			return false
+		}
+		if absDiff(ms, res.After) > 1e-6 {
+			return false // reported makespan must match the real one
+		}
+		return res.After <= res.Before+core.Eps
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 120}); err != nil {
+		t.Error(err)
+	}
+}
+
+func absDiff(a, b float64) float64 {
+	if a > b {
+		return a - b
+	}
+	return b - a
+}
+
+// The incremental load bookkeeping must agree with a fresh recomputation
+// after many applied moves.
+func TestIncrementalLoadsConsistent(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		in := randomInstance(rng, 5+rng.Intn(20))
+		start, err := baseline.Greedy(in)
+		if err != nil {
+			return false
+		}
+		st := newState(in, start)
+		for step := 0; step < 10; step++ {
+			if !st.bestMove() && !st.bestSwap() && !st.bestConsolidation() {
+				break
+			}
+		}
+		fresh := (&core.Schedule{Assign: st.assign}).Loads(in)
+		for i := range fresh {
+			if absDiff(fresh[i], st.loads[i]) > 1e-6 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestImproveFindsObviousMove(t *testing.T) {
+	// Two identical machines, both jobs on machine 0: moving one is
+	// clearly better.
+	in, err := core.NewIdentical([]float64{10, 10}, []int{0, 1}, []float64{1, 1}, 2)
+	if err != nil {
+		t.Fatalf("NewIdentical: %v", err)
+	}
+	start := &core.Schedule{Assign: []int{0, 0}}
+	improved, res := Improve(in, start, DefaultOptions())
+	if res.After >= res.Before {
+		t.Fatalf("no improvement: before=%v after=%v", res.Before, res.After)
+	}
+	if improved.Makespan(in) != 11 {
+		t.Errorf("makespan = %v, want 11", improved.Makespan(in))
+	}
+}
+
+func TestConsolidationMove(t *testing.T) {
+	// Class 0 has a huge setup and is split across both machines; jobs are
+	// tiny, so consolidating onto one machine wins. Machine 1 also hosts a
+	// singleton class to keep it from going empty.
+	in, err := core.NewIdentical(
+		[]float64{1, 1, 1, 1, 30}, []int{0, 0, 0, 0, 1}, []float64{100, 5}, 2)
+	if err != nil {
+		t.Fatalf("NewIdentical: %v", err)
+	}
+	start := &core.Schedule{Assign: []int{0, 0, 1, 1, 1}}
+	// Before: m0 = 100+2 = 102, m1 = 100+2+5+30 = 137.
+	improved, res := Improve(in, start, DefaultOptions())
+	if res.After >= 137-core.Eps {
+		t.Fatalf("consolidation not found: before=%v after=%v", res.Before, res.After)
+	}
+	// Optimal-ish: class 0 together on m0 (104), class 1 on m1 (35).
+	if got := improved.Makespan(in); got > 104+core.Eps {
+		t.Errorf("makespan = %v, want <= 104", got)
+	}
+}
+
+func TestSwapSharedClassAccounting(t *testing.T) {
+	// Swapping two jobs of the SAME class across machines must not corrupt
+	// setup accounting (the tricky cntK adjustment path).
+	in, err := core.NewUnrelated(
+		[][]float64{{1, 9}, {9, 1}},
+		[]int{0, 0},
+		[][]float64{{5}, {5}},
+	)
+	if err != nil {
+		t.Fatalf("NewUnrelated: %v", err)
+	}
+	start := &core.Schedule{Assign: []int{1, 0}} // both misplaced: loads 14/14
+	improved, _ := Improve(in, start, DefaultOptions())
+	if got := improved.Makespan(in); got > 6+core.Eps {
+		t.Errorf("makespan = %v, want 6 (swap to native machines)", got)
+	}
+	if err := improved.Validate(in); err != nil {
+		t.Errorf("Validate: %v", err)
+	}
+}
+
+func TestImproveTightensTowardsOptimum(t *testing.T) {
+	better, total := 0, 0
+	for seed := int64(0); seed < 15; seed++ {
+		rng := rand.New(rand.NewSource(seed))
+		in := gen.Unrelated(rng, gen.Params{N: 9, M: 3, K: 2})
+		_, opt, proven := exact.BranchAndBound(in, exact.Options{})
+		if !proven || opt <= 0 {
+			continue
+		}
+		start, err := baseline.Greedy(in)
+		if err != nil {
+			t.Fatal(err)
+		}
+		improved, _ := Improve(in, start, DefaultOptions())
+		if improved.Makespan(in) < start.Makespan(in)-core.Eps {
+			better++
+		}
+		if improved.Makespan(in) < opt-core.Eps {
+			t.Fatalf("seed %d: local search beat the proven optimum — accounting bug", seed)
+		}
+		total++
+	}
+	if total == 0 {
+		t.Fatal("vacuous")
+	}
+	t.Logf("local search improved greedy on %d/%d instances", better, total)
+}
+
+func TestNeighborhoodToggles(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	in := gen.Identical(rng, gen.Params{N: 15, M: 3, K: 2})
+	start, err := baseline.Greedy(in)
+	if err != nil {
+		t.Fatal(err)
+	}
+	onlyMoves := Options{MaxRounds: 50, Moves: true}
+	improved, res := Improve(in, start, onlyMoves)
+	if err := improved.Validate(in); err != nil {
+		t.Errorf("Validate: %v", err)
+	}
+	if res.After > res.Before+core.Eps {
+		t.Error("moves-only descent worsened the schedule")
+	}
+}

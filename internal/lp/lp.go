@@ -1,0 +1,141 @@
+// Package lp implements a dense, bounded-variable, two-phase primal simplex
+// solver for linear programs in the form
+//
+//	minimize    c·x
+//	subject to  a_r·x {≤,=,≥} b_r    for every constraint r
+//	            0 ≤ x_j ≤ u_j        for every variable j (u_j may be +∞)
+//
+// The Go ecosystem has no production pure-Go LP solver and this module is
+// restricted to the standard library, so the solver is built from scratch.
+// It is the substrate for the LP relaxations used by the paper's unrelated-
+// machines algorithms: the relaxation of ILP-UM (Section 3.1) and
+// LP-RelaxedRA (Section 3.3). Because it is a simplex method, optimal
+// solutions are basic feasible solutions, i.e. extreme points of the
+// polytope — exactly the property the pseudoforest rounding of Section 3.3
+// relies on.
+//
+// The implementation uses Dantzig pricing with an automatic switch to
+// Bland's rule when the objective stalls, which guarantees termination.
+package lp
+
+import (
+	"fmt"
+	"math"
+)
+
+// Sense is the relation of a constraint row.
+type Sense int
+
+const (
+	// LE is a_r·x ≤ b_r.
+	LE Sense = iota
+	// GE is a_r·x ≥ b_r.
+	GE
+	// EQ is a_r·x = b_r.
+	EQ
+)
+
+// Status reports the outcome of Solve.
+type Status int
+
+const (
+	// Optimal means an optimal basic feasible solution was found.
+	Optimal Status = iota
+	// Infeasible means the constraints admit no solution.
+	Infeasible
+	// Unbounded means the objective is unbounded below.
+	Unbounded
+)
+
+// String returns the status name.
+func (s Status) String() string {
+	switch s {
+	case Optimal:
+		return "optimal"
+	case Infeasible:
+		return "infeasible"
+	case Unbounded:
+		return "unbounded"
+	default:
+		return fmt.Sprintf("Status(%d)", int(s))
+	}
+}
+
+// Term is one coefficient of a constraint row.
+type Term struct {
+	Var  int
+	Coef float64
+}
+
+// Problem is a linear program under construction. The zero value is an empty
+// problem ready for AddVar/AddConstraint.
+type Problem struct {
+	obj  []float64
+	ub   []float64
+	rows []rowData
+}
+
+type rowData struct {
+	terms []Term
+	sense Sense
+	rhs   float64
+}
+
+// NumVars returns the number of variables added so far.
+func (p *Problem) NumVars() int { return len(p.obj) }
+
+// NumRows returns the number of constraints added so far.
+func (p *Problem) NumRows() int { return len(p.rows) }
+
+// AddVar appends a variable with objective coefficient obj and upper bound
+// upper (use math.Inf(1) for an unbounded variable) and returns its index.
+// All variables have lower bound 0.
+func (p *Problem) AddVar(obj, upper float64) int {
+	if upper < 0 || math.IsNaN(upper) || math.IsNaN(obj) || math.IsInf(obj, 0) {
+		panic(fmt.Sprintf("lp: invalid variable (obj=%v, upper=%v)", obj, upper))
+	}
+	p.obj = append(p.obj, obj)
+	p.ub = append(p.ub, upper)
+	return len(p.obj) - 1
+}
+
+// AddConstraint appends the constraint Σ terms {≤,=,≥} rhs. Terms may repeat
+// a variable; coefficients are accumulated. Referencing a variable that has
+// not been added panics (a construction bug, not an input condition).
+func (p *Problem) AddConstraint(sense Sense, rhs float64, terms ...Term) {
+	if math.IsNaN(rhs) || math.IsInf(rhs, 0) {
+		panic(fmt.Sprintf("lp: invalid rhs %v", rhs))
+	}
+	acc := map[int]float64{}
+	for _, t := range terms {
+		if t.Var < 0 || t.Var >= len(p.obj) {
+			panic(fmt.Sprintf("lp: constraint references unknown variable %d", t.Var))
+		}
+		if math.IsNaN(t.Coef) || math.IsInf(t.Coef, 0) {
+			panic(fmt.Sprintf("lp: invalid coefficient %v", t.Coef))
+		}
+		acc[t.Var] += t.Coef
+	}
+	row := rowData{sense: sense, rhs: rhs}
+	for v, c := range acc {
+		if c != 0 {
+			row.terms = append(row.terms, Term{Var: v, Coef: c})
+		}
+	}
+	p.rows = append(p.rows, row)
+}
+
+// Solution is the result of Solve.
+type Solution struct {
+	// Status is Optimal, Infeasible or Unbounded.
+	Status Status
+	// X holds the values of the structural variables (valid when Optimal).
+	X []float64
+	// Objective is c·X (valid when Optimal).
+	Objective float64
+	// Iterations is the total number of simplex pivots performed.
+	Iterations int
+}
+
+// Value returns the value of variable v in the solution.
+func (s *Solution) Value(v int) float64 { return s.X[v] }

@@ -1,0 +1,255 @@
+package lp
+
+import (
+	"math"
+	"testing"
+)
+
+func solveOK(t *testing.T, p *Problem) *Solution {
+	t.Helper()
+	sol, err := p.Solve()
+	if err != nil {
+		t.Fatalf("Solve: %v", err)
+	}
+	return sol
+}
+
+func TestTrivialMinimum(t *testing.T) {
+	// min x s.t. x >= 3
+	p := &Problem{}
+	x := p.AddVar(1, math.Inf(1))
+	p.AddConstraint(GE, 3, Term{x, 1})
+	sol := solveOK(t, p)
+	if sol.Status != Optimal {
+		t.Fatalf("status = %v, want optimal", sol.Status)
+	}
+	if math.Abs(sol.X[x]-3) > 1e-7 {
+		t.Errorf("x = %v, want 3", sol.X[x])
+	}
+}
+
+func TestTwoVarLP(t *testing.T) {
+	// max 3x + 5y s.t. x <= 4, 2y <= 12, 3x + 2y <= 18 (classic Dantzig
+	// example; optimum (2,6) value 36). We minimize the negation.
+	p := &Problem{}
+	x := p.AddVar(-3, math.Inf(1))
+	y := p.AddVar(-5, math.Inf(1))
+	p.AddConstraint(LE, 4, Term{x, 1})
+	p.AddConstraint(LE, 12, Term{y, 2})
+	p.AddConstraint(LE, 18, Term{x, 3}, Term{y, 2})
+	sol := solveOK(t, p)
+	if sol.Status != Optimal {
+		t.Fatalf("status = %v", sol.Status)
+	}
+	if math.Abs(sol.Objective+36) > 1e-6 {
+		t.Errorf("objective = %v, want -36", sol.Objective)
+	}
+	if math.Abs(sol.X[x]-2) > 1e-6 || math.Abs(sol.X[y]-6) > 1e-6 {
+		t.Errorf("solution = (%v,%v), want (2,6)", sol.X[x], sol.X[y])
+	}
+}
+
+func TestEqualityConstraint(t *testing.T) {
+	// min x+y s.t. x+y = 5, x <= 2  => optimum 5 with x in [0,2].
+	p := &Problem{}
+	x := p.AddVar(1, 2)
+	y := p.AddVar(1, math.Inf(1))
+	p.AddConstraint(EQ, 5, Term{x, 1}, Term{y, 1})
+	sol := solveOK(t, p)
+	if sol.Status != Optimal || math.Abs(sol.Objective-5) > 1e-6 {
+		t.Fatalf("status=%v obj=%v, want optimal 5", sol.Status, sol.Objective)
+	}
+	if sol.X[x]+sol.X[y] < 5-1e-6 || sol.X[x] > 2+1e-9 {
+		t.Errorf("infeasible solution (%v,%v)", sol.X[x], sol.X[y])
+	}
+}
+
+func TestInfeasible(t *testing.T) {
+	// x <= 1 and x >= 2.
+	p := &Problem{}
+	x := p.AddVar(0, math.Inf(1))
+	p.AddConstraint(LE, 1, Term{x, 1})
+	p.AddConstraint(GE, 2, Term{x, 1})
+	sol := solveOK(t, p)
+	if sol.Status != Infeasible {
+		t.Errorf("status = %v, want infeasible", sol.Status)
+	}
+}
+
+func TestInfeasibleByUpperBound(t *testing.T) {
+	// x <= 1 (bound) but x >= 2 (row).
+	p := &Problem{}
+	x := p.AddVar(0, 1)
+	p.AddConstraint(GE, 2, Term{x, 1})
+	sol := solveOK(t, p)
+	if sol.Status != Infeasible {
+		t.Errorf("status = %v, want infeasible", sol.Status)
+	}
+}
+
+func TestUnbounded(t *testing.T) {
+	// min -x with x free above.
+	p := &Problem{}
+	x := p.AddVar(-1, math.Inf(1))
+	p.AddConstraint(GE, 0, Term{x, 1})
+	sol := solveOK(t, p)
+	if sol.Status != Unbounded {
+		t.Errorf("status = %v, want unbounded", sol.Status)
+	}
+}
+
+func TestUpperBoundsRespected(t *testing.T) {
+	// min -x - y with x <= 1.5, y <= 2.5 and x + y <= 3: optimum is on the
+	// constraint + bound mix; value -(3) with x=1.5 (bound), y=1.5 or
+	// x=0.5,y=2.5. Objective is what matters.
+	p := &Problem{}
+	x := p.AddVar(-1, 1.5)
+	y := p.AddVar(-1, 2.5)
+	p.AddConstraint(LE, 3, Term{x, 1}, Term{y, 1})
+	sol := solveOK(t, p)
+	if sol.Status != Optimal || math.Abs(sol.Objective+3) > 1e-6 {
+		t.Fatalf("obj = %v, want -3", sol.Objective)
+	}
+	if sol.X[x] > 1.5+1e-9 || sol.X[y] > 2.5+1e-9 {
+		t.Errorf("bounds violated: %v", sol.X)
+	}
+}
+
+func TestBoundFlipPath(t *testing.T) {
+	// Pure bound-flip optimum: min -x1 -x2 -x3 with xi <= 1, no binding rows
+	// except a loose one.
+	p := &Problem{}
+	var vs []int
+	for i := 0; i < 3; i++ {
+		vs = append(vs, p.AddVar(-1, 1))
+	}
+	p.AddConstraint(LE, 100, Term{vs[0], 1}, Term{vs[1], 1}, Term{vs[2], 1})
+	sol := solveOK(t, p)
+	if math.Abs(sol.Objective+3) > 1e-7 {
+		t.Errorf("objective = %v, want -3 (all vars at upper bound)", sol.Objective)
+	}
+}
+
+func TestNegativeRHS(t *testing.T) {
+	// -x <= -2 means x >= 2; min x should give 2.
+	p := &Problem{}
+	x := p.AddVar(1, math.Inf(1))
+	p.AddConstraint(LE, -2, Term{x, -1})
+	sol := solveOK(t, p)
+	if sol.Status != Optimal || math.Abs(sol.X[x]-2) > 1e-7 {
+		t.Errorf("x = %v (status %v), want 2", sol.X[x], sol.Status)
+	}
+}
+
+func TestDuplicateTermsAccumulate(t *testing.T) {
+	// x + x >= 4 => x >= 2.
+	p := &Problem{}
+	x := p.AddVar(1, math.Inf(1))
+	p.AddConstraint(GE, 4, Term{x, 1}, Term{x, 1})
+	sol := solveOK(t, p)
+	if math.Abs(sol.X[x]-2) > 1e-7 {
+		t.Errorf("x = %v, want 2", sol.X[x])
+	}
+}
+
+func TestDegenerateLP(t *testing.T) {
+	// A degenerate vertex: multiple constraints meet at the optimum.
+	p := &Problem{}
+	x := p.AddVar(-1, math.Inf(1))
+	y := p.AddVar(-1, math.Inf(1))
+	p.AddConstraint(LE, 1, Term{x, 1})
+	p.AddConstraint(LE, 1, Term{y, 1})
+	p.AddConstraint(LE, 2, Term{x, 1}, Term{y, 1})
+	p.AddConstraint(LE, 2, Term{x, 2}, Term{y, 1}, Term{y, -1}) // 2x <= 2, redundant with x<=1
+	sol := solveOK(t, p)
+	if math.Abs(sol.Objective+2) > 1e-6 {
+		t.Errorf("objective = %v, want -2", sol.Objective)
+	}
+}
+
+func TestZeroRowsProblem(t *testing.T) {
+	// No constraints at all: bounded vars only.
+	p := &Problem{}
+	x := p.AddVar(-2, 3)
+	sol := solveOK(t, p)
+	if sol.Status != Optimal || math.Abs(sol.X[x]-3) > 1e-9 {
+		t.Errorf("x = %v (status %v), want 3", sol.X[x], sol.Status)
+	}
+}
+
+func TestTransportationLP(t *testing.T) {
+	// 2 supplies (cap 10, 20), 3 demands (7, 8, 9); costs chosen so the
+	// optimum is known: greedy by cost works here.
+	// costs: s0: [1 5 5], s1: [4 2 1].
+	p := &Problem{}
+	cost := [][]float64{{1, 5, 5}, {4, 2, 1}}
+	caps := []float64{10, 20}
+	dem := []float64{7, 8, 9}
+	x := make([][]int, 2)
+	for i := range x {
+		x[i] = make([]int, 3)
+		for j := range x[i] {
+			x[i][j] = p.AddVar(cost[i][j], math.Inf(1))
+		}
+	}
+	for i := range caps {
+		terms := []Term{}
+		for j := range dem {
+			terms = append(terms, Term{x[i][j], 1})
+		}
+		p.AddConstraint(LE, caps[i], terms...)
+	}
+	for j := range dem {
+		terms := []Term{}
+		for i := range caps {
+			terms = append(terms, Term{x[i][j], 1})
+		}
+		p.AddConstraint(EQ, dem[j], terms...)
+	}
+	sol := solveOK(t, p)
+	// Optimal: x00=7 (7), x11=8 (16), x12=9 (9) => 32.
+	if sol.Status != Optimal || math.Abs(sol.Objective-32) > 1e-6 {
+		t.Errorf("objective = %v (status %v), want 32", sol.Objective, sol.Status)
+	}
+}
+
+func TestSolutionValue(t *testing.T) {
+	p := &Problem{}
+	x := p.AddVar(1, math.Inf(1))
+	p.AddConstraint(GE, 7, Term{x, 1})
+	sol := solveOK(t, p)
+	if got := sol.Value(x); math.Abs(got-7) > 1e-7 {
+		t.Errorf("Value = %v, want 7", got)
+	}
+}
+
+func TestAddVarPanicsOnBadInput(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("AddVar with negative upper bound did not panic")
+		}
+	}()
+	p := &Problem{}
+	p.AddVar(0, -1)
+}
+
+func TestAddConstraintPanicsOnUnknownVar(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("AddConstraint with unknown variable did not panic")
+		}
+	}()
+	p := &Problem{}
+	p.AddConstraint(LE, 1, Term{5, 1})
+}
+
+func TestStatusString(t *testing.T) {
+	for st, want := range map[Status]string{
+		Optimal: "optimal", Infeasible: "infeasible", Unbounded: "unbounded",
+		Status(9): "Status(9)",
+	} {
+		if got := st.String(); got != want {
+			t.Errorf("Status(%d).String() = %q, want %q", int(st), got, want)
+		}
+	}
+}

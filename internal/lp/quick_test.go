@@ -1,0 +1,232 @@
+package lp
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+// enumerateOptimum solves a small LP with all-bounded variables by grid
+// search over vertices of the box plus midpoints — it is only a *sound*
+// check when used as below: we verify (a) the simplex solution is feasible,
+// and (b) no sampled feasible point beats it. This avoids reimplementing a
+// second exact solver while still catching wrong-optimum bugs.
+func feasible(rows []rowData, x []float64) bool {
+	for _, r := range rows {
+		lhs := 0.0
+		for _, tm := range r.terms {
+			lhs += tm.Coef * x[tm.Var]
+		}
+		switch r.sense {
+		case LE:
+			if lhs > r.rhs+1e-7 {
+				return false
+			}
+		case GE:
+			if lhs < r.rhs-1e-7 {
+				return false
+			}
+		case EQ:
+			if math.Abs(lhs-r.rhs) > 1e-7 {
+				return false
+			}
+		}
+	}
+	return true
+}
+
+// TestRandomLPsSimplexNotBeatenBySampling generates random LPs over the box
+// [0,u]^d with LE rows (always feasible: 0 may violate nothing since rhs>=0)
+// and checks simplex optimality against dense random sampling.
+func TestRandomLPsSimplexNotBeatenBySampling(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		d := 2 + rng.Intn(4)
+		nr := 1 + rng.Intn(5)
+		p := &Problem{}
+		ubs := make([]float64, d)
+		for j := 0; j < d; j++ {
+			ubs[j] = 1 + rng.Float64()*4
+			p.AddVar(rng.NormFloat64(), ubs[j])
+		}
+		for r := 0; r < nr; r++ {
+			terms := []Term{}
+			for j := 0; j < d; j++ {
+				if rng.Float64() < 0.7 {
+					terms = append(terms, Term{j, rng.Float64() * 3}) // nonneg coefs
+				}
+			}
+			p.AddConstraint(LE, 1+rng.Float64()*8, terms...)
+		}
+		sol, err := p.Solve()
+		if err != nil || sol.Status != Optimal {
+			return false
+		}
+		// (a) feasibility of the simplex answer.
+		if !feasible(p.rows, sol.X) {
+			return false
+		}
+		for j := 0; j < d; j++ {
+			if sol.X[j] < -1e-7 || sol.X[j] > ubs[j]+1e-7 {
+				return false
+			}
+		}
+		// (b) sampling cannot beat it.
+		x := make([]float64, d)
+		for trial := 0; trial < 300; trial++ {
+			for j := 0; j < d; j++ {
+				switch rng.Intn(3) {
+				case 0:
+					x[j] = 0
+				case 1:
+					x[j] = ubs[j]
+				default:
+					x[j] = rng.Float64() * ubs[j]
+				}
+			}
+			if !feasible(p.rows, x) {
+				continue
+			}
+			obj := 0.0
+			for j := 0; j < d; j++ {
+				obj += p.obj[j] * x[j]
+			}
+			if obj < sol.Objective-1e-5 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 120}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestRandomEqualityLPsFeasibilityAgreement builds random LPs with equality
+// rows generated from a known feasible point, so the LP is feasible by
+// construction; simplex must never report infeasible, and its solution must
+// satisfy the rows.
+func TestRandomEqualityLPsFeasibilityAgreement(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		d := 2 + rng.Intn(5)
+		nr := 1 + rng.Intn(4)
+		// Known feasible point within bounds.
+		x0 := make([]float64, d)
+		p := &Problem{}
+		for j := 0; j < d; j++ {
+			ub := 1 + rng.Float64()*3
+			x0[j] = rng.Float64() * ub
+			p.AddVar(rng.NormFloat64(), ub)
+		}
+		for r := 0; r < nr; r++ {
+			terms := []Term{}
+			rhs := 0.0
+			for j := 0; j < d; j++ {
+				c := rng.NormFloat64()
+				terms = append(terms, Term{j, c})
+				rhs += c * x0[j]
+			}
+			p.AddConstraint(EQ, rhs, terms...)
+		}
+		sol, err := p.Solve()
+		if err != nil {
+			return false
+		}
+		if sol.Status == Infeasible {
+			return false // feasible by construction
+		}
+		if sol.Status == Optimal && !feasible(p.rows, sol.X) {
+			return false
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 120}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestRandomInfeasibleDetected crafts LPs that are infeasible by
+// construction (two contradicting equalities) and checks detection.
+func TestRandomInfeasibleDetected(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		d := 1 + rng.Intn(4)
+		p := &Problem{}
+		for j := 0; j < d; j++ {
+			p.AddVar(0, 10)
+		}
+		terms := []Term{}
+		for j := 0; j < d; j++ {
+			terms = append(terms, Term{j, 1 + rng.Float64()})
+		}
+		p.AddConstraint(EQ, 5, terms...)
+		p.AddConstraint(EQ, 7, terms...) // same lhs, different rhs
+		sol, err := p.Solve()
+		if err != nil {
+			return false
+		}
+		return sol.Status == Infeasible
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 80}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestSchedulingShapedLP exercises the solver on the exact row/column shape
+// of the ILP-UM relaxation on a tiny instance, including the yik >= xij rows.
+func TestSchedulingShapedLP(t *testing.T) {
+	// 2 machines, 3 jobs (classes 0,0,1), p[i][j] = 1, s = 1, T = 3.
+	// Fractionally splitting everything is feasible.
+	m, n, K := 2, 3, 2
+	class := []int{0, 0, 1}
+	p := &Problem{}
+	x := make([][]int, m)
+	y := make([][]int, m)
+	for i := 0; i < m; i++ {
+		x[i] = make([]int, n)
+		y[i] = make([]int, K)
+		for j := 0; j < n; j++ {
+			x[i][j] = p.AddVar(0, 1)
+		}
+		for k := 0; k < K; k++ {
+			y[i][k] = p.AddVar(0, 1)
+		}
+	}
+	T := 3.0
+	for i := 0; i < m; i++ {
+		terms := []Term{}
+		for j := 0; j < n; j++ {
+			terms = append(terms, Term{x[i][j], 1})
+		}
+		for k := 0; k < K; k++ {
+			terms = append(terms, Term{y[i][k], 1})
+		}
+		p.AddConstraint(LE, T, terms...)
+	}
+	for j := 0; j < n; j++ {
+		terms := []Term{}
+		for i := 0; i < m; i++ {
+			terms = append(terms, Term{x[i][j], 1})
+		}
+		p.AddConstraint(EQ, 1, terms...)
+	}
+	for i := 0; i < m; i++ {
+		for j := 0; j < n; j++ {
+			p.AddConstraint(LE, 0, Term{x[i][j], 1}, Term{y[i][class[j]], -1})
+		}
+	}
+	sol := solveOK(t, p)
+	if sol.Status != Optimal {
+		t.Fatalf("status = %v, want optimal (fractional split is feasible)", sol.Status)
+	}
+	// Verify the y >= x rows numerically.
+	for i := 0; i < m; i++ {
+		for j := 0; j < n; j++ {
+			if sol.X[x[i][j]] > sol.X[y[i][class[j]]]+1e-6 {
+				t.Errorf("x[%d][%d]=%v exceeds y=%v", i, j, sol.X[x[i][j]], sol.X[y[i][class[j]]])
+			}
+		}
+	}
+}

@@ -1,0 +1,63 @@
+package ptas
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"repro/internal/core"
+)
+
+// Figure1 reproduces the structural diagnostic of the paper's Figure 1 for
+// a uniform instance and makespan guess T: the speed groups on a
+// logarithmic scale, the machines they contain, and — for each setup class
+// — the core group with the speed interval of its potential core machines,
+// plus, for each distinct fringe job size, the native group and the speed
+// interval on which the size is big. Experiment E3 prints this figure.
+func Figure1(in *core.Instance, T float64, eps float64) (string, error) {
+	if in.Kind != core.Identical && in.Kind != core.Uniform {
+		return "", fmt.Errorf("ptas: Figure 1 requires identical or uniform machines, got %v", in.Kind)
+	}
+	s := simplify(in, T, eps)
+	if s == nil {
+		return "", fmt.Errorf("ptas: guess T=%g is trivially infeasible", T)
+	}
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "Figure 1 — speed groups (ε=%.3g, γ=ε³=%.3g, T=%.6g, T1=%.6g)\n", s.eps, s.gamma, s.T, s.T1)
+	fmt.Fprintf(&sb, "vmin=%.6g (rounded), G=%d\n\n", s.vmin, s.G)
+	for g := 0; g <= s.G; g++ {
+		var members []string
+		for i := range s.speed {
+			if s.inGroup(i, g) {
+				members = append(members, fmt.Sprintf("M%d(v=%.4g)", s.origM[i], s.speed[i]))
+			}
+		}
+		fmt.Fprintf(&sb, "group %d: speeds [%.6g, %.6g)  machines: %s\n",
+			g, s.vLow(g), s.vLow(g+2), strings.Join(members, " "))
+	}
+	sb.WriteString("\nclasses (core groups, dashed interval of Fig. 1):\n")
+	for k := 0; k < in.K; k++ {
+		cg := s.coreGroup(k)
+		lo := s.setup[k] / s.T1             // core machines: s_k ≤ T·v
+		hi := s.setup[k] / (s.gamma * s.T1) // … and T·v < s_k/γ
+		fmt.Fprintf(&sb, "  class %d: setup=%.6g core group=%d core-machine speeds ⊆ [%.6g, %.6g)\n",
+			k, s.setup[k], cg, lo, hi)
+	}
+	sb.WriteString("\nfringe job sizes (native groups, dotted interval of Fig. 1):\n")
+	seen := map[float64]bool{}
+	var sizes []float64
+	for j := range s.size {
+		if s.isCore(j) || seen[s.size[j]] {
+			continue
+		}
+		seen[s.size[j]] = true
+		sizes = append(sizes, s.size[j])
+	}
+	sort.Float64s(sizes)
+	for _, p := range sizes {
+		ng := s.nativeGroup(p)
+		fmt.Fprintf(&sb, "  size %.6g: native group=%d big on speeds [%.6g, %.6g]\n",
+			p, ng, p/s.T1, p/(s.eps*s.T1))
+	}
+	return sb.String(), nil
+}

@@ -1,0 +1,16 @@
+package ptas
+
+import (
+	"repro/internal/baseline"
+	"repro/internal/core"
+)
+
+// baselineLPT returns the makespan of the Lemma 2.1 LPT schedule, shared by
+// tests comparing against the PTAS bootstrap.
+func baselineLPT(in *core.Instance) (float64, error) {
+	sched, err := baseline.Lemma21LPT(in)
+	if err != nil {
+		return 0, err
+	}
+	return sched.Makespan(in), nil
+}

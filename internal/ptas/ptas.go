@@ -1,0 +1,161 @@
+// Package ptas implements the polynomial-time approximation scheme of
+// Section 2 of the paper: scheduling with setup times on uniformly related
+// machines within a factor 1+O(ε) of the optimum.
+//
+// The algorithm follows the paper's four phases inside a dual approximation
+// (package dual):
+//
+//  1. Simplify the instance for the current makespan guess T (Lemmas
+//     2.2–2.4): drop very slow machines, lift negligible sizes, replace
+//     tiny jobs of each class by placeholders of size ε·s_k, and round job
+//     sizes, setup sizes and machine speeds.
+//  2. Search for a *relaxed schedule* (Section 2, "Relaxed Schedule") with
+//     the dynamic program over speed groups: integral jobs go to machines
+//     of their native group (fringe jobs) or their class's core group (core
+//     jobs); the remaining jobs are fractional and their volume λ is pushed
+//     to faster groups subject to the space condition.
+//  3. Convert the relaxed schedule into a regular schedule for the
+//     simplified instance (the constructive proof of Lemma 2.8).
+//  4. Map the schedule back to the original instance (undo placeholders,
+//     rounding and machine removal).
+//
+// The DP is realized as a depth-first search with memoization of failed
+// states over the paper's state graph (g, k, ι, ξ, µ, λ). Loads are kept
+// exact instead of grid-quantized — the paper's quantization only serves
+// the polynomial bound, not correctness — so the procedure accepts a guess
+// T exactly when a relaxed schedule with makespan (1+ε)⁵T exists for the
+// simplified instance. A configurable node cap keeps worst-case runs
+// bounded; hitting it is reported in Stats and treated as a (conservative)
+// rejection.
+package ptas
+
+import (
+	"fmt"
+	"math"
+
+	"repro/internal/baseline"
+	"repro/internal/core"
+	"repro/internal/dual"
+	"repro/internal/exact"
+)
+
+// Options configures the PTAS.
+type Options struct {
+	// Eps is the accuracy parameter ε ∈ (0, 1/2]; 1/ε should be an integer
+	// (the paper requires 1/ε ∈ Z≥2). Default 1/2.
+	Eps float64
+	// NodeCap bounds the number of DP search nodes per guess
+	// (default 2e6). Exceeding it counts as a rejection and sets
+	// Stats.Capped.
+	NodeCap int64
+	// Precision is the relative precision of the binary search on T;
+	// default ε/4 (so the search loss is dominated by ε).
+	Precision float64
+}
+
+func (o Options) normalize() Options {
+	if o.Eps <= 0 || o.Eps > 0.5 {
+		o.Eps = 0.5
+	}
+	if o.NodeCap <= 0 {
+		o.NodeCap = 2_000_000
+	}
+	if o.Precision <= 0 {
+		o.Precision = o.Eps / 4
+	}
+	return o
+}
+
+// Stats reports diagnostic counters accumulated over all guesses.
+type Stats struct {
+	// Guesses is the number of makespan guesses tested.
+	Guesses int
+	// Nodes is the total number of DP search nodes explored.
+	Nodes int64
+	// Capped reports whether any guess hit the node cap (in which case the
+	// 1+O(ε) guarantee may be lost for that guess; the returned schedule
+	// and the measured makespan remain valid).
+	Capped bool
+}
+
+// Schedule runs the PTAS on an identical or uniform instance.
+func Schedule(in *core.Instance, opt Options) (core.Result, Stats, error) {
+	opt = opt.normalize()
+	var stats Stats
+	if in.Kind != core.Identical && in.Kind != core.Uniform {
+		return core.Result{}, stats, fmt.Errorf("ptas: need identical or uniform machines, got %v", in.Kind)
+	}
+	// Bootstrap with the Lemma 2.1 LPT schedule: a 4.74-approximation, so
+	// Opt ∈ [lpt/4.74, lpt].
+	lptSched, err := baseline.Lemma21LPT(in)
+	if err != nil {
+		return core.Result{}, stats, err
+	}
+	ub := lptSched.Makespan(in)
+	lb := ub / baseline.Lemma21Factor
+	if v := exact.VolumeLowerBound(in); v > lb {
+		lb = v
+	}
+	out := dual.Search(in, lb, ub, opt.Precision, lptSched, func(T float64) (*core.Schedule, bool) {
+		sched, st := decide(in, T, opt)
+		stats.Nodes += st.Nodes
+		if st.Capped {
+			stats.Capped = true
+		}
+		stats.Guesses++
+		return sched, sched != nil
+	})
+	low := out.LowerBound
+	if stats.Capped {
+		// A capped rejection is not a certificate; fall back to the sound
+		// bounds only.
+		low = math.Min(low, lb)
+		if v := exact.VolumeLowerBound(in); v > low {
+			low = v
+		}
+	}
+	return core.Result{
+		Algorithm:  fmt.Sprintf("ptas(eps=%.3g)", opt.Eps),
+		Schedule:   out.Schedule,
+		Makespan:   out.Makespan,
+		LowerBound: low,
+	}, stats, nil
+}
+
+// guessStats reports counters for a single guess.
+type guessStats struct {
+	Nodes  int64
+	Capped bool
+}
+
+// decide is the dual approximation decision procedure: it returns a
+// feasible schedule for the original instance whose makespan is (1+O(ε))·T
+// when a schedule with makespan ≤ T exists, and nil when it certifies (or,
+// if Capped, merely suspects) that none exists.
+func decide(in *core.Instance, T float64, opt Options) (*core.Schedule, guessStats) {
+	var gs guessStats
+	s := simplify(in, T, opt.Eps)
+	if s == nil {
+		return nil, gs // trivially infeasible (a job or setup fits nowhere)
+	}
+	d := newDP(s, opt.NodeCap)
+	ok := d.solve()
+	gs.Nodes = d.nodes
+	gs.Capped = d.capped
+	if !ok {
+		return nil, gs
+	}
+	assign := convert(s, d.integralAssign(), d.fractionalItems())
+	sched := s.mapBack(assign)
+	if err := sched.Validate(in); err != nil {
+		// Construction bug guard: never return an invalid schedule.
+		return nil, gs
+	}
+	return sched, gs
+}
+
+// DebugDecide exposes the per-guess decision procedure for diagnostics and
+// the experiment harness (it is not part of the algorithmic API).
+func DebugDecide(in *core.Instance, T float64, opt Options) (*core.Schedule, guessStats) {
+	return decide(in, T, opt.normalize())
+}

@@ -1,0 +1,299 @@
+// Package rounding implements the randomized LP rounding algorithm of
+// Section 3.1 of the paper: an O(log n + log m)-approximation for scheduling
+// with setup times on unrelated machines.
+//
+// For a makespan guess T, the LP relaxation of ILP-UM is solved:
+//
+//	Σ_j x_ij p_ij + Σ_k y_ik s_ik ≤ T   ∀i            (1)
+//	Σ_i x_ij = 1                        ∀j            (2)
+//	0 ≤ x_ij, y_ik ≤ 1                                (3 relaxed)
+//	y_i,k_j ≥ x_ij                      ∀i,j          (4)
+//	x_ij = 0                            ∀i,j: p_ij > T (5)
+//
+// and rounded: in each of c·log n iterations every (machine, class) pair
+// opens with probability y*_ik, and an open pair claims each of its
+// class's jobs independently with probability x*_ij/y*_ik. Jobs assigned
+// multiple times keep their first assignment; jobs never assigned fall back
+// to argmin_i p_ij. Theorem 3.3: the result is O(T(log n + log m)) with
+// high probability, and binary search over T (package dual) turns this into
+// an O(log n + log m)-approximation.
+package rounding
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+
+	"repro/internal/baseline"
+	"repro/internal/core"
+	"repro/internal/dual"
+	"repro/internal/exact"
+	"repro/internal/lp"
+)
+
+// Options configures the rounding algorithm.
+type Options struct {
+	// C is the iteration multiplier: the rounding performs C·⌈log₂ n⌉
+	// iterations (the paper's c). Default 3.
+	C int
+	// Rng supplies randomness; a fixed-seed source is created when nil.
+	Rng *rand.Rand
+	// Precision is the relative precision of the binary search on T.
+	// Default 0.05.
+	Precision float64
+}
+
+func (o Options) normalize() Options {
+	if o.C <= 0 {
+		o.C = 3
+	}
+	if o.Rng == nil {
+		o.Rng = rand.New(rand.NewSource(1))
+	}
+	if o.Precision <= 0 {
+		o.Precision = 0.05
+	}
+	return o
+}
+
+// Fractional is the LP relaxation solution for one makespan guess.
+type Fractional struct {
+	// T is the makespan guess the relaxation was solved for.
+	T float64
+	// X[i][j] is the fractional assignment of job j to machine i.
+	X [][]float64
+	// Y[i][k] is the fractional setup of class k on machine i.
+	Y [][]float64
+}
+
+// SolveLP solves the LP relaxation of ILP-UM for guess T. It returns
+// (nil, nil) when the relaxation is infeasible — a certificate that no
+// schedule with makespan ≤ T exists.
+func SolveLP(in *core.Instance, T float64) (*Fractional, error) {
+	p := &lp.Problem{}
+	// Variable indices; -1 marks pairs fixed to zero by constraint (5) or
+	// by infinite times.
+	xIdx := make([][]int, in.M)
+	yIdx := make([][]int, in.M)
+	for i := 0; i < in.M; i++ {
+		xIdx[i] = make([]int, in.N)
+		yIdx[i] = make([]int, in.K)
+		for j := 0; j < in.N; j++ {
+			if core.IsFinite(in.P[i][j]) && in.P[i][j] <= T+core.Eps && core.IsFinite(in.S[i][in.Class[j]]) {
+				xIdx[i][j] = p.AddVar(0, 1)
+			} else {
+				xIdx[i][j] = -1
+			}
+		}
+		for k := 0; k < in.K; k++ {
+			if core.IsFinite(in.S[i][k]) {
+				yIdx[i][k] = p.AddVar(0, 1)
+			} else {
+				yIdx[i][k] = -1
+			}
+		}
+	}
+	// (1) machine load.
+	for i := 0; i < in.M; i++ {
+		terms := []lp.Term{}
+		for j := 0; j < in.N; j++ {
+			if xIdx[i][j] >= 0 && in.P[i][j] > 0 {
+				terms = append(terms, lp.Term{Var: xIdx[i][j], Coef: in.P[i][j]})
+			}
+		}
+		for k := 0; k < in.K; k++ {
+			if yIdx[i][k] >= 0 && in.S[i][k] > 0 {
+				terms = append(terms, lp.Term{Var: yIdx[i][k], Coef: in.S[i][k]})
+			}
+		}
+		if len(terms) > 0 {
+			p.AddConstraint(lp.LE, T, terms...)
+		}
+	}
+	// (2) full assignment.
+	for j := 0; j < in.N; j++ {
+		terms := []lp.Term{}
+		for i := 0; i < in.M; i++ {
+			if xIdx[i][j] >= 0 {
+				terms = append(terms, lp.Term{Var: xIdx[i][j], Coef: 1})
+			}
+		}
+		if len(terms) == 0 {
+			return nil, nil // job cannot run anywhere under T: infeasible
+		}
+		p.AddConstraint(lp.EQ, 1, terms...)
+	}
+	// (4) setup dominates assignment.
+	for i := 0; i < in.M; i++ {
+		for j := 0; j < in.N; j++ {
+			if xIdx[i][j] < 0 {
+				continue
+			}
+			k := in.Class[j]
+			if yIdx[i][k] < 0 {
+				return nil, nil // assignable job but un-setup-able class
+			}
+			p.AddConstraint(lp.LE, 0,
+				lp.Term{Var: xIdx[i][j], Coef: 1},
+				lp.Term{Var: yIdx[i][k], Coef: -1})
+		}
+	}
+	sol, err := p.Solve()
+	if err != nil {
+		return nil, fmt.Errorf("rounding: LP solve for T=%g: %w", T, err)
+	}
+	if sol.Status != lp.Optimal {
+		return nil, nil
+	}
+	f := &Fractional{T: T, X: make([][]float64, in.M), Y: make([][]float64, in.M)}
+	for i := 0; i < in.M; i++ {
+		f.X[i] = make([]float64, in.N)
+		f.Y[i] = make([]float64, in.K)
+		for j := 0; j < in.N; j++ {
+			if xIdx[i][j] >= 0 {
+				f.X[i][j] = sol.Value(xIdx[i][j])
+			}
+		}
+		for k := 0; k < in.K; k++ {
+			if yIdx[i][k] >= 0 {
+				f.Y[i][k] = sol.Value(yIdx[i][k])
+			}
+		}
+	}
+	return f, nil
+}
+
+// RoundStats reports diagnostic counters from one rounding run.
+type RoundStats struct {
+	// Iterations is the number of rounding iterations performed.
+	Iterations int
+	// Fallback is the number of jobs assigned by the argmin-p fallback
+	// (step 3 of the algorithm); Theorem 3.3's analysis makes this rare.
+	Fallback int
+}
+
+// Round performs the randomized rounding of a fractional solution (steps
+// 1–4 of the algorithm of Section 3.1) and returns a complete feasible
+// schedule: c·⌈log₂ n⌉ open-and-claim iterations, duplicate removal by
+// keeping first assignments, and the argmin-p fallback for never-claimed
+// jobs.
+func Round(in *core.Instance, f *Fractional, c int, rng *rand.Rand) (*core.Schedule, RoundStats) {
+	iters := c * int(math.Ceil(math.Log2(float64(in.N)+1)))
+	if iters < 1 {
+		iters = 1
+	}
+	sched := core.NewSchedule(in.N)
+	byClass := in.JobsOfClass()
+	assigned := 0
+	stats := RoundStats{Iterations: iters}
+	for h := 0; h < iters && assigned < in.N; h++ {
+		for i := 0; i < in.M; i++ {
+			for k := 0; k < in.K; k++ {
+				y := f.Y[i][k]
+				if y <= 0 || rng.Float64() >= y {
+					continue
+				}
+				// Machine i opens class k this iteration.
+				for _, j := range byClass[k] {
+					if sched.Assign[j] >= 0 {
+						continue // duplicate-removal: keep first assignment
+					}
+					if x := f.X[i][j]; x > 0 && rng.Float64() < x/y {
+						sched.Assign[j] = i
+						assigned++
+					}
+				}
+			}
+		}
+	}
+	for j := 0; j < in.N; j++ {
+		if sched.Assign[j] >= 0 {
+			continue
+		}
+		stats.Fallback++
+		best, bestP := -1, math.Inf(1)
+		for i := 0; i < in.M; i++ {
+			if in.Eligibility(i, j, math.Inf(1)) && in.P[i][j] < bestP {
+				best, bestP = i, in.P[i][j]
+			}
+		}
+		sched.Assign[j] = best
+	}
+	return sched, stats
+}
+
+// Detail carries diagnostics beyond the core Result.
+type Detail struct {
+	// PureMakespan is the best makespan achieved by a *rounded* schedule
+	// alone, i.e. excluding the greedy bootstrap that Schedule's result
+	// may fall back to. This is the quantity Theorem 3.3 speaks about.
+	PureMakespan float64
+	// PureSchedule is the schedule achieving PureMakespan (nil only when
+	// every guess was LP-infeasible, which cannot happen for guesses at or
+	// above the greedy makespan).
+	PureSchedule *core.Schedule
+	// Guesses is the number of LP feasibility tests performed.
+	Guesses int
+}
+
+// Schedule runs the full algorithm: binary search on the makespan guess T
+// with LP feasibility as the rejection certificate and randomized rounding
+// as the construction. The returned Result carries the best schedule seen
+// (rounded or the greedy bootstrap) and the largest LP-infeasible guess as
+// a certified lower bound on Opt.
+func Schedule(in *core.Instance, opt Options) (core.Result, error) {
+	res, _, err := ScheduleDetailed(in, opt)
+	return res, err
+}
+
+// ScheduleDetailed is Schedule with rounding-specific diagnostics.
+func ScheduleDetailed(in *core.Instance, opt Options) (core.Result, Detail, error) {
+	opt = opt.normalize()
+	var det Detail
+	det.PureMakespan = math.Inf(1)
+	greedy, err := baseline.Greedy(in)
+	if err != nil {
+		return core.Result{}, det, fmt.Errorf("rounding: greedy bootstrap: %w", err)
+	}
+	ub := greedy.Makespan(in)
+	// Seed the pure-rounding record at T = ub, where the LP is feasible by
+	// construction (the greedy schedule is an integral witness); the binary
+	// search may otherwise reject every interior guess and leave no
+	// rounded schedule at all.
+	if ub > 0 {
+		if f, err := SolveLP(in, ub); err == nil && f != nil {
+			sched, _ := Round(in, f, opt.C, opt.Rng)
+			det.PureMakespan, det.PureSchedule = sched.Makespan(in), sched
+		}
+	}
+	var solveErr error
+	out := dual.Search(in, 0, ub, opt.Precision, greedy, func(T float64) (*core.Schedule, bool) {
+		det.Guesses++
+		f, err := SolveLP(in, T)
+		if err != nil {
+			solveErr = err
+			return nil, true // abort ascent; error reported below
+		}
+		if f == nil {
+			return nil, false
+		}
+		sched, _ := Round(in, f, opt.C, opt.Rng)
+		if ms := sched.Makespan(in); ms < det.PureMakespan {
+			det.PureMakespan, det.PureSchedule = ms, sched
+		}
+		return sched, true
+	})
+	if solveErr != nil {
+		return core.Result{}, det, solveErr
+	}
+	lb := out.LowerBound
+	if v := exact.VolumeLowerBound(in); v > lb {
+		lb = v
+	}
+	return core.Result{
+		Algorithm:  "randomized-rounding",
+		Schedule:   out.Schedule,
+		Makespan:   out.Makespan,
+		LowerBound: lb,
+	}, det, nil
+}

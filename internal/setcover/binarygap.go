@@ -1,0 +1,38 @@
+package setcover
+
+import "math/bits"
+
+// BinaryGap returns the classic set cover integrality-gap family (as in
+// Vazirani's textbook construction referenced by the paper for
+// Corollary 3.4): the universe is F₂^d \ {0} (N = 2^d − 1 elements) and for
+// every y ≠ 0 there is a set S_y = {x : ⟨x, y⟩ = 1 over F₂}.
+//
+// Each element belongs to exactly 2^{d−1} of the 2^d − 1 sets, so assigning
+// every set the fraction 1/2^{d−1} is a fractional cover of total weight
+// (2^d − 1)/2^{d−1} < 2, while every integral cover needs at least d sets:
+// for any d−1 sets S_{y_1}, …, S_{y_{d−1}}, the linear system ⟨x, y_i⟩ = 0
+// has a nonzero solution x, an uncovered element. The integrality gap is
+// therefore ≥ d/2 = Ω(log N).
+func BinaryGap(d int) CoverInstance {
+	if d < 1 || d > 20 {
+		panic("setcover: BinaryGap needs 1 ≤ d ≤ 20")
+	}
+	n := (1 << d) - 1
+	sets := make([][]int, n)
+	for y := 1; y <= n; y++ {
+		for x := 1; x <= n; x++ {
+			if bits.OnesCount(uint(x&y))%2 == 1 {
+				sets[y-1] = append(sets[y-1], x-1)
+			}
+		}
+	}
+	return CoverInstance{N: n, Sets: sets}
+}
+
+// FractionalCoverValue returns the optimal fractional cover value of the
+// BinaryGap instance in closed form: (2^d − 1)/2^{d−1}.
+func FractionalCoverValue(d int) float64 {
+	num := (1 << uint(d)) - 1
+	den := 1 << uint(d-1)
+	return float64(num) / float64(den)
+}

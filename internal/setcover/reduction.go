@@ -1,0 +1,135 @@
+package setcover
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+
+	"repro/internal/core"
+)
+
+// Reduction is the scheduling instance produced by the randomized reduction
+// of Theorem 3.5, together with the random permutations needed to interpret
+// schedules back in set cover terms.
+type Reduction struct {
+	// Instance is the scheduling instance: m machines, K = (m/t)·log₂ m
+	// classes, one job per (class, element) pair, all setup times 1, and
+	// processing times 0 where the permuted set covers the element and ∞
+	// elsewhere.
+	Instance *core.Instance
+	// Perms[k][i] is π_k(i): the set assigned to machine i for class k.
+	Perms [][]int
+	// Cover is the set cover instance the reduction was built from.
+	Cover CoverInstance
+	// T is the parameter t (the Yes-side cover size target).
+	T int
+}
+
+// K returns the number of classes used by the reduction.
+func (r *Reduction) K() int { return r.Instance.K }
+
+// Build constructs the reduction from a cover instance: K = ⌈(m/t)·log₂ m⌉
+// classes, each with an independent uniformly random permutation π_k of the
+// machines, and a job j_e^k for every element e with
+// p_{i, j_e^k} = 0 if e ∈ S_{π_k(i)} and ∞ otherwise; all setups are 1.
+func Build(rng *rand.Rand, ci CoverInstance, t int) (*Reduction, error) {
+	m := len(ci.Sets)
+	k := int(math.Ceil(float64(m) / float64(t) * math.Log2(float64(m))))
+	return BuildK(rng, ci, t, k)
+}
+
+// BuildK is Build with an explicit class count K. Theorem 3.5 needs the
+// K = (m/t)·log₂ m choice for its concentration argument; the integrality-
+// gap experiment (Corollary 3.4) only needs the per-class structure and
+// uses a small fixed K to keep the LPs tractable (the gap is independent of
+// K, which scales the LP bound and the integral bound alike).
+func BuildK(rng *rand.Rand, ci CoverInstance, t, k int) (*Reduction, error) {
+	if err := ci.Validate(); err != nil {
+		return nil, err
+	}
+	m := len(ci.Sets)
+	if t < 1 || t > m {
+		return nil, fmt.Errorf("setcover: t=%d outside [1,%d]", t, m)
+	}
+	if k < 1 {
+		k = 1
+	}
+	n := k * ci.N
+	perms := make([][]int, k)
+	class := make([]int, n)
+	pm := make([][]float64, m)
+	sm := make([][]float64, m)
+	for i := range pm {
+		pm[i] = make([]float64, n)
+		for j := range pm[i] {
+			pm[i][j] = core.Inf
+		}
+		sm[i] = make([]float64, k)
+		for c := range sm[i] {
+			sm[i][c] = 1
+		}
+	}
+	// covers[s][e] reports e ∈ S_s.
+	covers := make([][]bool, m)
+	for s, set := range ci.Sets {
+		covers[s] = make([]bool, ci.N)
+		for _, e := range set {
+			covers[s][e] = true
+		}
+	}
+	for c := 0; c < k; c++ {
+		perms[c] = rng.Perm(m)
+		for e := 0; e < ci.N; e++ {
+			j := c*ci.N + e
+			class[j] = c
+			for i := 0; i < m; i++ {
+				if covers[perms[c][i]][e] {
+					pm[i][j] = 0
+				}
+			}
+		}
+	}
+	inst, err := core.NewUnrelated(pm, class, sm)
+	if err != nil {
+		return nil, fmt.Errorf("setcover: reduction produced invalid instance: %w", err)
+	}
+	return &Reduction{Instance: inst, Perms: perms, Cover: ci, T: t}, nil
+}
+
+// CoverSchedule builds the Yes-side schedule: for each class k, the
+// machines i with π_k(i) in the given cover are set up, and every job of
+// class k runs on such a machine that covers its element. Returns an error
+// if the provided index set is not actually a cover.
+func (r *Reduction) CoverSchedule(cover []int) (*core.Schedule, error) {
+	inCover := map[int]bool{}
+	for _, s := range cover {
+		inCover[s] = true
+	}
+	in := r.Instance
+	sched := core.NewSchedule(in.N)
+	for c := 0; c < in.K; c++ {
+		for e := 0; e < r.Cover.N; e++ {
+			j := c*r.Cover.N + e
+			placed := false
+			for i := 0; i < in.M && !placed; i++ {
+				if inCover[r.Perms[c][i]] && in.P[i][j] == 0 {
+					sched.Assign[j] = i
+					placed = true
+				}
+			}
+			if !placed {
+				return nil, fmt.Errorf("setcover: element %d of class %d not covered by the provided sets", e, c)
+			}
+		}
+	}
+	return sched, nil
+}
+
+// NoSideLowerBound is the averaging bound from the Theorem 3.5 proof: any
+// finite-makespan schedule sets up, per class, at least OptCover machines
+// (the machines processing a class induce a cover), so the total number of
+// setups is at least K·OptCover and some machine has makespan at least
+// K·OptCover/m. coverLB must be a valid lower bound on the optimal cover.
+func (r *Reduction) NoSideLowerBound(coverLB int) float64 {
+	return float64(r.K()) * float64(coverLB) / float64(r.Instance.M)
+}

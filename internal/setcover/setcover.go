@@ -1,0 +1,220 @@
+// Package setcover implements the machinery behind Section 3.2 of the
+// paper: the SetCover problem (greedy and exact solvers), planted instance
+// generators standing in for the NP-hard SetCoverGap instances of Lemma 3.6,
+// and the randomized reduction of Theorem 3.5 that maps a SetCover instance
+// to a restricted-assignment-with-setups scheduling instance on which
+// Yes-instances admit makespan O((K/m)·t) while No-instances force
+// makespan Ω((K/m)·αt). Experiments E5 and E6 use this package to exhibit
+// the Ω(log n + log m) separation empirically.
+package setcover
+
+import (
+	"fmt"
+	"math"
+	"math/bits"
+	"math/rand"
+)
+
+// CoverInstance is a set cover instance over the universe {0, …, N-1}.
+type CoverInstance struct {
+	// N is the universe size.
+	N int
+	// Sets lists the subsets (element indices) available for covering.
+	Sets [][]int
+}
+
+// Validate checks that all elements are in range and the union covers the
+// universe.
+func (ci CoverInstance) Validate() error {
+	covered := make([]bool, ci.N)
+	for s, set := range ci.Sets {
+		for _, e := range set {
+			if e < 0 || e >= ci.N {
+				return fmt.Errorf("setcover: set %d contains element %d outside [0,%d)", s, e, ci.N)
+			}
+			covered[e] = true
+		}
+	}
+	for e, ok := range covered {
+		if !ok {
+			return fmt.Errorf("setcover: element %d not coverable", e)
+		}
+	}
+	return nil
+}
+
+// GreedyCover returns a cover computed by the classic greedy algorithm
+// (repeatedly pick the set covering the most uncovered elements). Its size
+// is at most (ln N + 1)·OptCover, so size/(ln N + 1) is a certified lower
+// bound on the optimal cover.
+func GreedyCover(ci CoverInstance) []int {
+	uncovered := make([]bool, ci.N)
+	remaining := ci.N
+	for e := range uncovered {
+		uncovered[e] = true
+	}
+	var chosen []int
+	for remaining > 0 {
+		best, bestGain := -1, 0
+		for s, set := range ci.Sets {
+			gain := 0
+			for _, e := range set {
+				if uncovered[e] {
+					gain++
+				}
+			}
+			if gain > bestGain {
+				best, bestGain = s, gain
+			}
+		}
+		if best < 0 {
+			return nil // not coverable; Validate would have caught this
+		}
+		chosen = append(chosen, best)
+		for _, e := range ci.Sets[best] {
+			if uncovered[e] {
+				uncovered[e] = false
+				remaining--
+			}
+		}
+	}
+	return chosen
+}
+
+// ExactCoverSize computes the optimal cover size by dynamic programming
+// over element subsets. It requires N ≤ 24 (2^N states) and returns -1 for
+// larger universes.
+func ExactCoverSize(ci CoverInstance) int {
+	if ci.N > 24 {
+		return -1
+	}
+	full := (uint32(1) << ci.N) - 1
+	masks := make([]uint32, len(ci.Sets))
+	for s, set := range ci.Sets {
+		for _, e := range set {
+			masks[s] |= 1 << uint(e)
+		}
+	}
+	const inf = math.MaxInt32
+	dp := make([]int32, full+1)
+	for i := range dp {
+		dp[i] = inf
+	}
+	dp[0] = 0
+	for state := uint32(0); state <= full; state++ {
+		if dp[state] == inf {
+			continue
+		}
+		if state == full {
+			break
+		}
+		// Cover the lowest uncovered element (canonical branching).
+		low := uint32(bits.TrailingZeros32(^state))
+		for s, mask := range masks {
+			if mask&(1<<low) == 0 {
+				continue
+			}
+			next := state | mask
+			if dp[next] > dp[state]+1 {
+				dp[next] = dp[state] + 1
+			}
+			_ = s
+		}
+	}
+	if dp[full] == inf {
+		return -1
+	}
+	return int(dp[full])
+}
+
+// CoverLowerBound returns a certified lower bound on the optimal cover
+// size: the exact value when the universe is small enough, otherwise
+// ⌈|greedy| / (ln N + 1)⌉.
+func CoverLowerBound(ci CoverInstance) int {
+	if exact := ExactCoverSize(ci); exact >= 0 {
+		return exact
+	}
+	g := GreedyCover(ci)
+	if g == nil {
+		return 0
+	}
+	lb := int(math.Ceil(float64(len(g)) / (math.Log(float64(ci.N)) + 1)))
+	if lb < 1 {
+		lb = 1
+	}
+	return lb
+}
+
+// PlantedYes generates a Yes-instance: the universe is partitioned into t
+// planted sets (which form a cover of size t), and m−t decoy sets are
+// random sparse subsets. The planted cover's indices are returned.
+func PlantedYes(rng *rand.Rand, n, t, m int) (CoverInstance, []int) {
+	if t < 1 || t > m || n < t {
+		panic(fmt.Sprintf("setcover: bad PlantedYes parameters n=%d t=%d m=%d", n, t, m))
+	}
+	perm := rng.Perm(n)
+	sets := make([][]int, m)
+	planted := make([]int, t)
+	// Spread the planted sets over random positions so the reduction's
+	// permutations don't correlate with set indices.
+	pos := rng.Perm(m)[:t]
+	for pi, p := range pos {
+		planted[pi] = p
+	}
+	// Partition elements over the t planted sets, roughly evenly.
+	for idx, e := range perm {
+		p := planted[idx%t]
+		sets[p] = append(sets[p], e)
+	}
+	// Decoys: sparse random subsets (they may overlap the planted ones).
+	for s := 0; s < m; s++ {
+		if len(sets[s]) > 0 {
+			continue
+		}
+		size := 1 + rng.Intn(max(1, n/(2*t)))
+		seen := map[int]bool{}
+		for len(seen) < size {
+			seen[rng.Intn(n)] = true
+		}
+		for e := range seen {
+			sets[s] = append(sets[s], e)
+		}
+	}
+	return CoverInstance{N: n, Sets: sets}, planted
+}
+
+// HardNoLike generates a No-side surrogate: every set is a random subset of
+// fixed small size, so w.h.p. any cover needs many sets (the coupon-
+// collector bound). CoverLowerBound certifies the actual gap on the
+// generated instance.
+func HardNoLike(rng *rand.Rand, n, m, setSize int) CoverInstance {
+	if setSize < 1 || setSize > n {
+		panic(fmt.Sprintf("setcover: bad HardNoLike set size %d", setSize))
+	}
+	sets := make([][]int, m)
+	for s := range sets {
+		perm := rng.Perm(n)
+		sets[s] = append([]int(nil), perm[:setSize]...)
+	}
+	// Ensure coverability: add each uncovered element to a random set.
+	covered := make([]bool, n)
+	for _, set := range sets {
+		for _, e := range set {
+			covered[e] = true
+		}
+	}
+	for e, ok := range covered {
+		if !ok {
+			s := rng.Intn(m)
+			sets[s] = append(sets[s], e)
+		}
+	}
+	return CoverInstance{N: n, Sets: sets}
+}
+
+func max(a, b int) int {
+	if a > b {
+		return a
+	}
+	return b
+}

@@ -1,0 +1,241 @@
+package special
+
+import "sort"
+
+// supportGraph is the bipartite graph of strictly fractional x̄ values:
+// class nodes on one side, machine nodes on the other, one edge per pair
+// with 0 < x̄_ik < 1. For an extreme solution of LP-RelaxedRA each connected
+// component is a pseudotree (at most one cycle), which the rounding relies
+// on.
+type supportGraph struct {
+	m, k int
+	// adjacency as sorted edge lists; nodes are encoded as
+	// machine i -> i, class k -> m + k.
+	adj map[int][]int
+}
+
+func machineNode(i int) int         { return i }
+func classNode(m, k int) int        { return m + k }
+func isClassNode(m, node int) bool  { return node >= m }
+func classOfNode(m, node int) int   { return node - m }
+func machineOfNode(_, node int) int { return node }
+
+func newSupportGraph(m, k int, xbar [][]float64) *supportGraph {
+	g := &supportGraph{m: m, k: k, adj: map[int][]int{}}
+	for i := 0; i < m; i++ {
+		for c := 0; c < k; c++ {
+			if v := xbar[i][c]; v > fracTol && v < 1-fracTol {
+				g.addEdge(machineNode(i), classNode(m, c))
+			}
+		}
+	}
+	return g
+}
+
+func (g *supportGraph) addEdge(a, b int) {
+	g.adj[a] = append(g.adj[a], b)
+	g.adj[b] = append(g.adj[b], a)
+}
+
+func (g *supportGraph) removeEdge(a, b int) {
+	g.adj[a] = removeOne(g.adj[a], b)
+	g.adj[b] = removeOne(g.adj[b], a)
+}
+
+func removeOne(list []int, v int) []int {
+	for i, x := range list {
+		if x == v {
+			return append(list[:i], list[i+1:]...)
+		}
+	}
+	return list
+}
+
+func (g *supportGraph) hasEdge(a, b int) bool {
+	for _, x := range g.adj[a] {
+		if x == b {
+			return true
+		}
+	}
+	return false
+}
+
+// nodes returns the sorted node set (nodes with at least one edge).
+func (g *supportGraph) nodes() []int {
+	out := make([]int, 0, len(g.adj))
+	for v, ns := range g.adj {
+		if len(ns) > 0 {
+			out = append(out, v)
+		}
+	}
+	sort.Ints(out)
+	return out
+}
+
+// components returns the connected components (as sorted node lists).
+func (g *supportGraph) components() [][]int {
+	seen := map[int]bool{}
+	var comps [][]int
+	for _, start := range g.nodes() {
+		if seen[start] {
+			continue
+		}
+		var comp []int
+		stack := []int{start}
+		seen[start] = true
+		for len(stack) > 0 {
+			v := stack[len(stack)-1]
+			stack = stack[:len(stack)-1]
+			comp = append(comp, v)
+			for _, w := range g.adj[v] {
+				if !seen[w] {
+					seen[w] = true
+					stack = append(stack, w)
+				}
+			}
+		}
+		sort.Ints(comp)
+		comps = append(comps, comp)
+	}
+	return comps
+}
+
+// findCycle returns the unique cycle of the component containing start as an
+// ordered node sequence v0, v1, …, v_{L-1} (edges v0v1, …, v_{L-1}v0), or
+// nil if the component is a tree. Components of extreme solutions are
+// pseudotrees, so "a" cycle is "the" cycle.
+func (g *supportGraph) findCycle(comp []int) []int {
+	// Iterative DFS tracking parent; the first back edge closes the cycle.
+	inComp := map[int]bool{}
+	for _, v := range comp {
+		inComp[v] = true
+	}
+	parent := map[int]int{}
+	state := map[int]int{} // 0 unvisited, 1 in stack path, 2 done
+	type frame struct {
+		v, idx int
+	}
+	start := comp[0]
+	parent[start] = -1
+	stack := []frame{{start, 0}}
+	state[start] = 1
+	for len(stack) > 0 {
+		f := &stack[len(stack)-1]
+		ns := g.adj[f.v]
+		if f.idx >= len(ns) {
+			state[f.v] = 2
+			stack = stack[:len(stack)-1]
+			continue
+		}
+		w := ns[f.idx]
+		f.idx++
+		if w == parent[f.v] {
+			continue
+		}
+		switch state[w] {
+		case 0:
+			parent[w] = f.v
+			state[w] = 1
+			stack = append(stack, frame{w, 0})
+		case 1:
+			// Back edge f.v—w: cycle is w … f.v along parents.
+			var cyc []int
+			for u := f.v; u != w; u = parent[u] {
+				cyc = append(cyc, u)
+			}
+			cyc = append(cyc, w)
+			// Reverse to get walk order w → … → f.v, closing edge f.v—w.
+			for l, r := 0, len(cyc)-1; l < r; l, r = l+1, r-1 {
+				cyc[l], cyc[r] = cyc[r], cyc[l]
+			}
+			return cyc
+		}
+	}
+	return nil
+}
+
+// breakCycles applies the paper's cycle-breaking: for each component with a
+// cycle, pick a class node v on it, fix the walk direction, and remove every
+// second edge starting with the edge leaving v. Afterward the graph is a
+// forest. It returns the set of class nodes that anchored a cycle (the
+// paper's J(C) roots, one per kept cycle edge is implied by rooting later).
+func (g *supportGraph) breakCycles() map[int]bool {
+	cycleClasses := map[int]bool{}
+	for _, comp := range g.components() {
+		cyc := g.findCycle(comp)
+		if cyc == nil {
+			continue
+		}
+		// Rotate so the walk starts at a class node (bipartite cycles
+		// alternate, so one of the first two nodes is a class).
+		if !isClassNode(g.m, cyc[0]) {
+			cyc = append(cyc[1:], cyc[0])
+		}
+		for idx, v := range cyc {
+			if isClassNode(g.m, v) {
+				cycleClasses[v] = true
+			}
+			if idx%2 == 0 {
+				// Remove the edge leaving position idx.
+				w := cyc[(idx+1)%len(cyc)]
+				g.removeEdge(v, w)
+			}
+		}
+	}
+	return cycleClasses
+}
+
+// orientAndPrune roots every tree of the (now cycle-free) graph at a class
+// node — preferring a cycle-anchored class from breakCycles — directs edges
+// away from the root, and deletes every edge leaving a machine node. The
+// returned set Ẽ contains the kept (machine, class) pairs and satisfies
+// Lemma 3.8: every machine is in at most one pair, and every class loses at
+// most one fractional machine.
+func (g *supportGraph) orientAndPrune(roots map[int]bool) map[[2]int]bool {
+	kept := map[[2]int]bool{}
+	seen := map[int]bool{}
+	for _, comp := range g.components() {
+		// Pick the root: a designated cycle class if present, else the
+		// smallest class node.
+		root := -1
+		for _, v := range comp {
+			if roots[v] {
+				root = v
+				break
+			}
+		}
+		if root < 0 {
+			for _, v := range comp {
+				if isClassNode(g.m, v) {
+					root = v
+					break
+				}
+			}
+		}
+		if root < 0 {
+			continue // single machine node with no edges
+		}
+		if seen[root] {
+			continue
+		}
+		// BFS from the root, keeping class→machine edges only.
+		queue := []int{root}
+		seen[root] = true
+		for len(queue) > 0 {
+			v := queue[0]
+			queue = queue[1:]
+			for _, w := range g.adj[v] {
+				if seen[w] {
+					continue
+				}
+				seen[w] = true
+				if isClassNode(g.m, v) {
+					// class v → machine w: kept.
+					kept[[2]int{machineOfNode(g.m, w), classOfNode(g.m, v)}] = true
+				}
+				queue = append(queue, w)
+			}
+		}
+	}
+	return kept
+}

@@ -1,0 +1,130 @@
+package special
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+// buildXbar creates a fractional matrix with edges at the given (machine,
+// class) pairs, each at value 0.5.
+func buildXbar(m, k int, edges [][2]int) [][]float64 {
+	xb := make([][]float64, m)
+	for i := range xb {
+		xb[i] = make([]float64, k)
+	}
+	for _, e := range edges {
+		xb[e[0]][e[1]] = 0.5
+	}
+	return xb
+}
+
+func TestFindCycleOnTree(t *testing.T) {
+	// Path: class0 - machine0 - class1 (no cycle).
+	g := newSupportGraph(2, 2, buildXbar(2, 2, [][2]int{{0, 0}, {0, 1}}))
+	comps := g.components()
+	if len(comps) != 1 {
+		t.Fatalf("components = %d, want 1", len(comps))
+	}
+	if cyc := g.findCycle(comps[0]); cyc != nil {
+		t.Errorf("found cycle %v in a tree", cyc)
+	}
+}
+
+func TestFindCycleOnFourCycle(t *testing.T) {
+	// Cycle: class0 - machine0 - class1 - machine1 - class0.
+	g := newSupportGraph(2, 2, buildXbar(2, 2, [][2]int{{0, 0}, {0, 1}, {1, 1}, {1, 0}}))
+	comps := g.components()
+	cyc := g.findCycle(comps[0])
+	if len(cyc) != 4 {
+		t.Fatalf("cycle length = %d, want 4 (%v)", len(cyc), cyc)
+	}
+}
+
+func TestBreakCyclesYieldsForest(t *testing.T) {
+	g := newSupportGraph(2, 2, buildXbar(2, 2, [][2]int{{0, 0}, {0, 1}, {1, 1}, {1, 0}}))
+	roots := g.breakCycles()
+	if len(roots) == 0 {
+		t.Error("no cycle classes recorded")
+	}
+	for _, comp := range g.components() {
+		if cyc := g.findCycle(comp); cyc != nil {
+			t.Errorf("cycle %v remains after breakCycles", cyc)
+		}
+	}
+}
+
+// Lemma 3.8 property check on random *pseudotree* graphs (the structure
+// extreme LP solutions guarantee): after breakCycles + orientAndPrune,
+// (1) every machine appears in at most one kept pair, and (2) every class
+// keeps at least one of its fractional machines, i.e. loses at most one
+// (classes have degree 2 in the construction).
+func TestLemma38PropertiesOnRandomGraphs(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		// One component with exactly one cycle of length 2L, plus pendant
+		// classes each hooked to one existing machine and one fresh leaf
+		// machine (no new cycles). Every class has degree exactly 2.
+		L := 2 + rng.Intn(3)
+		k := L + rng.Intn(4)
+		mCount := L
+		edges := [][2]int{}
+		for c := 0; c < L; c++ {
+			edges = append(edges, [2]int{c, c}, [2]int{(c + 1) % L, c})
+		}
+		for c := L; c < k; c++ {
+			edges = append(edges, [2]int{rng.Intn(mCount), c})
+			edges = append(edges, [2]int{mCount, c})
+			mCount++
+		}
+		m := mCount
+		xb := buildXbar(m, k, edges)
+		g := newSupportGraph(m, k, xb)
+		roots := g.breakCycles()
+		for _, comp := range g.components() {
+			if g.findCycle(comp) != nil {
+				return false // breakCycles left a cycle
+			}
+		}
+		kept := g.orientAndPrune(roots)
+		// Property 1: machine in ≤ 1 kept pair.
+		perMachine := map[int]int{}
+		for e := range kept {
+			perMachine[e[0]]++
+		}
+		for _, c := range perMachine {
+			if c > 1 {
+				return false
+			}
+		}
+		// Property 2: every class keeps ≥ 1 edge (degree-2 classes lose
+		// at most one fractional machine).
+		keptPerClass := map[int]int{}
+		for e := range kept {
+			keptPerClass[e[1]]++
+		}
+		for c := 0; c < k; c++ {
+			if keptPerClass[c] == 0 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestOrientAndPruneKeepsClassToMachineOnly(t *testing.T) {
+	// Star: class0 fractional on machines 0,1,2.
+	g := newSupportGraph(3, 1, buildXbar(3, 1, [][2]int{{0, 0}, {1, 0}, {2, 0}}))
+	kept := g.orientAndPrune(nil)
+	if len(kept) != 3 {
+		t.Errorf("kept %d edges, want 3 (root keeps all children)", len(kept))
+	}
+	for e := range kept {
+		if e[1] != 0 {
+			t.Errorf("kept edge %v references unknown class", e)
+		}
+	}
+}

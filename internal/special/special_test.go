@@ -1,0 +1,159 @@
+package special
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/core"
+	"repro/internal/exact"
+	"repro/internal/gen"
+)
+
+func TestCheckClassUniformRA(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	good := gen.RestrictedClassUniform(rng, gen.Params{N: 10, M: 3, K: 2})
+	if err := CheckClassUniformRA(good); err != nil {
+		t.Errorf("valid instance rejected: %v", err)
+	}
+	unrelated := gen.Unrelated(rng, gen.Params{N: 5, M: 2, K: 2})
+	if err := CheckClassUniformRA(unrelated); err == nil {
+		t.Error("unrelated instance accepted")
+	}
+	// Per-job restricted instance that violates class uniformity.
+	bad, err := core.NewRestricted(
+		[]float64{1, 1}, []int{0, 0}, []float64{1}, 2,
+		[][]int{{0}, {1}},
+	)
+	if err != nil {
+		t.Fatalf("NewRestricted: %v", err)
+	}
+	if err := CheckClassUniformRA(bad); err == nil {
+		t.Error("non-class-uniform instance accepted")
+	}
+}
+
+func TestCheckClassUniformPT(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	good := gen.UnrelatedClassUniform(rng, gen.Params{N: 10, M: 3, K: 2})
+	if err := CheckClassUniformPT(good); err != nil {
+		t.Errorf("valid instance rejected: %v", err)
+	}
+	bad := gen.Unrelated(rng, gen.Params{N: 10, M: 3, K: 2})
+	if err := CheckClassUniformPT(bad); err == nil {
+		t.Error("generic unrelated instance accepted (class times differ w.h.p.)")
+	}
+}
+
+func TestScheduleClassUniformRAFeasible(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		p := gen.Params{N: 1 + rng.Intn(20), M: 1 + rng.Intn(4), K: 1 + rng.Intn(4)}
+		in := gen.RestrictedClassUniform(rng, p)
+		res, err := ScheduleClassUniformRA(in, Options{})
+		if err != nil {
+			return false
+		}
+		return res.Schedule != nil && res.Schedule.Complete() && res.Schedule.Validate(in) == nil
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Theorem 3.10: ratio ≤ 2, with slack for the binary-search precision.
+func TestScheduleClassUniformRAWithinFactor2(t *testing.T) {
+	checked := 0
+	for seed := int64(0); seed < 25; seed++ {
+		rng := rand.New(rand.NewSource(seed))
+		in := gen.RestrictedClassUniform(rng, gen.Params{N: 7 + rng.Intn(4), M: 2 + rng.Intn(2), K: 1 + rng.Intn(3)})
+		_, opt, proven := exact.BranchAndBound(in, exact.Options{})
+		if !proven || opt <= 0 {
+			continue
+		}
+		res, err := ScheduleClassUniformRA(in, Options{})
+		if err != nil {
+			t.Fatalf("seed %d: %v", seed, err)
+		}
+		if res.Makespan > 2.1*opt+core.Eps {
+			t.Errorf("seed %d: makespan %v > 2.1·Opt (%v)", seed, res.Makespan, opt)
+		}
+		checked++
+	}
+	if checked == 0 {
+		t.Error("no instance was checked; test vacuous")
+	}
+}
+
+func TestScheduleClassUniformPTFeasible(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		p := gen.Params{N: 1 + rng.Intn(20), M: 1 + rng.Intn(4), K: 1 + rng.Intn(4)}
+		in := gen.UnrelatedClassUniform(rng, p)
+		res, err := ScheduleClassUniformPT(in, Options{})
+		if err != nil {
+			return false
+		}
+		return res.Schedule != nil && res.Schedule.Complete() && res.Schedule.Validate(in) == nil
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Theorem 3.11: ratio ≤ 3, with slack for the binary-search precision.
+func TestScheduleClassUniformPTWithinFactor3(t *testing.T) {
+	checked := 0
+	for seed := int64(0); seed < 25; seed++ {
+		rng := rand.New(rand.NewSource(seed))
+		in := gen.UnrelatedClassUniform(rng, gen.Params{N: 7 + rng.Intn(4), M: 2 + rng.Intn(2), K: 1 + rng.Intn(3)})
+		_, opt, proven := exact.BranchAndBound(in, exact.Options{})
+		if !proven || opt <= 0 {
+			continue
+		}
+		res, err := ScheduleClassUniformPT(in, Options{})
+		if err != nil {
+			t.Fatalf("seed %d: %v", seed, err)
+		}
+		if res.Makespan > 3.1*opt+core.Eps {
+			t.Errorf("seed %d: makespan %v > 3.1·Opt (%v)", seed, res.Makespan, opt)
+		}
+		checked++
+	}
+	if checked == 0 {
+		t.Error("no instance was checked; test vacuous")
+	}
+}
+
+func TestRejectsWrongStructure(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	generic := gen.Unrelated(rng, gen.Params{N: 8, M: 3, K: 2})
+	if _, err := ScheduleClassUniformRA(generic, Options{}); err == nil {
+		t.Error("RA algorithm accepted an unrelated instance")
+	}
+	perJob := gen.Restricted(rng, gen.Params{N: 12, M: 3, K: 2})
+	if err := CheckClassUniformRA(perJob); err == nil {
+		t.Skip("random per-job instance happened to be class-uniform")
+	}
+	if _, err := ScheduleClassUniformRA(perJob, Options{}); err == nil {
+		t.Error("RA algorithm accepted a non-class-uniform instance")
+	}
+}
+
+func TestLowerBoundSound(t *testing.T) {
+	for seed := int64(0); seed < 10; seed++ {
+		rng := rand.New(rand.NewSource(seed))
+		in := gen.RestrictedClassUniform(rng, gen.Params{N: 8, M: 2, K: 2})
+		_, opt, proven := exact.BranchAndBound(in, exact.Options{})
+		if !proven {
+			continue
+		}
+		res, err := ScheduleClassUniformRA(in, Options{})
+		if err != nil {
+			t.Fatalf("seed %d: %v", seed, err)
+		}
+		if res.LowerBound > opt+1e-6 {
+			t.Errorf("seed %d: claimed lower bound %v exceeds true optimum %v", seed, res.LowerBound, opt)
+		}
+	}
+}

@@ -1,0 +1,66 @@
+// Package stats provides the small set of summary statistics used by the
+// experiment harness.
+package stats
+
+import (
+	"math"
+	"sort"
+)
+
+// Summary holds the usual aggregate statistics of a sample.
+type Summary struct {
+	N                int
+	Mean, Std        float64
+	Min, Max, Median float64
+}
+
+// Summarize computes the summary of xs (NaNs are dropped; an empty sample
+// yields the zero Summary).
+func Summarize(xs []float64) Summary {
+	var clean []float64
+	for _, x := range xs {
+		if !math.IsNaN(x) {
+			clean = append(clean, x)
+		}
+	}
+	s := Summary{N: len(clean)}
+	if s.N == 0 {
+		return s
+	}
+	sorted := append([]float64(nil), clean...)
+	sort.Float64s(sorted)
+	s.Min, s.Max = sorted[0], sorted[len(sorted)-1]
+	s.Median = sorted[len(sorted)/2]
+	if len(sorted)%2 == 0 {
+		s.Median = (sorted[len(sorted)/2-1] + sorted[len(sorted)/2]) / 2
+	}
+	sum := 0.0
+	for _, x := range clean {
+		sum += x
+	}
+	s.Mean = sum / float64(s.N)
+	if s.N > 1 {
+		ss := 0.0
+		for _, x := range clean {
+			d := x - s.Mean
+			ss += d * d
+		}
+		s.Std = math.Sqrt(ss / float64(s.N-1))
+	}
+	return s
+}
+
+// GeoMean returns the geometric mean of xs (which must be positive).
+func GeoMean(xs []float64) float64 {
+	if len(xs) == 0 {
+		return math.NaN()
+	}
+	sum := 0.0
+	for _, x := range xs {
+		if x <= 0 {
+			return math.NaN()
+		}
+		sum += math.Log(x)
+	}
+	return math.Exp(sum / float64(len(xs)))
+}

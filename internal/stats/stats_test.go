@@ -1,0 +1,60 @@
+package stats
+
+import (
+	"math"
+	"testing"
+)
+
+func TestSummarize(t *testing.T) {
+	s := Summarize([]float64{1, 2, 3, 4})
+	if s.N != 4 || s.Mean != 2.5 || s.Min != 1 || s.Max != 4 {
+		t.Errorf("unexpected summary %+v", s)
+	}
+	if math.Abs(s.Median-2.5) > 1e-12 {
+		t.Errorf("median = %v, want 2.5", s.Median)
+	}
+	want := math.Sqrt((2.25 + 0.25 + 0.25 + 2.25) / 3)
+	if math.Abs(s.Std-want) > 1e-12 {
+		t.Errorf("std = %v, want %v", s.Std, want)
+	}
+}
+
+func TestSummarizeOddMedian(t *testing.T) {
+	s := Summarize([]float64{9, 1, 5})
+	if s.Median != 5 {
+		t.Errorf("median = %v, want 5", s.Median)
+	}
+}
+
+func TestSummarizeDropsNaN(t *testing.T) {
+	s := Summarize([]float64{1, math.NaN(), 3})
+	if s.N != 2 || s.Mean != 2 {
+		t.Errorf("NaN handling broken: %+v", s)
+	}
+}
+
+func TestSummarizeEmpty(t *testing.T) {
+	s := Summarize(nil)
+	if s.N != 0 || s.Mean != 0 {
+		t.Errorf("empty summary = %+v", s)
+	}
+}
+
+func TestSummarizeSingleton(t *testing.T) {
+	s := Summarize([]float64{7})
+	if s.N != 1 || s.Std != 0 || s.Median != 7 {
+		t.Errorf("singleton summary = %+v", s)
+	}
+}
+
+func TestGeoMean(t *testing.T) {
+	if g := GeoMean([]float64{1, 4}); math.Abs(g-2) > 1e-12 {
+		t.Errorf("GeoMean(1,4) = %v, want 2", g)
+	}
+	if !math.IsNaN(GeoMean(nil)) {
+		t.Error("GeoMean(nil) should be NaN")
+	}
+	if !math.IsNaN(GeoMean([]float64{1, 0})) {
+		t.Error("GeoMean with zero should be NaN")
+	}
+}

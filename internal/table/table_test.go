@@ -1,0 +1,43 @@
+package table
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestRendering(t *testing.T) {
+	tb := New("demo", "name", "value")
+	tb.AddRow("alpha", 1.23456)
+	tb.AddRow("b", 42)
+	tb.AddNote("a note with %d args", 2)
+	out := tb.String()
+	for _, want := range []string{"== demo ==", "name", "value", "alpha", "1.235", "42", "note: a note with 2 args"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("output missing %q:\n%s", want, out)
+		}
+	}
+	// Columns aligned: header and separator lines have equal length.
+	lines := strings.Split(out, "\n")
+	if len(lines) < 4 {
+		t.Fatalf("too few lines: %q", out)
+	}
+	if len(lines[1]) != len(lines[2]) {
+		t.Errorf("header %q and separator %q misaligned", lines[1], lines[2])
+	}
+}
+
+func TestFloatFormatting(t *testing.T) {
+	tb := New("", "x")
+	tb.AddRow(3.0)
+	if !strings.Contains(tb.String(), "3") {
+		t.Errorf("float row lost: %s", tb.String())
+	}
+}
+
+func TestEmptyTable(t *testing.T) {
+	tb := New("empty", "a")
+	out := tb.String()
+	if !strings.Contains(out, "empty") || !strings.Contains(out, "a") {
+		t.Errorf("empty table broken: %q", out)
+	}
+}

@@ -1,0 +1,175 @@
+// Package timeline materializes an assignment into a concrete executable
+// timeline: on every machine, jobs of one class run as a contiguous batch
+// preceded by the class's setup (the batching the paper's load definition
+// L_i = Σ p_ij + Σ s_ik presumes — since setups are sequence-independent,
+// batching per class is always optimal for a fixed assignment). The
+// timeline carries explicit start/end times per setup and job, so it can
+// drive downstream systems or render a Gantt chart.
+package timeline
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"repro/internal/core"
+)
+
+// Entry is one interval on a machine.
+type Entry struct {
+	// Machine executing the interval.
+	Machine int
+	// Class of the interval.
+	Class int
+	// Job is the job index, or -1 for a setup interval.
+	Job int
+	// Start and End are the interval bounds.
+	Start, End float64
+}
+
+// Timeline is an executable plan: entries per machine in time order.
+type Timeline struct {
+	// PerMachine[i] lists machine i's intervals in increasing time.
+	PerMachine [][]Entry
+	// Makespan is the maximum end time.
+	Makespan float64
+}
+
+// Build materializes a complete feasible schedule. Classes on a machine run
+// in ascending class order (any order yields the same makespan because
+// setups are sequence-independent); jobs within a class in ascending index.
+func Build(in *core.Instance, sched *core.Schedule) (*Timeline, error) {
+	if err := sched.Validate(in); err != nil {
+		return nil, err
+	}
+	tl := &Timeline{PerMachine: make([][]Entry, in.M)}
+	byMachine := sched.MachineJobs(in)
+	for i := 0; i < in.M; i++ {
+		jobs := byMachine[i]
+		byClass := map[int][]int{}
+		var classes []int
+		for _, j := range jobs {
+			k := in.Class[j]
+			if len(byClass[k]) == 0 {
+				classes = append(classes, k)
+			}
+			byClass[k] = append(byClass[k], j)
+		}
+		sort.Ints(classes)
+		t := 0.0
+		for _, k := range classes {
+			if s := in.S[i][k]; s > 0 {
+				tl.PerMachine[i] = append(tl.PerMachine[i], Entry{
+					Machine: i, Class: k, Job: -1, Start: t, End: t + s,
+				})
+				t += s
+			}
+			sort.Ints(byClass[k])
+			for _, j := range byClass[k] {
+				p := in.P[i][j]
+				tl.PerMachine[i] = append(tl.PerMachine[i], Entry{
+					Machine: i, Class: k, Job: j, Start: t, End: t + p,
+				})
+				t += p
+			}
+		}
+		if t > tl.Makespan {
+			tl.Makespan = t
+		}
+	}
+	return tl, nil
+}
+
+// Validate checks the executable-semantics invariants: intervals per
+// machine are contiguous-in-order and non-overlapping, every job appears
+// exactly once with its correct duration, every batch is preceded by
+// exactly one setup of its class (when the setup time is positive), and
+// the timeline's makespan equals the schedule's load-based makespan.
+func (tl *Timeline) Validate(in *core.Instance, sched *core.Schedule) error {
+	seen := make([]bool, in.N)
+	for i, entries := range tl.PerMachine {
+		last := 0.0
+		setupDone := map[int]bool{}
+		for _, e := range entries {
+			if e.Start < last-core.Eps {
+				return fmt.Errorf("timeline: overlap on machine %d at %v", i, e.Start)
+			}
+			last = e.End
+			if e.Job < 0 {
+				if setupDone[e.Class] {
+					return fmt.Errorf("timeline: duplicate setup of class %d on machine %d", e.Class, i)
+				}
+				setupDone[e.Class] = true
+				if dur := e.End - e.Start; absDiff(dur, in.S[i][e.Class]) > core.Eps {
+					return fmt.Errorf("timeline: setup duration %v ≠ s[%d][%d]=%v", dur, i, e.Class, in.S[i][e.Class])
+				}
+				continue
+			}
+			if seen[e.Job] {
+				return fmt.Errorf("timeline: job %d scheduled twice", e.Job)
+			}
+			seen[e.Job] = true
+			if sched.Assign[e.Job] != i {
+				return fmt.Errorf("timeline: job %d on machine %d, assignment says %d", e.Job, i, sched.Assign[e.Job])
+			}
+			if !setupDone[e.Class] && in.S[i][e.Class] > 0 {
+				return fmt.Errorf("timeline: job %d of class %d runs before its setup", e.Job, e.Class)
+			}
+			if dur := e.End - e.Start; absDiff(dur, in.P[i][e.Job]) > core.Eps {
+				return fmt.Errorf("timeline: job %d duration %v ≠ p=%v", e.Job, dur, in.P[i][e.Job])
+			}
+		}
+	}
+	for j, ok := range seen {
+		if !ok {
+			return fmt.Errorf("timeline: job %d missing", j)
+		}
+	}
+	if absDiff(tl.Makespan, sched.Makespan(in)) > 1e-6 {
+		return fmt.Errorf("timeline: makespan %v ≠ schedule makespan %v", tl.Makespan, sched.Makespan(in))
+	}
+	return nil
+}
+
+func absDiff(a, b float64) float64 {
+	if a > b {
+		return a - b
+	}
+	return b - a
+}
+
+// Gantt renders an ASCII Gantt chart with the given width in characters.
+// Setups render as '=', jobs as the last digit of their class.
+func (tl *Timeline) Gantt(width int) string {
+	if width < 10 {
+		width = 60
+	}
+	if tl.Makespan <= 0 {
+		return "(empty timeline)\n"
+	}
+	scale := float64(width) / tl.Makespan
+	var sb strings.Builder
+	for i, entries := range tl.PerMachine {
+		row := make([]byte, width)
+		for c := range row {
+			row[c] = '.'
+		}
+		for _, e := range entries {
+			lo := int(e.Start * scale)
+			hi := int(e.End * scale)
+			if hi > width {
+				hi = width
+			}
+			ch := byte('0' + e.Class%10)
+			if e.Job < 0 {
+				ch = '='
+			}
+			for c := lo; c < hi; c++ {
+				row[c] = ch
+			}
+		}
+		fmt.Fprintf(&sb, "M%-2d |%s|\n", i, row)
+	}
+	fmt.Fprintf(&sb, "     0%*s%.4g\n", width-1, "t=", tl.Makespan)
+	return sb.String()
+}

@@ -1,0 +1,132 @@
+package timeline
+
+import (
+	"math/rand"
+	"strings"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/baseline"
+	"repro/internal/core"
+	"repro/internal/gen"
+)
+
+// Property: for any feasible schedule on any environment, the materialized
+// timeline passes its own executable-semantics validation.
+func TestBuildValidatesOnRandomSchedules(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		p := gen.Params{N: 1 + rng.Intn(25), M: 1 + rng.Intn(5), K: 1 + rng.Intn(4)}
+		var in *core.Instance
+		switch rng.Intn(4) {
+		case 0:
+			in = gen.Identical(rng, p)
+		case 1:
+			in = gen.Uniform(rng, p)
+		case 2:
+			in = gen.Unrelated(rng, p)
+		default:
+			in = gen.Restricted(rng, p)
+		}
+		sched, err := baseline.Greedy(in)
+		if err != nil {
+			return false
+		}
+		tl, err := Build(in, sched)
+		if err != nil {
+			return false
+		}
+		return tl.Validate(in, sched) == nil
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 120}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestBuildKnownTimeline(t *testing.T) {
+	in, err := core.NewIdentical([]float64{3, 4}, []int{0, 1}, []float64{2, 5}, 1)
+	if err != nil {
+		t.Fatalf("NewIdentical: %v", err)
+	}
+	sched := &core.Schedule{Assign: []int{0, 0}}
+	tl, err := Build(in, sched)
+	if err != nil {
+		t.Fatalf("Build: %v", err)
+	}
+	// Machine 0: setup0 [0,2), job0 [2,5), setup1 [5,10), job1 [10,14).
+	if tl.Makespan != 14 {
+		t.Errorf("makespan = %v, want 14", tl.Makespan)
+	}
+	es := tl.PerMachine[0]
+	if len(es) != 4 {
+		t.Fatalf("entries = %d, want 4", len(es))
+	}
+	if es[0].Job != -1 || es[0].End != 2 || es[1].Job != 0 || es[1].End != 5 {
+		t.Errorf("unexpected head entries: %+v", es[:2])
+	}
+	if err := tl.Validate(in, sched); err != nil {
+		t.Errorf("Validate: %v", err)
+	}
+}
+
+func TestBuildRejectsInfeasible(t *testing.T) {
+	in, err := core.NewRestricted([]float64{1}, []int{0}, []float64{1}, 2, [][]int{{0}})
+	if err != nil {
+		t.Fatalf("NewRestricted: %v", err)
+	}
+	bad := &core.Schedule{Assign: []int{1}}
+	if _, err := Build(in, bad); err == nil {
+		t.Error("infeasible schedule accepted")
+	}
+}
+
+func TestValidateCatchesCorruption(t *testing.T) {
+	in, err := core.NewIdentical([]float64{3, 4}, []int{0, 0}, []float64{2}, 2)
+	if err != nil {
+		t.Fatalf("NewIdentical: %v", err)
+	}
+	sched := &core.Schedule{Assign: []int{0, 1}}
+	fresh := func() *Timeline {
+		tl, err := Build(in, sched)
+		if err != nil {
+			t.Fatalf("Build: %v", err)
+		}
+		return tl
+	}
+	mutations := map[string]func(*Timeline){
+		"overlap":        func(tl *Timeline) { tl.PerMachine[0][1].Start -= 1 },
+		"wrong duration": func(tl *Timeline) { tl.PerMachine[0][1].End += 1 },
+		"drop job":       func(tl *Timeline) { tl.PerMachine[0] = tl.PerMachine[0][:1] },
+		"bad makespan":   func(tl *Timeline) { tl.Makespan += 3 },
+	}
+	for name, mutate := range mutations {
+		tl := fresh()
+		mutate(tl)
+		if err := tl.Validate(in, sched); err == nil {
+			t.Errorf("corruption %q passed validation", name)
+		}
+	}
+}
+
+func TestGantt(t *testing.T) {
+	in, err := core.NewIdentical([]float64{3, 4}, []int{0, 1}, []float64{2, 5}, 2)
+	if err != nil {
+		t.Fatalf("NewIdentical: %v", err)
+	}
+	sched := &core.Schedule{Assign: []int{0, 1}}
+	tl, err := Build(in, sched)
+	if err != nil {
+		t.Fatalf("Build: %v", err)
+	}
+	g := tl.Gantt(40)
+	if !strings.Contains(g, "M0") || !strings.Contains(g, "M1") {
+		t.Errorf("Gantt missing machine rows:\n%s", g)
+	}
+	if !strings.Contains(g, "=") {
+		t.Errorf("Gantt missing setup marks:\n%s", g)
+	}
+	empty := &Timeline{PerMachine: [][]Entry{}}
+	if !strings.Contains(empty.Gantt(40), "empty") {
+		t.Error("empty timeline not handled")
+	}
+}

@@ -1,0 +1,252 @@
+// Package sched is the public API of this library, a faithful
+// implementation of "Scheduling on (Un-)Related Machines with Setup Times"
+// (Jansen, Maack, Mäcker; IPPS 2019).
+//
+// The problem: n jobs partitioned into K classes are scheduled on m
+// parallel machines; a machine pays the setup time s_{ik} once for every
+// class k it processes, and the makespan (maximum machine load, processing
+// plus setups) is minimized.
+//
+// Algorithms provided (paper reference in parentheses):
+//
+//   - LPT: the setup-aware LPT rule, a 3(1+1/√3) ≈ 4.74-approximation for
+//     identical and uniformly related machines (Lemma 2.1).
+//   - PTAS: a (1+O(ε))-approximation for identical and uniformly related
+//     machines (Section 2).
+//   - RandomizedRounding: an O(log n + log m)-approximation for unrelated
+//     machines via LP rounding (Theorem 3.3) — asymptotically optimal
+//     unless NP ⊆ RP (Theorem 3.5).
+//   - ClassUniformRA: a 2-approximation for restricted assignment when all
+//     jobs of a class share one eligible machine set (Theorem 3.10).
+//   - ClassUniformPT: a 3-approximation for unrelated machines when all
+//     jobs of a class have identical processing times per machine
+//     (Theorem 3.11).
+//   - Greedy: a setup-aware list scheduler (no guarantee; the practical
+//     baseline), and Optimal: exact branch-and-bound for small instances.
+//
+// Solve dispatches to the strongest applicable algorithm automatically.
+//
+// Instances are built with NewIdentical, NewUniform, NewRestricted and
+// NewUnrelated, or loaded from JSON via ReadInstance.
+package sched
+
+import (
+	"fmt"
+	"io"
+	"math/rand"
+
+	"repro/internal/baseline"
+	"repro/internal/core"
+	"repro/internal/exact"
+	"repro/internal/identical"
+	"repro/internal/improve"
+	"repro/internal/ptas"
+	"repro/internal/rounding"
+	"repro/internal/special"
+	"repro/internal/timeline"
+)
+
+// Instance is a scheduling instance (see core.Instance for field docs).
+type Instance = core.Instance
+
+// Schedule is a job → machine assignment.
+type Schedule = core.Schedule
+
+// Result bundles a schedule, its makespan and a certified lower bound.
+type Result = core.Result
+
+// Kind identifies the machine environment.
+type Kind = core.Kind
+
+// Machine environment kinds.
+const (
+	Identical            = core.Identical
+	Uniform              = core.Uniform
+	RestrictedAssignment = core.RestrictedAssignment
+	Unrelated            = core.Unrelated
+)
+
+// Inf marks ineligible processing/setup times in unrelated instances.
+var Inf = core.Inf
+
+// NewIdentical builds an identical-machines instance: job sizes p, job
+// classes, setup sizes s and m machines.
+func NewIdentical(p []float64, class []int, s []float64, m int) (*Instance, error) {
+	return core.NewIdentical(p, class, s, m)
+}
+
+// NewUniform builds a uniformly-related-machines instance with speeds v.
+func NewUniform(p []float64, class []int, s []float64, v []float64) (*Instance, error) {
+	return core.NewUniform(p, class, s, v)
+}
+
+// NewRestricted builds a restricted-assignment instance; eligible[j] lists
+// the machines job j may run on.
+func NewRestricted(p []float64, class []int, s []float64, m int, eligible [][]int) (*Instance, error) {
+	return core.NewRestricted(p, class, s, m, eligible)
+}
+
+// NewUnrelated builds an unrelated-machines instance from an m×n processing
+// matrix and an m×K setup matrix (use Inf for ineligible pairs).
+func NewUnrelated(p [][]float64, class []int, s [][]float64) (*Instance, error) {
+	return core.NewUnrelated(p, class, s)
+}
+
+// ReadInstance deserializes an instance from its JSON representation.
+func ReadInstance(r io.Reader) (*Instance, error) { return core.ReadJSON(r) }
+
+// LPT runs the setup-aware LPT rule of Lemma 2.1 (identical/uniform
+// machines; approximation factor 3(1+1/√3) ≈ 4.74).
+func LPT(in *Instance) (Result, error) {
+	sched, err := baseline.Lemma21LPT(in)
+	if err != nil {
+		return Result{}, err
+	}
+	return Result{
+		Algorithm:  "lpt",
+		Schedule:   sched,
+		Makespan:   sched.Makespan(in),
+		LowerBound: exact.VolumeLowerBound(in),
+	}, nil
+}
+
+// Greedy runs the setup-aware list scheduler (all machine environments, no
+// approximation guarantee).
+func Greedy(in *Instance) (Result, error) {
+	sched, err := baseline.Greedy(in)
+	if err != nil {
+		return Result{}, err
+	}
+	return Result{
+		Algorithm:  "greedy",
+		Schedule:   sched,
+		Makespan:   sched.Makespan(in),
+		LowerBound: exact.VolumeLowerBound(in),
+	}, nil
+}
+
+// PTAS runs the Section 2 approximation scheme for identical or uniform
+// machines with accuracy parameter eps (pass 0 for the default 1/2; smaller
+// eps gives better schedules and longer runtimes).
+func PTAS(in *Instance, eps float64) (Result, error) {
+	res, _, err := ptas.Schedule(in, ptas.Options{Eps: eps})
+	return res, err
+}
+
+// RandomizedRounding runs the Section 3.1 O(log n + log m)-approximation
+// for unrelated machines. Pass a nil rng for a fixed-seed deterministic run.
+func RandomizedRounding(in *Instance, rng *rand.Rand) (Result, error) {
+	return rounding.Schedule(in, rounding.Options{Rng: rng})
+}
+
+// ClassUniformRA runs the Theorem 3.10 2-approximation for restricted
+// assignment with class-uniform eligible machine sets.
+func ClassUniformRA(in *Instance) (Result, error) {
+	return special.ScheduleClassUniformRA(in, special.Options{})
+}
+
+// ClassUniformPT runs the Theorem 3.11 3-approximation for unrelated
+// machines with class-uniform processing times.
+func ClassUniformPT(in *Instance) (Result, error) {
+	return special.ScheduleClassUniformPT(in, special.Options{})
+}
+
+// Optimal computes an exact optimum by branch-and-bound. It refuses
+// instances with more than maxJobs jobs (pass 0 for the default guard of
+// 16); the bool result reports whether optimality was proven.
+func Optimal(in *Instance, maxJobs int) (Result, bool, error) {
+	sched, opt, proven := exact.BranchAndBound(in, exact.Options{MaxJobs: maxJobs})
+	if sched == nil {
+		return Result{}, false, fmt.Errorf("sched: instance too large for exact search (n=%d)", in.N)
+	}
+	return Result{
+		Algorithm:  "branch-and-bound",
+		Schedule:   sched,
+		Makespan:   opt,
+		LowerBound: opt,
+	}, proven, nil
+}
+
+// Solve dispatches to the strongest algorithm applicable to the instance:
+// the PTAS for identical/uniform machines, the 2-approximation for
+// class-uniform restricted assignment, the 3-approximation for
+// class-uniform processing times, and randomized rounding for general
+// unrelated machines.
+func Solve(in *Instance) (Result, error) {
+	switch in.Kind {
+	case Identical, Uniform:
+		return PTAS(in, 0)
+	case RestrictedAssignment:
+		if special.CheckClassUniformRA(in) == nil {
+			return ClassUniformRA(in)
+		}
+		return RandomizedRounding(in, nil)
+	default:
+		if special.CheckClassUniformPT(in) == nil {
+			return ClassUniformPT(in)
+		}
+		return RandomizedRounding(in, nil)
+	}
+}
+
+// Figure1 renders the speed-group diagnostic of the paper's Figure 1 for a
+// uniform instance at makespan guess T and accuracy eps.
+func Figure1(in *Instance, T, eps float64) (string, error) {
+	return ptas.Figure1(in, T, eps)
+}
+
+// LocalSearch post-optimizes a feasible schedule by best-improvement
+// descent over job moves, swaps and class consolidation. It never worsens
+// the schedule.
+func LocalSearch(in *Instance, s *Schedule) *Schedule {
+	improved, _ := improve.Improve(in, s, improve.DefaultOptions())
+	return improved
+}
+
+// SplitSchedule is a fractional (splittable-model) schedule; see
+// Splittable.
+type SplitSchedule = special.SplitSchedule
+
+// Splittable solves the splittable relaxation of Correa et al. [5] — class
+// workloads may be divided across machines, every carrier paying the full
+// setup — via LP-RelaxedRA and the Section 3.3 pseudoforest rounding. Put
+// each job in its own class for job-level splitting.
+func Splittable(in *Instance) (*SplitSchedule, float64, error) {
+	res, err := special.ScheduleSplittable(in, special.Options{})
+	if err != nil {
+		return nil, 0, err
+	}
+	return res.Split, res.Makespan, nil
+}
+
+// Timeline materializes a complete feasible schedule into explicit batched
+// start/end times per machine (setups before each class batch) and can
+// render an ASCII Gantt chart.
+type Timeline = timeline.Timeline
+
+// BuildTimeline materializes sched into a Timeline.
+func BuildTimeline(in *Instance, s *Schedule) (*Timeline, error) {
+	return timeline.Build(in, s)
+}
+
+// NextFitBatch runs the whole-class batching heuristic for identical
+// machines (the regime of Mäcker et al. [24] that Section 2 generalizes).
+func NextFitBatch(in *Instance) (Result, error) {
+	sched, err := identical.NextFitBatch(in)
+	if err != nil {
+		return Result{}, err
+	}
+	return Result{Algorithm: "next-fit-batch", Schedule: sched,
+		Makespan: sched.Makespan(in), LowerBound: exact.VolumeLowerBound(in)}, nil
+}
+
+// SplitBigClasses runs the class-splitting batch heuristic for identical
+// machines.
+func SplitBigClasses(in *Instance) (Result, error) {
+	sched, err := identical.SplitBigClasses(in)
+	if err != nil {
+		return Result{}, err
+	}
+	return Result{Algorithm: "split-big-classes", Schedule: sched,
+		Makespan: sched.Makespan(in), LowerBound: exact.VolumeLowerBound(in)}, nil
+}
