@@ -8,6 +8,7 @@ package sched
 // individual algorithms.
 
 import (
+	"context"
 	"fmt"
 	"math/rand"
 	"testing"
@@ -91,7 +92,7 @@ func BenchmarkPTAS(b *testing.B) {
 			b.ReportAllocs()
 			b.ResetTimer()
 			for i := 0; i < b.N; i++ {
-				if _, _, err := ptas.Schedule(in, ptas.Options{Eps: eps}); err != nil {
+				if _, _, err := ptas.Schedule(context.Background(), in, ptas.Options{Eps: eps}); err != nil {
 					b.Fatal(err)
 				}
 			}
@@ -126,7 +127,7 @@ func BenchmarkRandomizedRoundingFull(b *testing.B) {
 	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		if _, err := rounding.Schedule(in, rounding.Options{Rng: rng}); err != nil {
+		if _, err := rounding.Schedule(context.Background(), in, rounding.Options{Rng: rng}); err != nil {
 			b.Fatal(err)
 		}
 	}
@@ -138,7 +139,7 @@ func BenchmarkClassUniformRA(b *testing.B) {
 	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		if _, err := special.ScheduleClassUniformRA(in, special.Options{}); err != nil {
+		if _, err := special.ScheduleClassUniformRA(context.Background(), in, special.Options{}); err != nil {
 			b.Fatal(err)
 		}
 	}
@@ -150,7 +151,7 @@ func BenchmarkClassUniformPT(b *testing.B) {
 	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		if _, err := special.ScheduleClassUniformPT(in, special.Options{}); err != nil {
+		if _, err := special.ScheduleClassUniformPT(context.Background(), in, special.Options{}); err != nil {
 			b.Fatal(err)
 		}
 	}
@@ -162,8 +163,58 @@ func BenchmarkBranchAndBound(b *testing.B) {
 	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		if _, _, proven := exact.BranchAndBound(in, exact.Options{}); !proven {
+		if _, _, st := exact.BranchAndBound(context.Background(), in, exact.Options{}); !st.Proven {
 			b.Fatal("not proven")
 		}
+	}
+}
+
+// --- engine benchmarks -----------------------------------------------------
+
+// BenchmarkSolveEngine measures registry dispatch plus the selected solver,
+// per machine environment (compare against the direct algorithm benchmarks
+// above to see the dispatch overhead).
+func BenchmarkSolveEngine(b *testing.B) {
+	rng := rand.New(rand.NewSource(1))
+	cases := []struct {
+		name string
+		in   *Instance
+	}{
+		{"identical", gen.Identical(rng, gen.Params{N: 14, M: 4, K: 3})},
+		{"uniform", gen.Uniform(rng, gen.Params{N: 14, M: 4, K: 3})},
+		{"unrelated", gen.Unrelated(rng, gen.Params{N: 14, M: 4, K: 3})},
+	}
+	for _, tc := range cases {
+		b.Run(tc.name, func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				if _, err := Solve(tc.in); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkPortfolio measures the concurrent race of all applicable solvers
+// (wall-clock should track the slowest member, not the sum).
+func BenchmarkPortfolio(b *testing.B) {
+	rng := rand.New(rand.NewSource(1))
+	cases := []struct {
+		name string
+		in   *Instance
+	}{
+		{"identical", gen.Identical(rng, gen.Params{N: 14, M: 4, K: 3})},
+		{"unrelated", gen.Unrelated(rng, gen.Params{N: 14, M: 4, K: 3})},
+	}
+	for _, tc := range cases {
+		b.Run(tc.name, func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				if _, err := Portfolio(context.Background(), tc.in); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
 	}
 }

@@ -7,15 +7,19 @@
 //	instgen -kind unrelated -n 20 -m 4 -k 3
 //	instgen -kind restricted-cu ...       (class-uniform restrictions)
 //	instgen -kind unrelated-cu ...        (class-uniform processing times)
+//	instgen -kind unrelated -check        solve via the engine, summary on stderr
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"math/rand"
 	"os"
+	"time"
 
 	"repro/internal/core"
+	"repro/internal/engine"
 	"repro/internal/gen"
 )
 
@@ -30,6 +34,8 @@ func main() {
 		maxJob   = flag.Int("max-job", 100, "maximum job size")
 		minSetup = flag.Int("min-setup", 1, "minimum setup size")
 		maxSetup = flag.Int("max-setup", 50, "maximum setup size")
+		check    = flag.Bool("check", false, "solve the generated instance through the engine and print a summary to stderr")
+		timeout  = flag.Duration("timeout", 10*time.Second, "deadline for -check")
 	)
 	flag.Parse()
 	rng := rand.New(rand.NewSource(*seed))
@@ -59,5 +65,24 @@ func main() {
 	if err := in.WriteJSON(os.Stdout); err != nil {
 		fmt.Fprintln(os.Stderr, "instgen:", err)
 		os.Exit(1)
+	}
+	if *check {
+		ctx, cancel := context.WithTimeout(context.Background(), *timeout)
+		defer cancel()
+		solver, err := engine.Default().Select(in, engine.Options{})
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "instgen: check:", err)
+			os.Exit(1)
+		}
+		res, err := engine.Default().SolveNamed(ctx, solver.Name(), in, engine.Options{})
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "instgen: check:", err)
+			os.Exit(1)
+		}
+		fmt.Fprintf(os.Stderr, "instgen: check: %s (%s) makespan=%.0f lowerBound=%.1f ratio=%.3f\n",
+			res.Algorithm, solver.Capabilities().Guarantee, res.Makespan, res.LowerBound, res.Ratio())
+		if res.Note != "" {
+			fmt.Fprintf(os.Stderr, "instgen: check note: %s\n", res.Note)
+		}
 	}
 }

@@ -1,5 +1,5 @@
 // Command schedbench regenerates the paper-validation experiments (see
-// DESIGN.md §4 and EXPERIMENTS.md).
+// DESIGN.md §4 and EXPERIMENTS.md) and benchmarks the solver engine.
 //
 // Usage:
 //
@@ -8,23 +8,42 @@
 //	schedbench -all               run the whole suite
 //	schedbench -all -quick        smaller sizes (seconds instead of minutes)
 //	schedbench -seed 7 -exp E2    change the master seed
+//	schedbench -engine            race every registered solver per environment
+//	schedbench -engine -timeout 2s -n 40 -m 6
+//
+// The -engine mode generates one instance per machine environment and runs
+// every applicable registry solver plus the portfolio race on it, printing
+// per-solver makespans and runtimes; -timeout bounds each run with a
+// context deadline.
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
+	"math/rand"
 	"os"
+	"time"
 
+	"repro/internal/core"
+	"repro/internal/engine"
 	"repro/internal/experiments"
+	"repro/internal/gen"
+	"repro/internal/table"
 )
 
 func main() {
 	var (
-		list  = flag.Bool("list", false, "list experiments and exit")
-		exp   = flag.String("exp", "", "experiment id to run (e.g. E4)")
-		all   = flag.Bool("all", false, "run every experiment")
-		quick = flag.Bool("quick", false, "reduced instance sizes")
-		seed  = flag.Int64("seed", 1, "master random seed")
+		list    = flag.Bool("list", false, "list experiments and exit")
+		exp     = flag.String("exp", "", "experiment id to run (e.g. E4)")
+		all     = flag.Bool("all", false, "run every experiment")
+		quick   = flag.Bool("quick", false, "reduced instance sizes")
+		seed    = flag.Int64("seed", 1, "master random seed")
+		engMode = flag.Bool("engine", false, "benchmark the solver engine: per-kind solver race + portfolio")
+		timeout = flag.Duration("timeout", 0, "context deadline per engine run (0 = none)")
+		n       = flag.Int("n", 24, "engine mode: number of jobs")
+		m       = flag.Int("m", 4, "engine mode: number of machines")
+		k       = flag.Int("k", 3, "engine mode: number of setup classes")
 	)
 	flag.Parse()
 
@@ -33,6 +52,11 @@ func main() {
 	case *list:
 		for _, e := range experiments.All() {
 			fmt.Printf("%-4s %s\n     claim: %s\n", e.ID, e.Name, e.Claim)
+		}
+	case *engMode:
+		if err := engineBench(*seed, *n, *m, *k, *timeout); err != nil {
+			fmt.Fprintln(os.Stderr, "error:", err)
+			os.Exit(1)
 		}
 	case *exp != "":
 		e, ok := experiments.ByID(*exp)
@@ -66,4 +90,64 @@ func run(e experiments.Experiment, cfg experiments.Config) error {
 	}
 	fmt.Println(out)
 	return nil
+}
+
+// engineBench generates one instance per machine environment and dispatches
+// every applicable solver (and the portfolio race) through the engine
+// registry, reporting makespans, lower-bound ratios and runtimes.
+func engineBench(seed int64, n, m, k int, timeout time.Duration) error {
+	reg := engine.Default()
+	cases := []struct {
+		name string
+		gen  func(*rand.Rand, gen.Params) *core.Instance
+	}{
+		{"identical", gen.Identical},
+		{"uniform", gen.Uniform},
+		{"restricted-cu", gen.RestrictedClassUniform},
+		{"unrelated-cu", gen.UnrelatedClassUniform},
+		{"unrelated", gen.Unrelated},
+	}
+	params := gen.Params{N: n, M: m, K: k}
+	for _, c := range cases {
+		rng := rand.New(rand.NewSource(seed))
+		in := c.gen(rng, params)
+		tab := table.New(fmt.Sprintf("engine race — %s (n=%d m=%d K=%d)", c.name, in.N, in.M, in.K),
+			"solver", "makespan", "ratio", "time")
+		for _, s := range reg.Applicable(in, engine.Options{}) {
+			ctx, cancel := withTimeout(timeout)
+			start := time.Now()
+			res, err := s.Solve(ctx, in, engine.Options{})
+			elapsed := time.Since(start)
+			cancel()
+			if err != nil {
+				tab.AddRow(s.Name(), "error", err.Error(), fmtDur(elapsed))
+				continue
+			}
+			tab.AddRow(s.Name(), fmt.Sprintf("%.0f", res.Makespan), fmt.Sprintf("%.3f", res.Ratio()), fmtDur(elapsed))
+		}
+		ctx, cancel := withTimeout(timeout)
+		start := time.Now()
+		pr, err := reg.Portfolio(ctx, in, engine.Options{})
+		elapsed := time.Since(start)
+		cancel()
+		if err != nil {
+			tab.AddRow("portfolio", "error", err.Error(), fmtDur(elapsed))
+		} else {
+			tab.AddRow(fmt.Sprintf("portfolio→%s", pr.Winner),
+				fmt.Sprintf("%.0f", pr.Best.Makespan), fmt.Sprintf("%.3f", pr.Best.Ratio()), fmtDur(elapsed))
+		}
+		fmt.Println(tab.String())
+	}
+	return nil
+}
+
+func withTimeout(d time.Duration) (context.Context, context.CancelFunc) {
+	if d <= 0 {
+		return context.Background(), func() {}
+	}
+	return context.WithTimeout(context.Background(), d)
+}
+
+func fmtDur(d time.Duration) string {
+	return d.Round(10 * time.Microsecond).String()
 }

@@ -1,33 +1,55 @@
 // Command schedsolve reads a scheduling instance in the library's JSON
-// format and solves it with the requested algorithm.
+// format and solves it through the solver engine.
 //
 // Usage:
 //
-//	schedsolve -in instance.json                 auto-dispatch (sched.Solve)
+//	schedsolve -in instance.json                    auto-dispatch (strongest applicable solver)
 //	schedsolve -in instance.json -algo ptas -eps 0.25
-//	schedsolve -in instance.json -algo rounding
-//	schedsolve -in instance.json -algo lpt|greedy|optimal|ra2|pt3
+//	schedsolve -in instance.json -algo rounding -seed 7
+//	schedsolve -in instance.json -portfolio         race all applicable solvers
+//	schedsolve -in instance.json -portfolio -timeout 2s
+//	schedsolve -list-algos                          show registered solvers
+//
+// -timeout bounds the run with a context deadline: in-flight searches
+// (PTAS dynamic program, branch-and-bound, LP rounding binary search) stop
+// and the best schedule found so far is returned.
 //
 // The chosen assignment is printed as JSON: {"machine": [...], "makespan": X}.
 package main
 
 import (
+	"context"
 	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
+	"time"
 
 	"repro"
+	"repro/internal/engine"
 )
 
 func main() {
 	var (
-		inPath = flag.String("in", "", "instance JSON file (required)")
-		algo   = flag.String("algo", "auto", "auto|lpt|greedy|ptas|rounding|ra2|pt3|optimal")
-		eps    = flag.Float64("eps", 0.5, "accuracy parameter for -algo ptas")
-		gantt  = flag.Bool("gantt", false, "print an ASCII Gantt chart of the result to stderr")
+		inPath    = flag.String("in", "", "instance JSON file (required)")
+		algo      = flag.String("algo", "auto", "auto, or a registered solver name (see -list-algos); 'optimal' is an alias for branch-and-bound")
+		eps       = flag.Float64("eps", 0.5, "accuracy parameter for the PTAS")
+		seed      = flag.Int64("seed", 0, "seed for randomized solvers (0 = fixed default)")
+		timeout   = flag.Duration("timeout", 0, "deadline for the whole solve (0 = none), e.g. 500ms, 2s")
+		portfolio = flag.Bool("portfolio", false, "race all applicable solvers concurrently and keep the best schedule")
+		localOpt  = flag.Bool("local-search", false, "post-optimize the result with best-improvement descent")
+		maxJobs   = flag.Int("max-jobs", 0, "job guard override for branch-and-bound (0 = default 16)")
+		gantt     = flag.Bool("gantt", false, "print an ASCII Gantt chart of the result to stderr")
+		listAlgos = flag.Bool("list-algos", false, "list registered solvers with capabilities and exit")
 	)
 	flag.Parse()
+	if *listAlgos {
+		for _, s := range engine.Default().Solvers() {
+			caps := s.Capabilities()
+			fmt.Printf("%-18s priority %2d  %s\n", s.Name(), caps.Priority, caps.Guarantee)
+		}
+		return
+	}
 	if *inPath == "" {
 		flag.Usage()
 		os.Exit(2)
@@ -42,36 +64,70 @@ func main() {
 		fatal(err)
 	}
 
+	ctx := context.Background()
+	if *timeout > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, *timeout)
+		defer cancel()
+	}
+	opt := sched.SolveOptions{
+		Eps:         *eps,
+		Seed:        *seed,
+		MaxJobs:     *maxJobs,
+		LocalSearch: *localOpt,
+	}
+
 	var res sched.Result
-	switch *algo {
-	case "auto":
-		res, err = sched.Solve(in)
-	case "lpt":
-		res, err = sched.LPT(in)
-	case "greedy":
-		res, err = sched.Greedy(in)
-	case "ptas":
-		res, err = sched.PTAS(in, *eps)
-	case "rounding":
-		res, err = sched.RandomizedRounding(in, nil)
-	case "ra2":
-		res, err = sched.ClassUniformRA(in)
-	case "pt3":
-		res, err = sched.ClassUniformPT(in)
-	case "optimal":
-		res, _, err = sched.Optimal(in, 0)
+	var outcomes []outcomeJSON
+	var winner string
+	switch {
+	case *portfolio:
+		pr, err := sched.Portfolio(ctx, in, opt)
+		if err != nil {
+			fatal(err)
+		}
+		res = pr.Best
+		winner = pr.Winner
+		for _, o := range pr.Outcomes {
+			oj := outcomeJSON{Solver: o.Solver, ElapsedMs: float64(o.Elapsed) / float64(time.Millisecond)}
+			if o.Err != nil {
+				oj.Error = o.Err.Error()
+			} else {
+				oj.Makespan = o.Result.Makespan
+				oj.Note = o.Result.Note
+			}
+			outcomes = append(outcomes, oj)
+		}
+	case *algo == "auto":
+		res, err = sched.SolveWithContext(ctx, in, opt)
+		if err != nil {
+			fatal(err)
+		}
 	default:
-		fatal(fmt.Errorf("unknown algorithm %q", *algo))
+		name := *algo
+		if name == "optimal" {
+			name = engine.NameExact
+		}
+		if _, ok := engine.Default().Get(name); !ok {
+			fatal(fmt.Errorf("unknown algorithm %q (use -list-algos)", *algo))
+		}
+		// SolveNamed (not Solver.Solve directly) so -local-search and any
+		// future engine post-passes apply to named dispatch too.
+		res, err = engine.Default().SolveNamed(ctx, name, in, opt)
+		if err != nil {
+			fatal(err)
+		}
 	}
-	if err != nil {
-		fatal(err)
-	}
+
 	out := struct {
-		Algorithm  string  `json:"algorithm"`
-		Machine    []int   `json:"machine"`
-		Makespan   float64 `json:"makespan"`
-		LowerBound float64 `json:"lowerBound,omitempty"`
-	}{res.Algorithm, res.Schedule.Assign, res.Makespan, res.LowerBound}
+		Algorithm  string        `json:"algorithm"`
+		Machine    []int         `json:"machine"`
+		Makespan   float64       `json:"makespan"`
+		LowerBound float64       `json:"lowerBound,omitempty"`
+		Note       string        `json:"note,omitempty"`
+		Winner     string        `json:"winner,omitempty"`
+		Portfolio  []outcomeJSON `json:"portfolio,omitempty"`
+	}{res.Algorithm, res.Schedule.Assign, res.Makespan, res.LowerBound, res.Note, winner, outcomes}
 	enc := json.NewEncoder(os.Stdout)
 	enc.SetIndent("", " ")
 	if err := enc.Encode(out); err != nil {
@@ -84,6 +140,14 @@ func main() {
 		}
 		fmt.Fprint(os.Stderr, tl.Gantt(72))
 	}
+}
+
+type outcomeJSON struct {
+	Solver    string  `json:"solver"`
+	Makespan  float64 `json:"makespan,omitempty"`
+	Note      string  `json:"note,omitempty"`
+	Error     string  `json:"error,omitempty"`
+	ElapsedMs float64 `json:"elapsedMs"`
 }
 
 func fatal(err error) {

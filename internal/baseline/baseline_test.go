@@ -1,6 +1,7 @@
 package baseline
 
 import (
+	"context"
 	"math"
 	"math/rand"
 	"testing"
@@ -44,7 +45,8 @@ func TestLemma21RatioWithinBound(t *testing.T) {
 		} else {
 			in = gen.Uniform(rng, p)
 		}
-		_, opt, proven := exact.BranchAndBound(in, exact.Options{})
+		_, opt, bst := exact.BranchAndBound(context.Background(), in, exact.Options{})
+		proven := bst.Proven
 		if !proven || opt <= 0 {
 			return true // skip degenerate zero-makespan cases
 		}

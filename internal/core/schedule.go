@@ -136,6 +136,11 @@ type Result struct {
 	// LowerBound, when non-zero, is a certified lower bound on the optimal
 	// makespan established by the producing algorithm (e.g. an LP value).
 	LowerBound float64
+	// Note, when non-empty, explains a degraded run: why a search gave up
+	// early (node cap, deadline, size guard) and what that does to the
+	// algorithm's guarantee. An empty Note means the algorithm ran to
+	// completion with its full guarantee intact.
+	Note string
 }
 
 // Ratio returns Makespan/LowerBound, or NaN when no lower bound is known.

@@ -6,6 +6,7 @@
 package dual
 
 import (
+	"context"
 	"math"
 
 	"repro/internal/core"
@@ -30,6 +31,12 @@ type Outcome struct {
 	LowerBound float64
 	// Guesses is the number of decision-procedure invocations.
 	Guesses int
+	// Err is the context error (context.Canceled or
+	// context.DeadlineExceeded) when the search was stopped before
+	// narrowing to the requested precision; nil when the search completed.
+	// A stopped search still returns the best schedule and the soundest
+	// lower bound seen so far.
+	Err error
 }
 
 // Search runs multiplicative binary search for the smallest accepted guess
@@ -37,11 +44,15 @@ type Outcome struct {
 // (e.g. 0.05 narrows to a factor 1.05). The instance is needed to evaluate
 // makespans of returned schedules.
 //
+// The context is checked between guesses: a cancelled or expired ctx stops
+// the search early and is reported in Outcome.Err. Deciders that loop
+// internally should additionally observe the same context themselves.
+//
 // lb may be 0; it is raised to a tiny fraction of ub to keep the geometric
 // search well-defined. ub must be achievable (the caller typically passes
 // the makespan of a heuristic schedule and that schedule as a fallback via
 // fallback; pass nil to allow an empty outcome when all guesses fail).
-func Search(in *core.Instance, lb, ub, precision float64, fallback *core.Schedule, decide Decider) Outcome {
+func Search(ctx context.Context, in *core.Instance, lb, ub, precision float64, fallback *core.Schedule, decide Decider) Outcome {
 	out := Outcome{LowerBound: lb, Makespan: math.Inf(1)}
 	if fallback != nil {
 		out.Schedule = fallback
@@ -60,6 +71,10 @@ func Search(in *core.Instance, lb, ub, precision float64, fallback *core.Schedul
 	}
 	lo, hi := lb, ub
 	for hi/lo > 1+precision {
+		if err := ctx.Err(); err != nil {
+			out.Err = err
+			return out
+		}
 		mid := math.Sqrt(lo * hi)
 		out.Guesses++
 		if sched, ok := decide(mid); ok {

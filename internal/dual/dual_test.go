@@ -1,6 +1,7 @@
 package dual
 
 import (
+	"context"
 	"math"
 	"testing"
 
@@ -20,7 +21,7 @@ func TestSearchConvergesToThreshold(t *testing.T) {
 	in := testInstance(t)
 	perfect := &core.Schedule{Assign: []int{0, 1}} // makespan 5
 	// Decider accepts exactly when T >= 5 and returns the perfect schedule.
-	out := Search(in, 1, 100, 0.01, nil, func(T float64) (*core.Schedule, bool) {
+	out := Search(context.Background(), in, 1, 100, 0.01, nil, func(T float64) (*core.Schedule, bool) {
 		if T >= 5 {
 			return perfect, true
 		}
@@ -44,7 +45,7 @@ func TestSearchConvergesToThreshold(t *testing.T) {
 func TestSearchAllRejectedKeepsFallback(t *testing.T) {
 	in := testInstance(t)
 	fb := &core.Schedule{Assign: []int{0, 0}} // makespan 10
-	out := Search(in, 1, 100, 0.05, fb, func(T float64) (*core.Schedule, bool) {
+	out := Search(context.Background(), in, 1, 100, 0.05, fb, func(T float64) (*core.Schedule, bool) {
 		return nil, false
 	})
 	if out.Schedule != fb {
@@ -62,7 +63,7 @@ func TestSearchAllRejectedKeepsFallback(t *testing.T) {
 func TestSearchZeroUpperBound(t *testing.T) {
 	in := testInstance(t)
 	fb := core.NewSchedule(2)
-	out := Search(in, 0, 0, 0.05, fb, func(T float64) (*core.Schedule, bool) {
+	out := Search(context.Background(), in, 0, 0, 0.05, fb, func(T float64) (*core.Schedule, bool) {
 		t.Error("decider called despite ub=0")
 		return nil, false
 	})
@@ -75,7 +76,7 @@ func TestSearchZeroLowerBound(t *testing.T) {
 	in := testInstance(t)
 	// lb=0 must not cause sqrt(0*ub)=0 loops forever.
 	calls := 0
-	out := Search(in, 0, 16, 0.05, nil, func(T float64) (*core.Schedule, bool) {
+	out := Search(context.Background(), in, 0, 16, 0.05, nil, func(T float64) (*core.Schedule, bool) {
 		calls++
 		if calls > 200 {
 			t.Fatal("search did not terminate")
@@ -92,7 +93,7 @@ func TestSearchKeepsBestScheduleAcrossGuesses(t *testing.T) {
 	good := &core.Schedule{Assign: []int{0, 1}} // makespan 5
 	bad := &core.Schedule{Assign: []int{0, 0}}  // makespan 10
 	first := true
-	out := Search(in, 1, 100, 0.05, nil, func(T float64) (*core.Schedule, bool) {
+	out := Search(context.Background(), in, 1, 100, 0.05, nil, func(T float64) (*core.Schedule, bool) {
 		if first {
 			first = false
 			return good, true

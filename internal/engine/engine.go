@@ -1,0 +1,241 @@
+// Package engine is the solver orchestration layer: a registry of pluggable
+// Solver implementations with capability matching, automatic selection of
+// the strongest applicable algorithm, and a portfolio mode that races all
+// applicable solvers concurrently under a shared context and keeps the best
+// schedule.
+//
+// Every algorithm of the paper (and every future one — new LP backends,
+// heuristics, sharded searches) plugs in behind the Solver interface; the
+// public sched API and the cmd tools dispatch exclusively through a
+// Registry. Capability matching covers the machine environment (core.Kind),
+// the class-uniform structural preconditions of Theorems 3.10/3.11, and
+// instance-size guards for the exponential exact search.
+package engine
+
+import (
+	"context"
+	"fmt"
+	"sort"
+	"sync"
+
+	"repro/internal/core"
+)
+
+// Options is the unified tuning surface passed to every solver. Each solver
+// reads only the fields it understands; zero values mean per-solver
+// defaults.
+type Options struct {
+	// Eps is the accuracy parameter for the PTAS (default 1/2).
+	Eps float64
+	// Precision is the relative precision of dual-approximation binary
+	// searches (default per solver).
+	Precision float64
+	// Seed drives randomized solvers (the LP rounding); 0 means the fixed
+	// default seed, so runs are deterministic unless a seed is chosen.
+	Seed int64
+	// MaxJobs overrides the job-count guard of the exact branch-and-bound
+	// (0 means exact.MaxJobs). It also widens the capability match: an
+	// instance with at most MaxJobs jobs is considered in-scope for the
+	// exact solver.
+	MaxJobs int
+	// NodeLimit caps the branch-and-bound search nodes (0 = unlimited).
+	NodeLimit int64
+	// NodeCap bounds the PTAS dynamic-program nodes per guess (0 = solver
+	// default).
+	NodeCap int64
+	// RoundingC is the iteration multiplier of the randomized rounding
+	// (0 = solver default).
+	RoundingC int
+	// LocalSearch post-optimizes the chosen schedule with the
+	// best-improvement descent of internal/improve before returning it.
+	LocalSearch bool
+}
+
+// Caps declares what instances a solver can handle and how strong it is.
+type Caps struct {
+	// Kinds lists the machine environments the solver accepts.
+	Kinds []core.Kind
+	// NeedsClassUniformRA requires the Theorem 3.10 structure: all jobs of
+	// a class share one eligible machine set.
+	NeedsClassUniformRA bool
+	// NeedsClassUniformPT requires the Theorem 3.11 structure: all jobs of
+	// a class have identical processing times per machine.
+	NeedsClassUniformPT bool
+	// MaxJobs, when positive, guards the solver against instances with
+	// more jobs (used by the exponential exact search).
+	MaxJobs int
+	// Guarantee is the human-readable approximation guarantee ("1+O(ε)",
+	// "2-approximation", "exact", "none").
+	Guarantee string
+	// Priority orders automatic selection: among applicable solvers the
+	// highest priority wins (the strongest guarantee for the environment).
+	Priority int
+}
+
+// SupportsKind reports whether the solver accepts the machine environment.
+func (c Caps) SupportsKind(k core.Kind) bool {
+	for _, ck := range c.Kinds {
+		if ck == k {
+			return true
+		}
+	}
+	return false
+}
+
+// Solver is one schedulable algorithm. Solve must observe ctx: on
+// cancellation it returns promptly, either with its best feasible schedule
+// so far (Result.Note explaining the early stop) or with an error when it
+// has nothing feasible yet.
+type Solver interface {
+	Name() string
+	Capabilities() Caps
+	Solve(ctx context.Context, in *core.Instance, opt Options) (core.Result, error)
+}
+
+// Registry holds named solvers and answers capability queries. The zero
+// value is not usable; create with NewRegistry (empty) or Default (all
+// paper solvers registered).
+type Registry struct {
+	mu      sync.RWMutex
+	solvers map[string]Solver
+	order   []string // registration order, for deterministic iteration
+}
+
+// NewRegistry returns an empty registry.
+func NewRegistry() *Registry {
+	return &Registry{solvers: map[string]Solver{}}
+}
+
+// Register adds a solver; a duplicate name is an error.
+func (r *Registry) Register(s Solver) error {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	name := s.Name()
+	if name == "" {
+		return fmt.Errorf("engine: solver with empty name")
+	}
+	if _, dup := r.solvers[name]; dup {
+		return fmt.Errorf("engine: solver %q already registered", name)
+	}
+	r.solvers[name] = s
+	r.order = append(r.order, name)
+	return nil
+}
+
+// MustRegister is Register panicking on error (for static solver sets).
+func (r *Registry) MustRegister(s Solver) {
+	if err := r.Register(s); err != nil {
+		panic(err)
+	}
+}
+
+// Get looks a solver up by name.
+func (r *Registry) Get(name string) (Solver, bool) {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	s, ok := r.solvers[name]
+	return s, ok
+}
+
+// Names returns the registered solver names in registration order.
+func (r *Registry) Names() []string {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	return append([]string(nil), r.order...)
+}
+
+// Solvers returns the registered solvers in registration order.
+func (r *Registry) Solvers() []Solver {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	out := make([]Solver, 0, len(r.order))
+	for _, name := range r.order {
+		out = append(out, r.solvers[name])
+	}
+	return out
+}
+
+// applies reports whether the solver's capabilities match the instance
+// under the given options (environment, structure, size guard).
+func applies(s Solver, in *core.Instance, opt Options) bool {
+	caps := s.Capabilities()
+	if !caps.SupportsKind(in.Kind) {
+		return false
+	}
+	if guard := caps.MaxJobs; guard > 0 {
+		// opt.MaxJobs replaces the guard outright (in either direction),
+		// matching how the exact solver itself interprets it.
+		if opt.MaxJobs > 0 {
+			guard = opt.MaxJobs
+		}
+		if in.N > guard {
+			return false
+		}
+	}
+	if caps.NeedsClassUniformRA && !HasClassUniformRA(in) {
+		return false
+	}
+	if caps.NeedsClassUniformPT && !HasClassUniformPT(in) {
+		return false
+	}
+	return true
+}
+
+// Applicable returns the solvers whose capabilities match the instance,
+// strongest (highest Priority) first; ties keep registration order.
+func (r *Registry) Applicable(in *core.Instance, opt Options) []Solver {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	var out []Solver
+	for _, name := range r.order {
+		if s := r.solvers[name]; applies(s, in, opt) {
+			out = append(out, s)
+		}
+	}
+	sort.SliceStable(out, func(a, b int) bool {
+		return out[a].Capabilities().Priority > out[b].Capabilities().Priority
+	})
+	return out
+}
+
+// Select returns the strongest applicable solver for the instance: the
+// PTAS for identical/uniform machines, the 2-approximation for
+// class-uniform restricted assignment, the 3-approximation for
+// class-uniform processing times, randomized rounding for general
+// unrelated machines, with the baselines as last resorts.
+func (r *Registry) Select(in *core.Instance, opt Options) (Solver, error) {
+	app := r.Applicable(in, opt)
+	if len(app) == 0 {
+		return nil, fmt.Errorf("engine: no registered solver is applicable to %v", in)
+	}
+	return app[0], nil
+}
+
+// Solve picks the strongest applicable solver and runs it under ctx,
+// applying the optional local-search post-pass.
+func (r *Registry) Solve(ctx context.Context, in *core.Instance, opt Options) (core.Result, error) {
+	s, err := r.Select(in, opt)
+	if err != nil {
+		return core.Result{}, err
+	}
+	return r.run(ctx, s, in, opt)
+}
+
+// SolveNamed runs the registered solver with the given name under ctx,
+// applying the optional local-search post-pass (the path named-algorithm
+// dispatch must use so Options.LocalSearch is honored).
+func (r *Registry) SolveNamed(ctx context.Context, name string, in *core.Instance, opt Options) (core.Result, error) {
+	s, ok := r.Get(name)
+	if !ok {
+		return core.Result{}, fmt.Errorf("engine: solver %q not registered", name)
+	}
+	return r.run(ctx, s, in, opt)
+}
+
+func (r *Registry) run(ctx context.Context, s Solver, in *core.Instance, opt Options) (core.Result, error) {
+	res, err := s.Solve(ctx, in, opt)
+	if err != nil {
+		return core.Result{}, fmt.Errorf("engine: %s: %w", s.Name(), err)
+	}
+	return postProcess(ctx, in, res, opt), nil
+}

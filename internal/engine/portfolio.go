@@ -1,0 +1,112 @@
+package engine
+
+import (
+	"context"
+	"fmt"
+	"math"
+	"sync"
+	"time"
+
+	"repro/internal/core"
+)
+
+// SolverOutcome is one solver's contribution to a portfolio run.
+type SolverOutcome struct {
+	// Solver is the registry name of the solver.
+	Solver string
+	// Result is the solver's result; meaningful only when Err is nil.
+	Result core.Result
+	// Err is the solver's failure (or the recovered panic message); nil on
+	// success.
+	Err error
+	// Elapsed is the solver's wall-clock runtime inside the race.
+	Elapsed time.Duration
+}
+
+// PortfolioResult is the outcome of racing all applicable solvers.
+type PortfolioResult struct {
+	// Best is the minimum-makespan result across successful members. Its
+	// LowerBound is the strongest certified bound any member produced, so
+	// Best.Ratio() reflects the whole portfolio's knowledge.
+	Best core.Result
+	// Winner is the registry name of the solver that produced Best.
+	Winner string
+	// Outcomes reports every raced solver in finish-priority order
+	// (matching Applicable), including failures.
+	Outcomes []SolverOutcome
+}
+
+// Portfolio races every applicable solver concurrently under the shared
+// ctx and returns the best makespan found. Each member runs on its own
+// goroutine with the same deadline, so a context timeout bounds the whole
+// race; members that stop early contribute their best-so-far schedules.
+// An error is returned only when no member produced a feasible schedule.
+func (r *Registry) Portfolio(ctx context.Context, in *core.Instance, opt Options) (PortfolioResult, error) {
+	solvers := r.Applicable(in, opt)
+	if len(solvers) == 0 {
+		return PortfolioResult{}, fmt.Errorf("engine: no registered solver is applicable to %v", in)
+	}
+	outcomes := make([]SolverOutcome, len(solvers))
+	var wg sync.WaitGroup
+	for idx, s := range solvers {
+		wg.Add(1)
+		go func(idx int, s Solver) {
+			defer wg.Done()
+			start := time.Now()
+			defer func() {
+				if p := recover(); p != nil {
+					outcomes[idx] = SolverOutcome{
+						Solver:  s.Name(),
+						Err:     fmt.Errorf("engine: solver %s panicked: %v", s.Name(), p),
+						Elapsed: time.Since(start),
+					}
+				}
+			}()
+			res, err := s.Solve(ctx, in, opt)
+			if err == nil && res.Schedule == nil {
+				err = fmt.Errorf("engine: solver %s returned no schedule", s.Name())
+			}
+			if err == nil {
+				if verr := res.Schedule.Validate(in); verr != nil {
+					err = fmt.Errorf("engine: solver %s produced an infeasible schedule: %w", s.Name(), verr)
+				}
+			}
+			outcomes[idx] = SolverOutcome{Solver: s.Name(), Result: res, Err: err, Elapsed: time.Since(start)}
+		}(idx, s)
+	}
+	wg.Wait()
+
+	out := PortfolioResult{Outcomes: outcomes}
+	bestMs := math.Inf(1)
+	bestLB := 0.0
+	for _, o := range outcomes {
+		if o.Err != nil {
+			continue
+		}
+		if o.Result.LowerBound > bestLB {
+			bestLB = o.Result.LowerBound
+		}
+		if o.Result.Makespan < bestMs {
+			bestMs = o.Result.Makespan
+			out.Best = o.Result
+			out.Winner = o.Solver
+		}
+	}
+	if out.Winner == "" {
+		errs := ""
+		for _, o := range outcomes {
+			errs += fmt.Sprintf("; %s: %v", o.Solver, o.Err)
+		}
+		return out, fmt.Errorf("engine: every portfolio member failed%s", errs)
+	}
+	out.Best.LowerBound = bestLB
+	out.Best = postProcess(ctx, in, out.Best, opt)
+	// Winner provenance lives in out.Winner/Outcomes; Best.Note stays
+	// reserved for degraded-run causes per the core.Result contract.
+	return out, nil
+}
+
+// Portfolio races the default registry.
+func Portfolio(ctx context.Context, in *core.Instance, opt Options) (PortfolioResult, error) {
+	return Default().Portfolio(ctx, in, opt)
+}

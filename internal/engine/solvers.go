@@ -1,0 +1,233 @@
+package engine
+
+import (
+	"context"
+	"fmt"
+	"math/rand"
+	"sync"
+
+	"repro/internal/baseline"
+	"repro/internal/core"
+	"repro/internal/exact"
+	"repro/internal/improve"
+	"repro/internal/ptas"
+	"repro/internal/rounding"
+	"repro/internal/special"
+)
+
+// Canonical solver names, used by the -algo flag and Registry.Get.
+const (
+	NameLPT      = "lpt"
+	NameGreedy   = "greedy"
+	NamePTAS     = "ptas"
+	NameRounding = "rounding"
+	NameRA2      = "class-uniform-ra"
+	NamePT3      = "class-uniform-pt"
+	NameExact    = "branch-and-bound"
+)
+
+// HasClassUniformRA reports the Theorem 3.10 structure (restricted
+// assignment, all jobs of a class share one eligible machine set).
+func HasClassUniformRA(in *core.Instance) bool {
+	return special.CheckClassUniformRA(in) == nil
+}
+
+// HasClassUniformPT reports the Theorem 3.11 structure (all jobs of a
+// class have identical processing times per machine).
+func HasClassUniformPT(in *core.Instance) bool {
+	return special.CheckClassUniformPT(in) == nil
+}
+
+// funcSolver adapts a plain function plus static capabilities.
+type funcSolver struct {
+	name  string
+	caps  Caps
+	solve func(ctx context.Context, in *core.Instance, opt Options) (core.Result, error)
+}
+
+func (f *funcSolver) Name() string       { return f.name }
+func (f *funcSolver) Capabilities() Caps { return f.caps }
+func (f *funcSolver) Solve(ctx context.Context, in *core.Instance, opt Options) (core.Result, error) {
+	return f.solve(ctx, in, opt)
+}
+
+// NewSolver builds a Solver from a name, capabilities and a solve function
+// (the hook third-party algorithms use to plug into a Registry).
+func NewSolver(name string, caps Caps, solve func(ctx context.Context, in *core.Instance, opt Options) (core.Result, error)) Solver {
+	return &funcSolver{name: name, caps: caps, solve: solve}
+}
+
+func rngFor(opt Options) *rand.Rand {
+	seed := opt.Seed
+	if seed == 0 {
+		seed = 1
+	}
+	return rand.New(rand.NewSource(seed))
+}
+
+// allKinds lists every machine environment.
+var allKinds = []core.Kind{core.Identical, core.Uniform, core.RestrictedAssignment, core.Unrelated}
+
+// uniformKinds are the environments of the Section 2 PTAS and Lemma 2.1.
+var uniformKinds = []core.Kind{core.Identical, core.Uniform}
+
+func newLPTSolver() Solver {
+	return NewSolver(NameLPT, Caps{
+		Kinds:     uniformKinds,
+		Guarantee: "3(1+1/√3) ≈ 4.74-approximation (Lemma 2.1)",
+		Priority:  10,
+	}, func(ctx context.Context, in *core.Instance, opt Options) (core.Result, error) {
+		sched, err := baseline.Lemma21LPT(in)
+		if err != nil {
+			return core.Result{}, err
+		}
+		return core.Result{
+			Algorithm:  NameLPT,
+			Schedule:   sched,
+			Makespan:   sched.Makespan(in),
+			LowerBound: exact.VolumeLowerBound(in),
+		}, nil
+	})
+}
+
+func newGreedySolver() Solver {
+	return NewSolver(NameGreedy, Caps{
+		Kinds:     allKinds,
+		Guarantee: "none (practical baseline)",
+		Priority:  1,
+	}, func(ctx context.Context, in *core.Instance, opt Options) (core.Result, error) {
+		sched, err := baseline.Greedy(in)
+		if err != nil {
+			return core.Result{}, err
+		}
+		return core.Result{
+			Algorithm:  NameGreedy,
+			Schedule:   sched,
+			Makespan:   sched.Makespan(in),
+			LowerBound: exact.VolumeLowerBound(in),
+		}, nil
+	})
+}
+
+func newPTASSolver() Solver {
+	return NewSolver(NamePTAS, Caps{
+		Kinds:     uniformKinds,
+		Guarantee: "1+O(ε) (Section 2 PTAS)",
+		Priority:  50,
+	}, func(ctx context.Context, in *core.Instance, opt Options) (core.Result, error) {
+		res, _, err := ptas.Schedule(ctx, in, ptas.Options{
+			Eps:       opt.Eps,
+			NodeCap:   opt.NodeCap,
+			Precision: opt.Precision,
+		})
+		return res, err
+	})
+}
+
+func newRoundingSolver() Solver {
+	return NewSolver(NameRounding, Caps{
+		Kinds:     []core.Kind{core.RestrictedAssignment, core.Unrelated},
+		Guarantee: "O(log n + log m) (Theorem 3.3)",
+		Priority:  20,
+	}, func(ctx context.Context, in *core.Instance, opt Options) (core.Result, error) {
+		return rounding.Schedule(ctx, in, rounding.Options{
+			C:         opt.RoundingC,
+			Rng:       rngFor(opt),
+			Precision: opt.Precision,
+		})
+	})
+}
+
+func newRA2Solver() Solver {
+	return NewSolver(NameRA2, Caps{
+		Kinds:               []core.Kind{core.RestrictedAssignment},
+		NeedsClassUniformRA: true,
+		Guarantee:           "2-approximation (Theorem 3.10)",
+		Priority:            40,
+	}, func(ctx context.Context, in *core.Instance, opt Options) (core.Result, error) {
+		return special.ScheduleClassUniformRA(ctx, in, special.Options{Precision: opt.Precision})
+	})
+}
+
+func newPT3Solver() Solver {
+	return NewSolver(NamePT3, Caps{
+		Kinds:               []core.Kind{core.Identical, core.Uniform, core.Unrelated},
+		NeedsClassUniformPT: true,
+		Guarantee:           "3-approximation (Theorem 3.11)",
+		Priority:            30,
+	}, func(ctx context.Context, in *core.Instance, opt Options) (core.Result, error) {
+		return special.ScheduleClassUniformPT(ctx, in, special.Options{Precision: opt.Precision})
+	})
+}
+
+func newExactSolver() Solver {
+	return NewSolver(NameExact, Caps{
+		Kinds:     allKinds,
+		MaxJobs:   exact.MaxJobs,
+		Guarantee: "exact optimum (branch-and-bound)",
+		Priority:  5,
+	}, func(ctx context.Context, in *core.Instance, opt Options) (core.Result, error) {
+		sched, ms, st := exact.BranchAndBound(ctx, in, exact.Options{
+			MaxJobs:   opt.MaxJobs,
+			NodeLimit: opt.NodeLimit,
+		})
+		if sched == nil {
+			return core.Result{}, fmt.Errorf("branch-and-bound found no schedule (%s, n=%d, %d nodes)", st.Reason, in.N, st.Nodes)
+		}
+		res := core.Result{
+			Algorithm: NameExact,
+			Schedule:  sched,
+			Makespan:  ms,
+		}
+		if st.Proven {
+			res.LowerBound = ms
+		} else {
+			res.LowerBound = exact.VolumeLowerBound(in)
+			res.Note = fmt.Sprintf("search incomplete (%s after %d nodes); schedule is best-so-far, optimality not proven", st.Reason, st.Nodes)
+		}
+		return res, nil
+	})
+}
+
+// postProcess applies the optional local-search descent to a solver result.
+func postProcess(ctx context.Context, in *core.Instance, res core.Result, opt Options) core.Result {
+	if !opt.LocalSearch || res.Schedule == nil {
+		return res
+	}
+	improved, ir := improve.Improve(ctx, in, res.Schedule, improve.DefaultOptions())
+	if ir.After < res.Makespan {
+		res.Schedule = improved
+		res.Makespan = ir.After
+		res.Algorithm += "+ls"
+	}
+	return res
+}
+
+var (
+	defaultOnce sync.Once
+	defaultReg  *Registry
+)
+
+// Default returns the shared registry with every algorithm of the paper
+// registered: the Lemma 2.1 LPT rule, the setup-aware greedy baseline, the
+// Section 2 PTAS, the Section 3.1 randomized LP rounding, the two
+// class-uniform special cases of Section 3.3, and the exact
+// branch-and-bound for small instances.
+func Default() *Registry {
+	defaultOnce.Do(func() {
+		defaultReg = NewRegistry()
+		defaultReg.MustRegister(newPTASSolver())
+		defaultReg.MustRegister(newRA2Solver())
+		defaultReg.MustRegister(newPT3Solver())
+		defaultReg.MustRegister(newRoundingSolver())
+		defaultReg.MustRegister(newLPTSolver())
+		defaultReg.MustRegister(newExactSolver())
+		defaultReg.MustRegister(newGreedySolver())
+	})
+	return defaultReg
+}
+
+// Solve dispatches through the default registry.
+func Solve(ctx context.Context, in *core.Instance, opt Options) (core.Result, error) {
+	return Default().Solve(ctx, in, opt)
+}

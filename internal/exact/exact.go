@@ -5,6 +5,8 @@
 package exact
 
 import (
+	"context"
+	"fmt"
 	"math"
 	"sort"
 
@@ -21,7 +23,7 @@ type Options struct {
 	MaxJobs int
 	// NodeLimit caps the number of explored search nodes; 0 means no cap.
 	// When the cap is hit, the returned schedule is the best found so far
-	// and the bool result is false (not proven optimal).
+	// and the search is reported as not proven optimal.
 	NodeLimit int64
 	// UpperBound primes the search with a known feasible makespan (e.g.
 	// from a heuristic); 0 means start from the trivial single-machine
@@ -29,18 +31,67 @@ type Options struct {
 	UpperBound float64
 }
 
-// BranchAndBound returns an optimal schedule and its makespan. The second
-// return is true when optimality was proven (no limit hit). Instances with
-// more than Options.MaxJobs jobs yield (nil, 0, false) immediately.
-func BranchAndBound(in *core.Instance, opt Options) (*core.Schedule, float64, bool) {
+// StopReason says why a branch-and-bound run ended.
+type StopReason int
+
+const (
+	// StopProven: the search space was exhausted; the result is optimal.
+	StopProven StopReason = iota
+	// StopTooLarge: the instance exceeded the MaxJobs guard and the search
+	// never started.
+	StopTooLarge
+	// StopNodeLimit: the NodeLimit cap was hit; the result is the best
+	// schedule found so far.
+	StopNodeLimit
+	// StopCancelled: the context was cancelled or its deadline expired.
+	StopCancelled
+)
+
+// String returns a short human-readable cause, suitable for Result notes.
+func (r StopReason) String() string {
+	switch r {
+	case StopProven:
+		return "proven optimal"
+	case StopTooLarge:
+		return "instance exceeds job guard"
+	case StopNodeLimit:
+		return "node limit reached"
+	case StopCancelled:
+		return "context cancelled"
+	default:
+		return fmt.Sprintf("StopReason(%d)", int(r))
+	}
+}
+
+// Status reports how a branch-and-bound run ended.
+type Status struct {
+	// Proven is true when optimality was proven (search space exhausted).
+	Proven bool
+	// Reason says why the search stopped when Proven is false (and is
+	// StopProven when it is true).
+	Reason StopReason
+	// Nodes is the number of search nodes explored.
+	Nodes int64
+}
+
+// checkEvery is the node interval at which the searcher polls the context;
+// a power of two so the test compiles to a mask.
+const checkEvery = 1024
+
+// BranchAndBound returns an optimal schedule and its makespan, observing
+// ctx: a cancelled or expired context stops the search and returns the best
+// schedule found so far (Status.Reason = StopCancelled). Instances with
+// more than Options.MaxJobs jobs yield (nil, 0, Status{Reason:
+// StopTooLarge}) immediately.
+func BranchAndBound(ctx context.Context, in *core.Instance, opt Options) (*core.Schedule, float64, Status) {
 	guard := opt.MaxJobs
 	if guard == 0 {
 		guard = MaxJobs
 	}
 	if in.N > guard {
-		return nil, 0, false
+		return nil, 0, Status{Reason: StopTooLarge}
 	}
-	s := &searcher{in: in, nodeLimit: opt.NodeLimit}
+	s := &searcher{in: in, nodeLimit: opt.NodeLimit, ctx: ctx}
 	s.prepare()
 	best := opt.UpperBound
 	if best <= 0 {
@@ -54,25 +105,28 @@ func BranchAndBound(in *core.Instance, opt Options) (*core.Schedule, float64, bo
 		s.classOn[i] = make([]bool, in.K)
 	}
 	s.dfs(0)
+	st := Status{Proven: !s.limitHit, Reason: s.stopReason, Nodes: s.nodes}
 	if s.best == nil {
-		return nil, 0, false
+		return nil, 0, st
 	}
-	return s.best, s.bestVal, !s.limitHit
+	return s.best, s.bestVal, st
 }
 
 type searcher struct {
-	in        *core.Instance
-	order     []int     // jobs sorted by decreasing min processing time
-	sufMin    []float64 // suffix sums of min_i p_{ij} over the order
-	sameRows  [][]bool  // sameRows[a][b]: machines a and b fully identical
-	cur       *core.Schedule
-	best      *core.Schedule
-	bestVal   float64
-	loads     []float64
-	classOn   [][]bool
-	nodes     int64
-	nodeLimit int64
-	limitHit  bool
+	in         *core.Instance
+	ctx        context.Context
+	order      []int     // jobs sorted by decreasing min processing time
+	sufMin     []float64 // suffix sums of min_i p_{ij} over the order
+	sameRows   [][]bool  // sameRows[a][b]: machines a and b fully identical
+	cur        *core.Schedule
+	best       *core.Schedule
+	bestVal    float64
+	loads      []float64
+	classOn    [][]bool
+	nodes      int64
+	nodeLimit  int64
+	limitHit   bool
+	stopReason StopReason
 }
 
 func (s *searcher) prepare() {
@@ -143,6 +197,12 @@ func (s *searcher) dfs(idx int) {
 	s.nodes++
 	if s.nodeLimit > 0 && s.nodes > s.nodeLimit {
 		s.limitHit = true
+		s.stopReason = StopNodeLimit
+		return
+	}
+	if s.nodes%checkEvery == 0 && s.ctx.Err() != nil {
+		s.limitHit = true
+		s.stopReason = StopCancelled
 		return
 	}
 	if s.lowerBound(idx) >= s.bestVal-core.Eps {

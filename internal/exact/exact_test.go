@@ -1,6 +1,7 @@
 package exact
 
 import (
+	"context"
 	"math"
 	"math/rand"
 	"testing"
@@ -50,7 +51,8 @@ func TestBranchAndBoundMatchesBruteForce(t *testing.T) {
 			in = gen.Restricted(rng, p)
 		}
 		want := bruteForce(in)
-		sched, got, proven := BranchAndBound(in, Options{})
+		sched, got, bst := BranchAndBound(context.Background(), in, Options{})
+		proven := bst.Proven
 		if !proven || sched == nil {
 			return false
 		}
@@ -75,7 +77,8 @@ func TestBranchAndBoundKnownOptimum(t *testing.T) {
 	if err != nil {
 		t.Fatalf("NewIdentical: %v", err)
 	}
-	_, opt, proven := BranchAndBound(in, Options{})
+	_, opt, bst := BranchAndBound(context.Background(), in, Options{})
+	proven := bst.Proven
 	if !proven || math.Abs(opt-20) > core.Eps {
 		t.Errorf("opt = %v (proven=%v), want 20", opt, proven)
 	}
@@ -84,10 +87,10 @@ func TestBranchAndBoundKnownOptimum(t *testing.T) {
 func TestBranchAndBoundRespectsJobGuard(t *testing.T) {
 	rng := rand.New(rand.NewSource(1))
 	in := gen.Identical(rng, gen.Params{N: MaxJobs + 1, M: 2, K: 2})
-	if sched, _, proven := BranchAndBound(in, Options{}); sched != nil || proven {
+	if sched, _, st := BranchAndBound(context.Background(), in, Options{}); sched != nil || st.Proven {
 		t.Error("guard did not trip for oversized instance")
 	}
-	if sched, _, _ := BranchAndBound(in, Options{MaxJobs: MaxJobs + 1}); sched == nil {
+	if sched, _, _ := BranchAndBound(context.Background(), in, Options{MaxJobs: MaxJobs + 1}); sched == nil {
 		t.Error("override of job guard did not take effect")
 	}
 }
@@ -95,7 +98,8 @@ func TestBranchAndBoundRespectsJobGuard(t *testing.T) {
 func TestBranchAndBoundNodeLimit(t *testing.T) {
 	rng := rand.New(rand.NewSource(2))
 	in := gen.Unrelated(rng, gen.Params{N: 12, M: 4, K: 3})
-	sched, _, proven := BranchAndBound(in, Options{NodeLimit: 50})
+	sched, _, bst := BranchAndBound(context.Background(), in, Options{NodeLimit: 50})
+	proven := bst.Proven
 	if proven {
 		t.Error("claims proven optimality despite tiny node limit")
 	}
@@ -115,7 +119,8 @@ func TestBranchAndBoundUsesUpperBound(t *testing.T) {
 	// 5 means nothing strictly better exists; the search must still return
 	// a schedule achieving it... it cannot, since pruning is strict. So
 	// prime with 6: the optimum 5 must be found.
-	sched, opt, proven := BranchAndBound(in, Options{UpperBound: 6})
+	sched, opt, bst := BranchAndBound(context.Background(), in, Options{UpperBound: 6})
+	proven := bst.Proven
 	if !proven || sched == nil || math.Abs(opt-5) > core.Eps {
 		t.Errorf("opt = %v (proven=%v), want 5", opt, proven)
 	}
@@ -161,7 +166,8 @@ func TestSymmetryPruningStillOptimal(t *testing.T) {
 	if err != nil {
 		t.Fatalf("NewIdentical: %v", err)
 	}
-	_, opt, proven := BranchAndBound(in, Options{})
+	_, opt, bst := BranchAndBound(context.Background(), in, Options{})
+	proven := bst.Proven
 	if !proven || math.Abs(opt-13) > core.Eps {
 		// Sizes sum to 39; best balance on 3 machines is 13 = 9+4 = 8+5 = 7+6.
 		t.Errorf("opt = %v (proven=%v), want 13", opt, proven)

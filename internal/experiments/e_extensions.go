@@ -1,6 +1,7 @@
 package experiments
 
 import (
+	"context"
 	"math/rand"
 
 	"repro/internal/baseline"
@@ -53,7 +54,7 @@ func runE12(cfg Config) (string, error) {
 		{"NextFitBatch [24]", identical.NextFitBatch},
 		{"SplitBigClasses [24]", identical.SplitBigClasses},
 		{"PTAS ε=1/4 (Sec. 2)", func(in *core.Instance) (*core.Schedule, error) {
-			res, _, err := ptas.Schedule(in, ptas.Options{Eps: 0.25})
+			res, _, err := ptas.Schedule(context.Background(), in, ptas.Options{Eps: 0.25})
 			if err != nil {
 				return nil, err
 			}
@@ -64,7 +65,7 @@ func runE12(cfg Config) (string, error) {
 			if err != nil {
 				return nil, err
 			}
-			improved, _ := improve.Improve(in, g, improve.DefaultOptions())
+			improved, _ := improve.Improve(context.Background(), in, g, improve.DefaultOptions())
 			return improved, nil
 		}},
 	}
@@ -78,7 +79,8 @@ func runE12(cfg Config) (string, error) {
 		for rep := 0; rep < reps; rep++ {
 			rng := rand.New(rand.NewSource(cfg.Seed + int64(rep)))
 			in := gen.Identical(rng, reg)
-			_, opt, proven := exact.BranchAndBound(in, exact.Options{})
+			_, opt, bst := exact.BranchAndBound(context.Background(), in, exact.Options{})
+			proven := bst.Proven
 			if !proven || opt <= 0 {
 				continue
 			}
@@ -128,7 +130,7 @@ func runE13(cfg Config) (string, error) {
 			if err != nil {
 				return "", err
 			}
-			_, res := improve.Improve(in, start, v.opt)
+			_, res := improve.Improve(context.Background(), in, start, v.opt)
 			if res.Before > 0 {
 				gains = append(gains, 100*(res.Before-res.After)/res.Before)
 			}
@@ -161,11 +163,11 @@ func runE14(cfg Config) (string, error) {
 		for rep := 0; rep < reps; rep++ {
 			rng := rand.New(rand.NewSource(cfg.Seed + int64(rep)))
 			in := gen.UnrelatedClassUniform(rng, reg.params)
-			at, err := special.ScheduleClassUniformPT(in, special.Options{})
+			at, err := special.ScheduleClassUniformPT(context.Background(), in, special.Options{})
 			if err != nil {
 				return "", err
 			}
-			sp, err := special.ScheduleSplittable(in, special.Options{})
+			sp, err := special.ScheduleSplittable(context.Background(), in, special.Options{})
 			if err != nil {
 				return "", err
 			}

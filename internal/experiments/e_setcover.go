@@ -1,6 +1,7 @@
 package experiments
 
 import (
+	"context"
 	"math"
 	"math/rand"
 
@@ -31,7 +32,7 @@ func init() {
 func lpFeasibleMakespan(in *core.Instance, ub float64) (float64, error) {
 	var solveErr error
 	best := ub
-	out := dual.Search(in, 0, ub, 0.03, nil, func(T float64) (*core.Schedule, bool) {
+	out := dual.Search(context.Background(), in, 0, ub, 0.03, nil, func(T float64) (*core.Schedule, bool) {
 		f, err := rounding.SolveLP(in, T)
 		if err != nil {
 			solveErr = err

@@ -1,6 +1,7 @@
 package experiments
 
 import (
+	"context"
 	"math/rand"
 
 	"repro/internal/exact"
@@ -29,11 +30,12 @@ func runE7(cfg Config) (string, error) {
 	return runSpecial(cfg, "E7 — class-uniform restricted assignment (Theorem 3.10)",
 		2.0, func(rng *rand.Rand, p gen.Params) (*specialResult, error) {
 			in := gen.RestrictedClassUniform(rng, p)
-			res, err := special.ScheduleClassUniformRA(in, special.Options{})
+			res, err := special.ScheduleClassUniformRA(context.Background(), in, special.Options{})
 			if err != nil {
 				return nil, err
 			}
-			_, opt, proven := exact.BranchAndBound(in, exact.Options{})
+			_, opt, bst := exact.BranchAndBound(context.Background(), in, exact.Options{})
+			proven := bst.Proven
 			return &specialResult{makespan: res.Makespan, lb: res.LowerBound, opt: opt, proven: proven}, nil
 		})
 }
@@ -42,11 +44,12 @@ func runE8(cfg Config) (string, error) {
 	return runSpecial(cfg, "E8 — class-uniform processing times (Theorem 3.11)",
 		3.0, func(rng *rand.Rand, p gen.Params) (*specialResult, error) {
 			in := gen.UnrelatedClassUniform(rng, p)
-			res, err := special.ScheduleClassUniformPT(in, special.Options{})
+			res, err := special.ScheduleClassUniformPT(context.Background(), in, special.Options{})
 			if err != nil {
 				return nil, err
 			}
-			_, opt, proven := exact.BranchAndBound(in, exact.Options{})
+			_, opt, bst := exact.BranchAndBound(context.Background(), in, exact.Options{})
+			proven := bst.Proven
 			return &specialResult{makespan: res.Makespan, lb: res.LowerBound, opt: opt, proven: proven}, nil
 		})
 }

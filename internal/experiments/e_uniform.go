@@ -1,6 +1,7 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
 	"math/rand"
 	"strings"
@@ -75,7 +76,8 @@ func runE1(cfg Config) (string, error) {
 		for rep := 0; rep < reps; rep++ {
 			rng := rand.New(rand.NewSource(cfg.Seed + int64(rep)))
 			in := gen.Uniform(rng, reg.params)
-			_, opt, proven := exact.BranchAndBound(in, exact.Options{})
+			_, opt, bst := exact.BranchAndBound(context.Background(), in, exact.Options{})
+			proven := bst.Proven
 			if !proven || opt <= 0 {
 				continue
 			}
@@ -141,7 +143,8 @@ func runE2(cfg Config) (string, error) {
 	for rep := 0; rep < reps*2 && len(pool) < reps; rep++ {
 		rng := rand.New(rand.NewSource(cfg.Seed + int64(rep)))
 		in := gen.Uniform(rng, gen.Params{N: 11, M: 3, K: 3})
-		_, opt, proven := exact.BranchAndBound(in, exact.Options{})
+		_, opt, bst := exact.BranchAndBound(context.Background(), in, exact.Options{})
+		proven := bst.Proven
 		if proven && opt > 0 {
 			pool = append(pool, inst{in, opt})
 		}
@@ -162,7 +165,7 @@ func runE2(cfg Config) (string, error) {
 		var nodes int64
 		start := time.Now()
 		for _, p := range pool {
-			res, st, err := ptas.Schedule(p.in, ptas.Options{Eps: eps})
+			res, st, err := ptas.Schedule(context.Background(), p.in, ptas.Options{Eps: eps})
 			if err != nil {
 				return "", err
 			}
@@ -213,7 +216,8 @@ func runE9(cfg Config) (string, error) {
 		for rep := 0; rep < reps; rep++ {
 			rng := rand.New(rand.NewSource(cfg.Seed + int64(rep)))
 			in := gen.Identical(rng, reg.params)
-			_, opt, proven := exact.BranchAndBound(in, exact.Options{})
+			_, opt, bst := exact.BranchAndBound(context.Background(), in, exact.Options{})
+			proven := bst.Proven
 			if !proven || opt <= 0 {
 				continue
 			}

@@ -1,6 +1,7 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
 	"math"
 	"math/rand"
@@ -51,7 +52,7 @@ func runE4(cfg Config) (string, error) {
 		for rep := 0; rep < reps; rep++ {
 			rng := rand.New(rand.NewSource(cfg.Seed + int64(rep)))
 			in := gen.Unrelated(rng, gen.Params{N: n, M: n, K: k})
-			res, det, err := rounding.ScheduleDetailed(in, rounding.Options{Rng: rng})
+			res, det, err := rounding.ScheduleDetailed(context.Background(), in, rounding.Options{Rng: rng})
 			if err != nil {
 				return "", err
 			}
@@ -91,7 +92,7 @@ func runE10(cfg Config) (string, error) {
 		for rep := 0; rep < reps; rep++ {
 			rng := rand.New(rand.NewSource(cfg.Seed + int64(rep)))
 			in := gen.Unrelated(rng, gen.Params{N: 14, M: 4, K: 3})
-			res, det, err := rounding.ScheduleDetailed(in, rounding.Options{Rng: rng, C: c})
+			res, det, err := rounding.ScheduleDetailed(context.Background(), in, rounding.Options{Rng: rng, C: c})
 			if err != nil {
 				return "", err
 			}
@@ -104,7 +105,7 @@ func runE10(cfg Config) (string, error) {
 				continue
 			}
 			for rr := 0; rr < rounds; rr++ {
-				_, st := rounding.Round(in, frac, c, rng)
+				_, st := rounding.Round(context.Background(), in, frac, c, rng)
 				totalFallback += st.Fallback
 				if st.Fallback == 0 {
 					fallbackFree++
@@ -148,11 +149,11 @@ func runE11(cfg Config) (string, error) {
 		if err != nil {
 			return "", err
 		}
-		pt, err := timeIt(func() error { _, _, e := ptas.Schedule(uni, ptas.Options{Eps: 0.5}); return e })
+		pt, err := timeIt(func() error { _, _, e := ptas.Schedule(context.Background(), uni, ptas.Options{Eps: 0.5}); return e })
 		if err != nil {
 			return "", err
 		}
-		rd, err := timeIt(func() error { _, e := rounding.Schedule(unr, rounding.Options{}); return e })
+		rd, err := timeIt(func() error { _, e := rounding.Schedule(context.Background(), unr, rounding.Options{}); return e })
 		if err != nil {
 			return "", err
 		}

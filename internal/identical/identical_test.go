@@ -1,6 +1,7 @@
 package identical
 
 import (
+	"context"
 	"math/rand"
 	"testing"
 	"testing/quick"
@@ -35,7 +36,8 @@ func TestSplitBigClassesConstantFactorEmpirical(t *testing.T) {
 	for seed := int64(0); seed < 30; seed++ {
 		rng := rand.New(rand.NewSource(seed))
 		in := gen.Identical(rng, gen.Params{N: 9, M: 3, K: 3})
-		_, opt, proven := exact.BranchAndBound(in, exact.Options{})
+		_, opt, bst := exact.BranchAndBound(context.Background(), in, exact.Options{})
+		proven := bst.Proven
 		if !proven || opt <= 0 {
 			continue
 		}

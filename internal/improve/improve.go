@@ -8,6 +8,7 @@
 package improve
 
 import (
+	"context"
 	"math"
 
 	"repro/internal/core"
@@ -40,6 +41,10 @@ type Result struct {
 	Applied int
 	// Before and After are the makespans at entry and exit.
 	Before, After float64
+	// Stopped is true when the context was cancelled before the descent
+	// reached a local optimum (the returned schedule is still valid and no
+	// worse than the input).
+	Stopped bool
 }
 
 // state tracks loads incrementally during the descent.
@@ -112,14 +117,21 @@ func (st *state) moveJob(j, to int) {
 }
 
 // Improve runs best-improvement descent on a copy of sched and returns the
-// improved schedule. The input schedule must be complete and feasible.
-func Improve(in *core.Instance, sched *core.Schedule, opt Options) (*core.Schedule, Result) {
+// improved schedule. The input schedule must be complete and feasible. The
+// context is checked between descent rounds: cancellation stops the
+// descent and returns the best schedule reached so far (never worse than
+// the input).
+func Improve(ctx context.Context, in *core.Instance, sched *core.Schedule, opt Options) (*core.Schedule, Result) {
 	if opt.MaxRounds <= 0 {
 		opt = DefaultOptions()
 	}
 	st := newState(in, sched)
 	res := Result{Before: st.makespan()}
 	for res.Rounds = 0; res.Rounds < opt.MaxRounds; res.Rounds++ {
+		if ctx.Err() != nil {
+			res.Stopped = true
+			break
+		}
 		improved := false
 		if opt.Moves && st.bestMove() {
 			improved, res.Applied = true, res.Applied+1

@@ -1,6 +1,7 @@
 package improve
 
 import (
+	"context"
 	"math/rand"
 	"testing"
 	"testing/quick"
@@ -35,7 +36,7 @@ func TestImproveInvariants(t *testing.T) {
 		if err != nil {
 			return false
 		}
-		improved, res := Improve(in, start, DefaultOptions())
+		improved, res := Improve(context.Background(), in, start, DefaultOptions())
 		if err := improved.Validate(in); err != nil {
 			return false
 		}
@@ -97,7 +98,7 @@ func TestImproveFindsObviousMove(t *testing.T) {
 		t.Fatalf("NewIdentical: %v", err)
 	}
 	start := &core.Schedule{Assign: []int{0, 0}}
-	improved, res := Improve(in, start, DefaultOptions())
+	improved, res := Improve(context.Background(), in, start, DefaultOptions())
 	if res.After >= res.Before {
 		t.Fatalf("no improvement: before=%v after=%v", res.Before, res.After)
 	}
@@ -117,7 +118,7 @@ func TestConsolidationMove(t *testing.T) {
 	}
 	start := &core.Schedule{Assign: []int{0, 0, 1, 1, 1}}
 	// Before: m0 = 100+2 = 102, m1 = 100+2+5+30 = 137.
-	improved, res := Improve(in, start, DefaultOptions())
+	improved, res := Improve(context.Background(), in, start, DefaultOptions())
 	if res.After >= 137-core.Eps {
 		t.Fatalf("consolidation not found: before=%v after=%v", res.Before, res.After)
 	}
@@ -139,7 +140,7 @@ func TestSwapSharedClassAccounting(t *testing.T) {
 		t.Fatalf("NewUnrelated: %v", err)
 	}
 	start := &core.Schedule{Assign: []int{1, 0}} // both misplaced: loads 14/14
-	improved, _ := Improve(in, start, DefaultOptions())
+	improved, _ := Improve(context.Background(), in, start, DefaultOptions())
 	if got := improved.Makespan(in); got > 6+core.Eps {
 		t.Errorf("makespan = %v, want 6 (swap to native machines)", got)
 	}
@@ -153,7 +154,8 @@ func TestImproveTightensTowardsOptimum(t *testing.T) {
 	for seed := int64(0); seed < 15; seed++ {
 		rng := rand.New(rand.NewSource(seed))
 		in := gen.Unrelated(rng, gen.Params{N: 9, M: 3, K: 2})
-		_, opt, proven := exact.BranchAndBound(in, exact.Options{})
+		_, opt, bst := exact.BranchAndBound(context.Background(), in, exact.Options{})
+		proven := bst.Proven
 		if !proven || opt <= 0 {
 			continue
 		}
@@ -161,7 +163,7 @@ func TestImproveTightensTowardsOptimum(t *testing.T) {
 		if err != nil {
 			t.Fatal(err)
 		}
-		improved, _ := Improve(in, start, DefaultOptions())
+		improved, _ := Improve(context.Background(), in, start, DefaultOptions())
 		if improved.Makespan(in) < start.Makespan(in)-core.Eps {
 			better++
 		}
@@ -184,7 +186,7 @@ func TestNeighborhoodToggles(t *testing.T) {
 		t.Fatal(err)
 	}
 	onlyMoves := Options{MaxRounds: 50, Moves: true}
-	improved, res := Improve(in, start, onlyMoves)
+	improved, res := Improve(context.Background(), in, start, onlyMoves)
 	if err := improved.Validate(in); err != nil {
 		t.Errorf("Validate: %v", err)
 	}

@@ -1,6 +1,7 @@
 package ptas
 
 import (
+	"context"
 	"fmt"
 	"sort"
 	"strings"
@@ -26,9 +27,11 @@ type fracItem struct {
 type dp struct {
 	s   *simp
 	cap int64
+	ctx context.Context // optional; nil means never cancelled
 
-	nodes  int64
-	capped bool
+	nodes     int64
+	capped    bool
+	cancelled bool
 
 	// static structure
 	machines   [][]int // machines of group g (g in [0, G])
@@ -189,6 +192,17 @@ func (d *dp) rec(g, ci, ji int, xi bool, l1, l2, l3 float64) bool {
 	d.nodes++
 	if d.nodes > d.cap {
 		d.capped = true
+		return false
+	}
+	// Poll the context every 4096 nodes: cheap relative to the state-key
+	// hashing below, frequent enough that a deadline stops in-flight
+	// expansion within milliseconds. Once cancelled, every further rec
+	// call fails immediately so the whole recursion unwinds.
+	if d.cancelled {
+		return false
+	}
+	if d.ctx != nil && d.nodes%4096 == 0 && d.ctx.Err() != nil {
+		d.cancelled = true
 		return false
 	}
 	key := d.stateKey(g, ci, ji, xi, l1, l2, l3)

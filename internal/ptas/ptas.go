@@ -30,6 +30,7 @@
 package ptas
 
 import (
+	"context"
 	"fmt"
 	"math"
 
@@ -76,10 +77,18 @@ type Stats struct {
 	// 1+O(ε) guarantee may be lost for that guess; the returned schedule
 	// and the measured makespan remain valid).
 	Capped bool
+	// Cancelled reports whether the context was cancelled (or its deadline
+	// expired) during the search; the returned schedule is the best seen
+	// up to that point.
+	Cancelled bool
 }
 
-// Schedule runs the PTAS on an identical or uniform instance.
-func Schedule(in *core.Instance, opt Options) (core.Result, Stats, error) {
+// Schedule runs the PTAS on an identical or uniform instance. The context
+// is observed both between makespan guesses and inside the DP node
+// expansion, so a deadline stops in-flight work; a cancelled run returns
+// the best schedule found so far with Result.Note explaining the early
+// stop.
+func Schedule(ctx context.Context, in *core.Instance, opt Options) (core.Result, Stats, error) {
 	opt = opt.normalize()
 	var stats Stats
 	if in.Kind != core.Identical && in.Kind != core.Uniform {
@@ -96,52 +105,69 @@ func Schedule(in *core.Instance, opt Options) (core.Result, Stats, error) {
 	if v := exact.VolumeLowerBound(in); v > lb {
 		lb = v
 	}
-	out := dual.Search(in, lb, ub, opt.Precision, lptSched, func(T float64) (*core.Schedule, bool) {
-		sched, st := decide(in, T, opt)
+	out := dual.Search(ctx, in, lb, ub, opt.Precision, lptSched, func(T float64) (*core.Schedule, bool) {
+		sched, st := decide(ctx, in, T, opt)
 		stats.Nodes += st.Nodes
 		if st.Capped {
 			stats.Capped = true
 		}
+		if st.Cancelled {
+			stats.Cancelled = true
+		}
 		stats.Guesses++
 		return sched, sched != nil
 	})
+	if out.Err != nil {
+		stats.Cancelled = true
+	}
 	low := out.LowerBound
-	if stats.Capped {
-		// A capped rejection is not a certificate; fall back to the sound
-		// bounds only.
+	if stats.Capped || stats.Cancelled {
+		// A capped or cancelled rejection is not a certificate; fall back
+		// to the sound bounds only.
 		low = math.Min(low, lb)
 		if v := exact.VolumeLowerBound(in); v > low {
 			low = v
 		}
+	}
+	note := ""
+	switch {
+	case stats.Cancelled:
+		note = fmt.Sprintf("search stopped early (context cancelled after %d guesses); schedule is best-so-far, 1+O(ε) guarantee not certified", stats.Guesses)
+	case stats.Capped:
+		note = fmt.Sprintf("DP node cap hit (%d nodes total); capped guesses treated as rejections, 1+O(ε) guarantee may be lost", stats.Nodes)
 	}
 	return core.Result{
 		Algorithm:  fmt.Sprintf("ptas(eps=%.3g)", opt.Eps),
 		Schedule:   out.Schedule,
 		Makespan:   out.Makespan,
 		LowerBound: low,
+		Note:       note,
 	}, stats, nil
 }
 
 // guessStats reports counters for a single guess.
 type guessStats struct {
-	Nodes  int64
-	Capped bool
+	Nodes     int64
+	Capped    bool
+	Cancelled bool
 }
 
 // decide is the dual approximation decision procedure: it returns a
 // feasible schedule for the original instance whose makespan is (1+O(ε))·T
 // when a schedule with makespan ≤ T exists, and nil when it certifies (or,
-// if Capped, merely suspects) that none exists.
-func decide(in *core.Instance, T float64, opt Options) (*core.Schedule, guessStats) {
+// if Capped/Cancelled, merely suspects) that none exists.
+func decide(ctx context.Context, in *core.Instance, T float64, opt Options) (*core.Schedule, guessStats) {
 	var gs guessStats
 	s := simplify(in, T, opt.Eps)
 	if s == nil {
 		return nil, gs // trivially infeasible (a job or setup fits nowhere)
 	}
 	d := newDP(s, opt.NodeCap)
+	d.ctx = ctx
 	ok := d.solve()
 	gs.Nodes = d.nodes
 	gs.Capped = d.capped
+	gs.Cancelled = d.cancelled
 	if !ok {
 		return nil, gs
 	}
@@ -157,5 +183,5 @@ func decide(in *core.Instance, T float64, opt Options) (*core.Schedule, guessSta
 // DebugDecide exposes the per-guess decision procedure for diagnostics and
 // the experiment harness (it is not part of the algorithmic API).
 func DebugDecide(in *core.Instance, T float64, opt Options) (*core.Schedule, guessStats) {
-	return decide(in, T, opt.normalize())
+	return decide(context.Background(), in, T, opt.normalize())
 }

@@ -1,6 +1,7 @@
 package ptas
 
 import (
+	"context"
 	"math"
 	"math/rand"
 	"strings"
@@ -156,7 +157,7 @@ func TestScheduleFeasibleOnRandomInstances(t *testing.T) {
 		} else {
 			in = gen.Uniform(rng, p)
 		}
-		res, _, err := Schedule(in, Options{Eps: 0.5})
+		res, _, err := Schedule(context.Background(), in, Options{Eps: 0.5})
 		if err != nil {
 			return false
 		}
@@ -184,11 +185,12 @@ func TestScheduleNearOptimalSmall(t *testing.T) {
 		} else {
 			in = gen.Uniform(rng, p)
 		}
-		_, opt, proven := exact.BranchAndBound(in, exact.Options{})
+		_, opt, bst := exact.BranchAndBound(context.Background(), in, exact.Options{})
+		proven := bst.Proven
 		if !proven || opt <= 0 {
 			continue
 		}
-		res, stats, err := Schedule(in, Options{Eps: 0.5})
+		res, stats, err := Schedule(context.Background(), in, Options{Eps: 0.5})
 		if err != nil {
 			t.Fatalf("seed %d: %v", seed, err)
 		}
@@ -219,11 +221,12 @@ func TestEpsilonImprovesMeanRatio(t *testing.T) {
 		for seed := int64(0); seed < 12; seed++ {
 			rng := rand.New(rand.NewSource(seed))
 			in := gen.Uniform(rng, gen.Params{N: 12, M: 3, K: 3})
-			_, opt, proven := exact.BranchAndBound(in, exact.Options{})
+			_, opt, bst := exact.BranchAndBound(context.Background(), in, exact.Options{})
+			proven := bst.Proven
 			if !proven || opt <= 0 {
 				continue
 			}
-			res, _, err := Schedule(in, Options{Eps: eps})
+			res, _, err := Schedule(context.Background(), in, Options{Eps: eps})
 			if err != nil {
 				t.Fatalf("eps=%v seed=%d: %v", eps, seed, err)
 			}
@@ -248,7 +251,7 @@ func TestEpsilonImprovesMeanRatio(t *testing.T) {
 func TestScheduleBeatsOrMatchesLPTOnSetupHeavy(t *testing.T) {
 	rng := rand.New(rand.NewSource(17))
 	in := gen.Uniform(rng, gen.Params{N: 12, M: 3, K: 2, MinJob: 1, MaxJob: 10, MinSetup: 40, MaxSetup: 60})
-	res, _, err := Schedule(in, Options{Eps: 0.5})
+	res, _, err := Schedule(context.Background(), in, Options{Eps: 0.5})
 	if err != nil {
 		t.Fatalf("Schedule: %v", err)
 	}
@@ -271,7 +274,7 @@ func TestRejectsUnrelated(t *testing.T) {
 	if err != nil {
 		t.Fatalf("NewUnrelated: %v", err)
 	}
-	if _, _, err := Schedule(in, Options{}); err == nil {
+	if _, _, err := Schedule(context.Background(), in, Options{}); err == nil {
 		t.Error("PTAS accepted an unrelated instance")
 	}
 }

@@ -20,6 +20,7 @@
 package rounding
 
 import (
+	"context"
 	"fmt"
 	"math"
 	"math/rand"
@@ -176,8 +177,10 @@ type RoundStats struct {
 // 1–4 of the algorithm of Section 3.1) and returns a complete feasible
 // schedule: c·⌈log₂ n⌉ open-and-claim iterations, duplicate removal by
 // keeping first assignments, and the argmin-p fallback for never-claimed
-// jobs.
-func Round(in *core.Instance, f *Fractional, c int, rng *rand.Rand) (*core.Schedule, RoundStats) {
+// jobs. The context is polled between iterations; cancellation skips the
+// remaining iterations and completes the schedule via the fallback, so the
+// result is always feasible.
+func Round(ctx context.Context, in *core.Instance, f *Fractional, c int, rng *rand.Rand) (*core.Schedule, RoundStats) {
 	iters := c * int(math.Ceil(math.Log2(float64(in.N)+1)))
 	if iters < 1 {
 		iters = 1
@@ -186,7 +189,7 @@ func Round(in *core.Instance, f *Fractional, c int, rng *rand.Rand) (*core.Sched
 	byClass := in.JobsOfClass()
 	assigned := 0
 	stats := RoundStats{Iterations: iters}
-	for h := 0; h < iters && assigned < in.N; h++ {
+	for h := 0; h < iters && assigned < in.N && ctx.Err() == nil; h++ {
 		for i := 0; i < in.M; i++ {
 			for k := 0; k < in.K; k++ {
 				y := f.Y[i][k]
@@ -240,14 +243,16 @@ type Detail struct {
 // with LP feasibility as the rejection certificate and randomized rounding
 // as the construction. The returned Result carries the best schedule seen
 // (rounded or the greedy bootstrap) and the largest LP-infeasible guess as
-// a certified lower bound on Opt.
-func Schedule(in *core.Instance, opt Options) (core.Result, error) {
-	res, _, err := ScheduleDetailed(in, opt)
+// a certified lower bound on Opt. The context is checked between guesses
+// and between rounding iterations; a cancelled run returns the best
+// schedule seen so far with Result.Note explaining the early stop.
+func Schedule(ctx context.Context, in *core.Instance, opt Options) (core.Result, error) {
+	res, _, err := ScheduleDetailed(ctx, in, opt)
 	return res, err
 }
 
 // ScheduleDetailed is Schedule with rounding-specific diagnostics.
-func ScheduleDetailed(in *core.Instance, opt Options) (core.Result, Detail, error) {
+func ScheduleDetailed(ctx context.Context, in *core.Instance, opt Options) (core.Result, Detail, error) {
 	opt = opt.normalize()
 	var det Detail
 	det.PureMakespan = math.Inf(1)
@@ -260,14 +265,14 @@ func ScheduleDetailed(in *core.Instance, opt Options) (core.Result, Detail, erro
 	// construction (the greedy schedule is an integral witness); the binary
 	// search may otherwise reject every interior guess and leave no
 	// rounded schedule at all.
-	if ub > 0 {
+	if ub > 0 && ctx.Err() == nil {
 		if f, err := SolveLP(in, ub); err == nil && f != nil {
-			sched, _ := Round(in, f, opt.C, opt.Rng)
+			sched, _ := Round(ctx, in, f, opt.C, opt.Rng)
 			det.PureMakespan, det.PureSchedule = sched.Makespan(in), sched
 		}
 	}
 	var solveErr error
-	out := dual.Search(in, 0, ub, opt.Precision, greedy, func(T float64) (*core.Schedule, bool) {
+	out := dual.Search(ctx, in, 0, ub, opt.Precision, greedy, func(T float64) (*core.Schedule, bool) {
 		det.Guesses++
 		f, err := SolveLP(in, T)
 		if err != nil {
@@ -277,7 +282,7 @@ func ScheduleDetailed(in *core.Instance, opt Options) (core.Result, Detail, erro
 		if f == nil {
 			return nil, false
 		}
-		sched, _ := Round(in, f, opt.C, opt.Rng)
+		sched, _ := Round(ctx, in, f, opt.C, opt.Rng)
 		if ms := sched.Makespan(in); ms < det.PureMakespan {
 			det.PureMakespan, det.PureSchedule = ms, sched
 		}
@@ -290,10 +295,15 @@ func ScheduleDetailed(in *core.Instance, opt Options) (core.Result, Detail, erro
 	if v := exact.VolumeLowerBound(in); v > lb {
 		lb = v
 	}
+	note := ""
+	if out.Err != nil {
+		note = fmt.Sprintf("binary search stopped early (%v after %d guesses); schedule is best-so-far, O(log n + log m) guarantee not certified", out.Err, det.Guesses)
+	}
 	return core.Result{
 		Algorithm:  "randomized-rounding",
 		Schedule:   out.Schedule,
 		Makespan:   out.Makespan,
 		LowerBound: lb,
+		Note:       note,
 	}, det, nil
 }

@@ -1,6 +1,7 @@
 package rounding
 
 import (
+	"context"
 	"math"
 	"math/rand"
 	"testing"
@@ -16,7 +17,8 @@ func TestSolveLPFeasibleAtOptimum(t *testing.T) {
 		rng := rand.New(rand.NewSource(seed))
 		p := gen.Params{N: 1 + rng.Intn(6), M: 1 + rng.Intn(3), K: 1 + rng.Intn(2)}
 		in := gen.Unrelated(rng, p)
-		_, opt, proven := exact.BranchAndBound(in, exact.Options{})
+		_, opt, bst := exact.BranchAndBound(context.Background(), in, exact.Options{})
+		proven := bst.Proven
 		if !proven || opt <= 0 {
 			return true
 		}
@@ -135,7 +137,7 @@ func TestRoundProducesCompleteFeasibleSchedules(t *testing.T) {
 		if err != nil || frac == nil {
 			return false
 		}
-		sched, stats := Round(in, frac, 3, rng)
+		sched, stats := Round(context.Background(), in, frac, 3, rng)
 		if stats.Iterations < 1 {
 			return false
 		}
@@ -161,7 +163,7 @@ func TestRoundIntegralLPIsExact(t *testing.T) {
 	if err != nil || frac == nil {
 		t.Fatalf("SolveLP: f=%v err=%v", frac, err)
 	}
-	sched, stats := Round(in, frac, 3, rand.New(rand.NewSource(5)))
+	sched, stats := Round(context.Background(), in, frac, 3, rand.New(rand.NewSource(5)))
 	if stats.Fallback != 0 {
 		t.Errorf("fallback used %d times on integral LP", stats.Fallback)
 	}
@@ -173,7 +175,7 @@ func TestRoundIntegralLPIsExact(t *testing.T) {
 func TestScheduleEndToEnd(t *testing.T) {
 	rng := rand.New(rand.NewSource(42))
 	in := gen.Unrelated(rng, gen.Params{N: 12, M: 3, K: 3})
-	res, err := Schedule(in, Options{Rng: rng})
+	res, err := Schedule(context.Background(), in, Options{Rng: rng})
 	if err != nil {
 		t.Fatalf("Schedule: %v", err)
 	}
@@ -199,11 +201,12 @@ func TestScheduleRatioEnvelopeSmall(t *testing.T) {
 	for seed := int64(0); seed < 10; seed++ {
 		rng := rand.New(rand.NewSource(seed))
 		in := gen.Unrelated(rng, gen.Params{N: 8, M: 3, K: 2})
-		_, opt, proven := exact.BranchAndBound(in, exact.Options{})
+		_, opt, bst := exact.BranchAndBound(context.Background(), in, exact.Options{})
+		proven := bst.Proven
 		if !proven || opt <= 0 {
 			continue
 		}
-		res, err := Schedule(in, Options{Rng: rng})
+		res, err := Schedule(context.Background(), in, Options{Rng: rng})
 		if err != nil {
 			t.Fatalf("Schedule: %v", err)
 		}

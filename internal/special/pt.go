@@ -1,6 +1,7 @@
 package special
 
 import (
+	"context"
 	"fmt"
 
 	"repro/internal/core"
@@ -12,7 +13,7 @@ import (
 // i and class k, all jobs of k take the same time p_{ik} on i). The
 // instance must satisfy this structure; CheckClassUniformPT reports
 // violations.
-func ScheduleClassUniformPT(in *core.Instance, opt Options) (core.Result, error) {
+func ScheduleClassUniformPT(ctx context.Context, in *core.Instance, opt Options) (core.Result, error) {
 	if err := CheckClassUniformPT(in); err != nil {
 		return core.Result{}, err
 	}
@@ -43,7 +44,7 @@ func ScheduleClassUniformPT(in *core.Instance, opt Options) (core.Result, error)
 		}
 		return roundPT(in, r), true
 	}
-	res, err := schedule(in, "class-uniform-pt-3approx", opt, dual.Decider(decide))
+	res, err := schedule(ctx, in, "class-uniform-pt-3approx", opt, dual.Decider(decide))
 	if err == nil && solveErr != nil {
 		err = solveErr
 	}

@@ -1,6 +1,7 @@
 package special
 
 import (
+	"context"
 	"fmt"
 	"sort"
 
@@ -13,7 +14,7 @@ import (
 // a class share one eligible machine set M_k). The instance must be a
 // restricted-assignment instance whose eligibility is class-uniform;
 // CheckClassUniformRA reports violations.
-func ScheduleClassUniformRA(in *core.Instance, opt Options) (core.Result, error) {
+func ScheduleClassUniformRA(ctx context.Context, in *core.Instance, opt Options) (core.Result, error) {
 	if err := CheckClassUniformRA(in); err != nil {
 		return core.Result{}, err
 	}
@@ -37,7 +38,7 @@ func ScheduleClassUniformRA(in *core.Instance, opt Options) (core.Result, error)
 		}
 		return roundRA(in, r), true
 	}
-	res, err := schedule(in, "class-uniform-ra-2approx", opt, dual.Decider(decide))
+	res, err := schedule(ctx, in, "class-uniform-ra-2approx", opt, dual.Decider(decide))
 	if err == nil && solveErr != nil {
 		err = solveErr
 	}

@@ -25,6 +25,8 @@
 package special
 
 import (
+	"context"
+	"fmt"
 	"math/rand"
 
 	"repro/internal/baseline"
@@ -158,8 +160,8 @@ func solveRelaxed(in *core.Instance, T float64, admit func(i, k int) bool) (*rel
 }
 
 // schedule runs the shared dual approximation loop with the given decider
-// and packages the outcome.
-func schedule(in *core.Instance, name string, opt Options, decide dual.Decider) (core.Result, error) {
+// and packages the outcome. The context is checked between guesses.
+func schedule(ctx context.Context, in *core.Instance, name string, opt Options, decide dual.Decider) (core.Result, error) {
 	opt = opt.normalize()
 	greedy, err := baseline.Greedy(in)
 	if err != nil {
@@ -167,16 +169,21 @@ func schedule(in *core.Instance, name string, opt Options, decide dual.Decider) 
 	}
 	ub := greedy.Makespan(in)
 	lb := exact.VolumeLowerBound(in)
-	out := dual.Search(in, lb, ub, opt.Precision, greedy, decide)
+	out := dual.Search(ctx, in, lb, ub, opt.Precision, greedy, decide)
 	low := out.LowerBound
 	if lb > low {
 		low = lb
+	}
+	note := ""
+	if out.Err != nil {
+		note = fmt.Sprintf("binary search stopped early (%v after %d guesses); schedule is best-so-far, constant-factor guarantee not certified", out.Err, out.Guesses)
 	}
 	return core.Result{
 		Algorithm:  name,
 		Schedule:   out.Schedule,
 		Makespan:   out.Makespan,
 		LowerBound: low,
+		Note:       note,
 	}, nil
 }
 

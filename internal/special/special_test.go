@@ -1,6 +1,7 @@
 package special
 
 import (
+	"context"
 	"math/rand"
 	"testing"
 	"testing/quick"
@@ -50,7 +51,7 @@ func TestScheduleClassUniformRAFeasible(t *testing.T) {
 		rng := rand.New(rand.NewSource(seed))
 		p := gen.Params{N: 1 + rng.Intn(20), M: 1 + rng.Intn(4), K: 1 + rng.Intn(4)}
 		in := gen.RestrictedClassUniform(rng, p)
-		res, err := ScheduleClassUniformRA(in, Options{})
+		res, err := ScheduleClassUniformRA(context.Background(), in, Options{})
 		if err != nil {
 			return false
 		}
@@ -67,11 +68,12 @@ func TestScheduleClassUniformRAWithinFactor2(t *testing.T) {
 	for seed := int64(0); seed < 25; seed++ {
 		rng := rand.New(rand.NewSource(seed))
 		in := gen.RestrictedClassUniform(rng, gen.Params{N: 7 + rng.Intn(4), M: 2 + rng.Intn(2), K: 1 + rng.Intn(3)})
-		_, opt, proven := exact.BranchAndBound(in, exact.Options{})
+		_, opt, bst := exact.BranchAndBound(context.Background(), in, exact.Options{})
+		proven := bst.Proven
 		if !proven || opt <= 0 {
 			continue
 		}
-		res, err := ScheduleClassUniformRA(in, Options{})
+		res, err := ScheduleClassUniformRA(context.Background(), in, Options{})
 		if err != nil {
 			t.Fatalf("seed %d: %v", seed, err)
 		}
@@ -90,7 +92,7 @@ func TestScheduleClassUniformPTFeasible(t *testing.T) {
 		rng := rand.New(rand.NewSource(seed))
 		p := gen.Params{N: 1 + rng.Intn(20), M: 1 + rng.Intn(4), K: 1 + rng.Intn(4)}
 		in := gen.UnrelatedClassUniform(rng, p)
-		res, err := ScheduleClassUniformPT(in, Options{})
+		res, err := ScheduleClassUniformPT(context.Background(), in, Options{})
 		if err != nil {
 			return false
 		}
@@ -107,11 +109,12 @@ func TestScheduleClassUniformPTWithinFactor3(t *testing.T) {
 	for seed := int64(0); seed < 25; seed++ {
 		rng := rand.New(rand.NewSource(seed))
 		in := gen.UnrelatedClassUniform(rng, gen.Params{N: 7 + rng.Intn(4), M: 2 + rng.Intn(2), K: 1 + rng.Intn(3)})
-		_, opt, proven := exact.BranchAndBound(in, exact.Options{})
+		_, opt, bst := exact.BranchAndBound(context.Background(), in, exact.Options{})
+		proven := bst.Proven
 		if !proven || opt <= 0 {
 			continue
 		}
-		res, err := ScheduleClassUniformPT(in, Options{})
+		res, err := ScheduleClassUniformPT(context.Background(), in, Options{})
 		if err != nil {
 			t.Fatalf("seed %d: %v", seed, err)
 		}
@@ -128,14 +131,14 @@ func TestScheduleClassUniformPTWithinFactor3(t *testing.T) {
 func TestRejectsWrongStructure(t *testing.T) {
 	rng := rand.New(rand.NewSource(3))
 	generic := gen.Unrelated(rng, gen.Params{N: 8, M: 3, K: 2})
-	if _, err := ScheduleClassUniformRA(generic, Options{}); err == nil {
+	if _, err := ScheduleClassUniformRA(context.Background(), generic, Options{}); err == nil {
 		t.Error("RA algorithm accepted an unrelated instance")
 	}
 	perJob := gen.Restricted(rng, gen.Params{N: 12, M: 3, K: 2})
 	if err := CheckClassUniformRA(perJob); err == nil {
 		t.Skip("random per-job instance happened to be class-uniform")
 	}
-	if _, err := ScheduleClassUniformRA(perJob, Options{}); err == nil {
+	if _, err := ScheduleClassUniformRA(context.Background(), perJob, Options{}); err == nil {
 		t.Error("RA algorithm accepted a non-class-uniform instance")
 	}
 }
@@ -144,11 +147,12 @@ func TestLowerBoundSound(t *testing.T) {
 	for seed := int64(0); seed < 10; seed++ {
 		rng := rand.New(rand.NewSource(seed))
 		in := gen.RestrictedClassUniform(rng, gen.Params{N: 8, M: 2, K: 2})
-		_, opt, proven := exact.BranchAndBound(in, exact.Options{})
+		_, opt, bst := exact.BranchAndBound(context.Background(), in, exact.Options{})
+		proven := bst.Proven
 		if !proven {
 			continue
 		}
-		res, err := ScheduleClassUniformRA(in, Options{})
+		res, err := ScheduleClassUniformRA(context.Background(), in, Options{})
 		if err != nil {
 			t.Fatalf("seed %d: %v", seed, err)
 		}

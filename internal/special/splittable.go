@@ -1,6 +1,7 @@
 package special
 
 import (
+	"context"
 	"fmt"
 	"math"
 
@@ -102,7 +103,7 @@ type SplitResult struct {
 // pseudoforest rounding of Section 3.3.2, stopping before the integral job
 // fill (fractions are the solution). Classes act as the splittable units;
 // to split at job granularity, put each job in its own class.
-func ScheduleSplittable(in *core.Instance, opt Options) (SplitResult, error) {
+func ScheduleSplittable(ctx context.Context, in *core.Instance, opt Options) (SplitResult, error) {
 	opt = opt.normalize()
 	// Atomic greedy is a feasible splittable schedule: its upper bound
 	// seeds the search.
@@ -115,7 +116,7 @@ func ScheduleSplittable(in *core.Instance, opt Options) (SplitResult, error) {
 	var best *SplitSchedule
 	bestMs := math.Inf(1)
 	var solveErr error
-	out := dual.Search(in, lb, ub, opt.Precision, nil, func(T float64) (*core.Schedule, bool) {
+	out := dual.Search(ctx, in, lb, ub, opt.Precision, nil, func(T float64) (*core.Schedule, bool) {
 		r, err := solveRelaxed(in, T, func(i, k int) bool { return true })
 		if err != nil {
 			solveErr = err

@@ -1,6 +1,7 @@
 package special
 
 import (
+	"context"
 	"math"
 	"math/rand"
 	"testing"
@@ -17,7 +18,7 @@ func TestScheduleSplittableValid(t *testing.T) {
 		rng := rand.New(rand.NewSource(seed))
 		p := gen.Params{N: 1 + rng.Intn(15), M: 1 + rng.Intn(4), K: 1 + rng.Intn(4)}
 		in := gen.Unrelated(rng, p)
-		res, err := ScheduleSplittable(in, Options{})
+		res, err := ScheduleSplittable(context.Background(), in, Options{})
 		if err != nil {
 			return false
 		}
@@ -42,11 +43,12 @@ func TestSplittableWithinTwiceAtomicOptimum(t *testing.T) {
 	for seed := int64(0); seed < 15; seed++ {
 		rng := rand.New(rand.NewSource(seed))
 		in := gen.UnrelatedClassUniform(rng, gen.Params{N: 8, M: 3, K: 2})
-		_, opt, proven := exact.BranchAndBound(in, exact.Options{})
+		_, opt, bst := exact.BranchAndBound(context.Background(), in, exact.Options{})
+		proven := bst.Proven
 		if !proven || opt <= 0 {
 			continue
 		}
-		res, err := ScheduleSplittable(in, Options{})
+		res, err := ScheduleSplittable(context.Background(), in, Options{})
 		if err != nil {
 			t.Fatalf("seed %d: %v", seed, err)
 		}
@@ -68,7 +70,7 @@ func TestSplittableBeatsAtomicWhenSplittingPays(t *testing.T) {
 	if err != nil {
 		t.Fatalf("NewIdentical: %v", err)
 	}
-	res, err := ScheduleSplittable(in, Options{})
+	res, err := ScheduleSplittable(context.Background(), in, Options{})
 	if err != nil {
 		t.Fatalf("ScheduleSplittable: %v", err)
 	}
@@ -86,7 +88,7 @@ func TestSplittableSetupDominatedStaysNearAtomic(t *testing.T) {
 	if err != nil {
 		t.Fatalf("NewIdentical: %v", err)
 	}
-	res, err := ScheduleSplittable(in, Options{})
+	res, err := ScheduleSplittable(context.Background(), in, Options{})
 	if err != nil {
 		t.Fatalf("ScheduleSplittable: %v", err)
 	}

@@ -24,19 +24,24 @@
 //   - Greedy: a setup-aware list scheduler (no guarantee; the practical
 //     baseline), and Optimal: exact branch-and-bound for small instances.
 //
-// Solve dispatches to the strongest applicable algorithm automatically.
+// Solve dispatches to the strongest applicable algorithm automatically
+// through the solver engine (package internal/engine): a registry of
+// pluggable solvers with capability matching. SolveWithContext adds
+// deadline/cancellation support, and Portfolio races every applicable
+// solver concurrently and returns the best schedule found.
 //
 // Instances are built with NewIdentical, NewUniform, NewRestricted and
 // NewUnrelated, or loaded from JSON via ReadInstance.
 package sched
 
 import (
+	"context"
 	"fmt"
 	"io"
 	"math/rand"
 
-	"repro/internal/baseline"
 	"repro/internal/core"
+	"repro/internal/engine"
 	"repro/internal/exact"
 	"repro/internal/identical"
 	"repro/internal/improve"
@@ -95,98 +100,128 @@ func NewUnrelated(p [][]float64, class []int, s [][]float64) (*Instance, error) 
 // ReadInstance deserializes an instance from its JSON representation.
 func ReadInstance(r io.Reader) (*Instance, error) { return core.ReadJSON(r) }
 
+// SolveOptions is the unified tuning surface of the solver engine (see
+// engine.Options for field docs): accuracy (Eps, Precision), randomness
+// (Seed), search limits (MaxJobs, NodeLimit, NodeCap, RoundingC) and the
+// LocalSearch post-pass.
+type SolveOptions = engine.Options
+
+// PortfolioResult reports a portfolio race: the best result plus the
+// per-solver outcomes.
+type PortfolioResult = engine.PortfolioResult
+
+// SolverOutcome is one solver's contribution to a portfolio race.
+type SolverOutcome = engine.SolverOutcome
+
+// Solvers returns the names of all registered solvers (usable with the
+// schedsolve -algo flag and engine registry lookups).
+func Solvers() []string { return engine.Default().Names() }
+
 // LPT runs the setup-aware LPT rule of Lemma 2.1 (identical/uniform
 // machines; approximation factor 3(1+1/√3) ≈ 4.74).
 func LPT(in *Instance) (Result, error) {
-	sched, err := baseline.Lemma21LPT(in)
-	if err != nil {
-		return Result{}, err
-	}
-	return Result{
-		Algorithm:  "lpt",
-		Schedule:   sched,
-		Makespan:   sched.Makespan(in),
-		LowerBound: exact.VolumeLowerBound(in),
-	}, nil
+	return solveByName(context.Background(), engine.NameLPT, in, SolveOptions{})
 }
 
 // Greedy runs the setup-aware list scheduler (all machine environments, no
 // approximation guarantee).
 func Greedy(in *Instance) (Result, error) {
-	sched, err := baseline.Greedy(in)
-	if err != nil {
-		return Result{}, err
-	}
-	return Result{
-		Algorithm:  "greedy",
-		Schedule:   sched,
-		Makespan:   sched.Makespan(in),
-		LowerBound: exact.VolumeLowerBound(in),
-	}, nil
+	return solveByName(context.Background(), engine.NameGreedy, in, SolveOptions{})
 }
 
 // PTAS runs the Section 2 approximation scheme for identical or uniform
 // machines with accuracy parameter eps (pass 0 for the default 1/2; smaller
 // eps gives better schedules and longer runtimes).
 func PTAS(in *Instance, eps float64) (Result, error) {
-	res, _, err := ptas.Schedule(in, ptas.Options{Eps: eps})
-	return res, err
+	return solveByName(context.Background(), engine.NamePTAS, in, SolveOptions{Eps: eps})
 }
 
 // RandomizedRounding runs the Section 3.1 O(log n + log m)-approximation
 // for unrelated machines. Pass a nil rng for a fixed-seed deterministic run.
 func RandomizedRounding(in *Instance, rng *rand.Rand) (Result, error) {
-	return rounding.Schedule(in, rounding.Options{Rng: rng})
+	return rounding.Schedule(context.Background(), in, rounding.Options{Rng: rng})
 }
 
 // ClassUniformRA runs the Theorem 3.10 2-approximation for restricted
 // assignment with class-uniform eligible machine sets.
 func ClassUniformRA(in *Instance) (Result, error) {
-	return special.ScheduleClassUniformRA(in, special.Options{})
+	return special.ScheduleClassUniformRA(context.Background(), in, special.Options{})
 }
 
 // ClassUniformPT runs the Theorem 3.11 3-approximation for unrelated
 // machines with class-uniform processing times.
 func ClassUniformPT(in *Instance) (Result, error) {
-	return special.ScheduleClassUniformPT(in, special.Options{})
+	return special.ScheduleClassUniformPT(context.Background(), in, special.Options{})
+}
+
+// solveByName dispatches to one registered solver through the engine.
+func solveByName(ctx context.Context, name string, in *Instance, opt SolveOptions) (Result, error) {
+	return engine.Default().SolveNamed(ctx, name, in, opt)
 }
 
 // Optimal computes an exact optimum by branch-and-bound. It refuses
 // instances with more than maxJobs jobs (pass 0 for the default guard of
 // 16); the bool result reports whether optimality was proven.
 func Optimal(in *Instance, maxJobs int) (Result, bool, error) {
-	sched, opt, proven := exact.BranchAndBound(in, exact.Options{MaxJobs: maxJobs})
+	return OptimalWithContext(context.Background(), in, maxJobs)
+}
+
+// OptimalWithContext is Optimal under a context: a cancelled or expired
+// ctx stops the branch-and-bound and returns the best schedule found so
+// far (not proven optimal, with Result.Note saying why).
+func OptimalWithContext(ctx context.Context, in *Instance, maxJobs int) (Result, bool, error) {
+	sched, opt, st := exact.BranchAndBound(ctx, in, exact.Options{MaxJobs: maxJobs})
 	if sched == nil {
-		return Result{}, false, fmt.Errorf("sched: instance too large for exact search (n=%d)", in.N)
+		if st.Reason == exact.StopTooLarge {
+			return Result{}, false, fmt.Errorf("sched: instance too large for exact search (n=%d)", in.N)
+		}
+		return Result{}, false, fmt.Errorf("sched: exact search found no schedule (%s)", st.Reason)
 	}
-	return Result{
+	res := Result{
 		Algorithm:  "branch-and-bound",
 		Schedule:   sched,
 		Makespan:   opt,
 		LowerBound: opt,
-	}, proven, nil
+	}
+	if !st.Proven {
+		res.LowerBound = exact.VolumeLowerBound(in)
+		res.Note = fmt.Sprintf("search incomplete (%s after %d nodes); makespan is an upper bound only", st.Reason, st.Nodes)
+	}
+	return res, st.Proven, nil
 }
 
-// Solve dispatches to the strongest algorithm applicable to the instance:
-// the PTAS for identical/uniform machines, the 2-approximation for
-// class-uniform restricted assignment, the 3-approximation for
-// class-uniform processing times, and randomized rounding for general
-// unrelated machines.
+// Solve dispatches through the engine registry to the strongest algorithm
+// applicable to the instance: the PTAS for identical/uniform machines, the
+// 2-approximation for class-uniform restricted assignment, the
+// 3-approximation for class-uniform processing times, and randomized
+// rounding for general unrelated machines.
 func Solve(in *Instance) (Result, error) {
-	switch in.Kind {
-	case Identical, Uniform:
-		return PTAS(in, 0)
-	case RestrictedAssignment:
-		if special.CheckClassUniformRA(in) == nil {
-			return ClassUniformRA(in)
-		}
-		return RandomizedRounding(in, nil)
-	default:
-		if special.CheckClassUniformPT(in) == nil {
-			return ClassUniformPT(in)
-		}
-		return RandomizedRounding(in, nil)
+	return SolveWithContext(context.Background(), in)
+}
+
+// SolveWithContext is Solve under a context: a deadline or cancellation
+// stops in-flight searches (PTAS dynamic program, branch-and-bound nodes,
+// LP rounding's binary search) and returns the best feasible schedule
+// reached, with Result.Note explaining any early stop. Pass at most one
+// SolveOptions to tune the chosen solver.
+func SolveWithContext(ctx context.Context, in *Instance, opts ...SolveOptions) (Result, error) {
+	return engine.Solve(ctx, in, firstOpt(opts))
+}
+
+// Portfolio races every solver applicable to the instance concurrently
+// under the shared ctx — typically bounded by a deadline — and returns the
+// minimum-makespan schedule along with every member's outcome. At least
+// two solvers race for every machine environment (the specialists plus the
+// baselines and, for small instances, the exact search).
+func Portfolio(ctx context.Context, in *Instance, opts ...SolveOptions) (PortfolioResult, error) {
+	return engine.Portfolio(ctx, in, firstOpt(opts))
+}
+
+func firstOpt(opts []SolveOptions) SolveOptions {
+	if len(opts) > 0 {
+		return opts[0]
 	}
+	return SolveOptions{}
 }
 
 // Figure1 renders the speed-group diagnostic of the paper's Figure 1 for a
@@ -199,7 +234,7 @@ func Figure1(in *Instance, T, eps float64) (string, error) {
 // descent over job moves, swaps and class consolidation. It never worsens
 // the schedule.
 func LocalSearch(in *Instance, s *Schedule) *Schedule {
-	improved, _ := improve.Improve(in, s, improve.DefaultOptions())
+	improved, _ := improve.Improve(context.Background(), in, s, improve.DefaultOptions())
 	return improved
 }
 
@@ -212,7 +247,7 @@ type SplitSchedule = special.SplitSchedule
 // setup — via LP-RelaxedRA and the Section 3.3 pseudoforest rounding. Put
 // each job in its own class for job-level splitting.
 func Splittable(in *Instance) (*SplitSchedule, float64, error) {
-	res, err := special.ScheduleSplittable(in, special.Options{})
+	res, err := special.ScheduleSplittable(context.Background(), in, special.Options{})
 	if err != nil {
 		return nil, 0, err
 	}

@@ -2,8 +2,10 @@ package sched
 
 import (
 	"bytes"
+	"context"
 	"math/rand"
 	"testing"
+	"time"
 
 	"repro/internal/gen"
 )
@@ -37,6 +39,40 @@ func TestSolveDispatch(t *testing.T) {
 				t.Errorf("Validate: %v", err)
 			}
 		})
+	}
+}
+
+func TestSolveWithContextAndPortfolio(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	in := gen.Identical(rng, gen.Params{N: 12, M: 3, K: 2})
+
+	res, err := SolveWithContext(context.Background(), in)
+	if err != nil {
+		t.Fatalf("SolveWithContext: %v", err)
+	}
+	if err := res.Schedule.Validate(in); err != nil {
+		t.Errorf("Validate: %v", err)
+	}
+
+	ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+	defer cancel()
+	pr, err := Portfolio(ctx, in)
+	if err != nil {
+		t.Fatalf("Portfolio: %v", err)
+	}
+	if len(pr.Outcomes) < 2 {
+		t.Fatalf("portfolio raced %d solvers, want >= 2", len(pr.Outcomes))
+	}
+	for _, o := range pr.Outcomes {
+		if o.Err == nil && o.Result.Makespan < pr.Best.Makespan-1e-9 {
+			t.Errorf("member %s beat the reported best (%v < %v)", o.Solver, o.Result.Makespan, pr.Best.Makespan)
+		}
+	}
+	if err := pr.Best.Schedule.Validate(in); err != nil {
+		t.Errorf("portfolio best invalid: %v", err)
+	}
+	if len(Solvers()) < 5 {
+		t.Errorf("registry lists %d solvers, want the full paper set", len(Solvers()))
 	}
 }
 
