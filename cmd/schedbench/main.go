@@ -41,6 +41,7 @@ func main() {
 		seed    = flag.Int64("seed", 1, "master random seed")
 		engMode = flag.Bool("engine", false, "benchmark the solver engine: per-kind solver race + portfolio")
 		timeout = flag.Duration("timeout", 0, "context deadline per engine run (0 = none)")
+		gap     = flag.Float64("gap", 0, "engine mode: early-terminate the portfolio at this optimality gap (0 = race to completion)")
 		n       = flag.Int("n", 24, "engine mode: number of jobs")
 		m       = flag.Int("m", 4, "engine mode: number of machines")
 		k       = flag.Int("k", 3, "engine mode: number of setup classes")
@@ -54,7 +55,7 @@ func main() {
 			fmt.Printf("%-4s %s\n     claim: %s\n", e.ID, e.Name, e.Claim)
 		}
 	case *engMode:
-		if err := engineBench(*seed, *n, *m, *k, *timeout); err != nil {
+		if err := engineBench(*seed, *n, *m, *k, *timeout, *gap); err != nil {
 			fmt.Fprintln(os.Stderr, "error:", err)
 			os.Exit(1)
 		}
@@ -94,8 +95,10 @@ func run(e experiments.Experiment, cfg experiments.Config) error {
 
 // engineBench generates one instance per machine environment and dispatches
 // every applicable solver (and the portfolio race) through the engine
-// registry, reporting makespans, lower-bound ratios and runtimes.
-func engineBench(seed int64, n, m, k int, timeout time.Duration) error {
+// registry, reporting makespans, lower-bound ratios, runtimes and — for the
+// portfolio — the time-to-incumbent: how far into the race the winning
+// makespan was published to the shared bound bus.
+func engineBench(seed int64, n, m, k int, timeout time.Duration, gap float64) error {
 	reg := engine.Default()
 	cases := []struct {
 		name string
@@ -112,7 +115,7 @@ func engineBench(seed int64, n, m, k int, timeout time.Duration) error {
 		rng := rand.New(rand.NewSource(seed))
 		in := c.gen(rng, params)
 		tab := table.New(fmt.Sprintf("engine race — %s (n=%d m=%d K=%d)", c.name, in.N, in.M, in.K),
-			"solver", "makespan", "ratio", "time")
+			"solver", "makespan", "ratio", "time", "tti")
 		for _, s := range reg.Applicable(in, engine.Options{}) {
 			ctx, cancel := withTimeout(timeout)
 			start := time.Now()
@@ -120,21 +123,31 @@ func engineBench(seed int64, n, m, k int, timeout time.Duration) error {
 			elapsed := time.Since(start)
 			cancel()
 			if err != nil {
-				tab.AddRow(s.Name(), "error", err.Error(), fmtDur(elapsed))
+				tab.AddRow(s.Name(), "error", err.Error(), fmtDur(elapsed), "-")
 				continue
 			}
-			tab.AddRow(s.Name(), fmt.Sprintf("%.0f", res.Makespan), fmt.Sprintf("%.3f", res.Ratio()), fmtDur(elapsed))
+			tab.AddRow(s.Name(), fmt.Sprintf("%.0f", res.Makespan), fmt.Sprintf("%.3f", res.Ratio()), fmtDur(elapsed), "-")
 		}
 		ctx, cancel := withTimeout(timeout)
 		start := time.Now()
-		pr, err := reg.Portfolio(ctx, in, engine.Options{})
+		pr, err := reg.Portfolio(ctx, in, engine.Options{Gap: gap})
 		elapsed := time.Since(start)
 		cancel()
 		if err != nil {
-			tab.AddRow("portfolio", "error", err.Error(), fmtDur(elapsed))
+			tab.AddRow("portfolio", "error", err.Error(), fmtDur(elapsed), "-")
 		} else {
-			tab.AddRow(fmt.Sprintf("portfolio→%s", pr.Winner),
-				fmt.Sprintf("%.0f", pr.Best.Makespan), fmt.Sprintf("%.3f", pr.Best.Ratio()), fmtDur(elapsed))
+			tti := "-"
+			for _, o := range pr.Outcomes {
+				if o.Solver == pr.Winner && o.Bounds.BestUpperAt > 0 {
+					tti = fmtDur(o.Bounds.BestUpperAt)
+				}
+			}
+			name := fmt.Sprintf("portfolio→%s", pr.Winner)
+			if pr.WithinGap {
+				name += " (gap hit)"
+			}
+			tab.AddRow(name,
+				fmt.Sprintf("%.0f", pr.Best.Makespan), fmt.Sprintf("%.3f", pr.Best.Ratio()), fmtDur(elapsed), tti)
 		}
 		fmt.Println(tab.String())
 	}

@@ -8,11 +8,14 @@
 //	schedsolve -in instance.json -algo rounding -seed 7
 //	schedsolve -in instance.json -portfolio         race all applicable solvers
 //	schedsolve -in instance.json -portfolio -timeout 2s
+//	schedsolve -in instance.json -portfolio -gap 0.05
 //	schedsolve -list-algos                          show registered solvers
 //
 // -timeout bounds the run with a context deadline: in-flight searches
 // (PTAS dynamic program, branch-and-bound, LP rounding binary search) stop
-// and the best schedule found so far is returned.
+// and the best schedule found so far is returned. -gap stops a portfolio
+// race as soon as the shared incumbent is certified within (1+gap)× the
+// best lower bound published by any racer.
 //
 // The chosen assignment is printed as JSON: {"machine": [...], "makespan": X}.
 package main
@@ -37,6 +40,7 @@ func main() {
 		seed      = flag.Int64("seed", 0, "seed for randomized solvers (0 = fixed default)")
 		timeout   = flag.Duration("timeout", 0, "deadline for the whole solve (0 = none), e.g. 500ms, 2s")
 		portfolio = flag.Bool("portfolio", false, "race all applicable solvers concurrently and keep the best schedule")
+		gap       = flag.Float64("gap", 0, "portfolio mode: stop the race once the incumbent is within (1+gap)x the best certified lower bound (0 = race to completion)")
 		localOpt  = flag.Bool("local-search", false, "post-optimize the result with best-improvement descent")
 		maxJobs   = flag.Int("max-jobs", 0, "job guard override for branch-and-bound (0 = default 16)")
 		gantt     = flag.Bool("gantt", false, "print an ASCII Gantt chart of the result to stderr")
@@ -75,11 +79,13 @@ func main() {
 		Seed:        *seed,
 		MaxJobs:     *maxJobs,
 		LocalSearch: *localOpt,
+		Gap:         *gap,
 	}
 
 	var res sched.Result
 	var outcomes []outcomeJSON
 	var winner string
+	var withinGap bool
 	switch {
 	case *portfolio:
 		pr, err := sched.Portfolio(ctx, in, opt)
@@ -88,8 +94,17 @@ func main() {
 		}
 		res = pr.Best
 		winner = pr.Winner
+		withinGap = pr.WithinGap
 		for _, o := range pr.Outcomes {
-			oj := outcomeJSON{Solver: o.Solver, ElapsedMs: float64(o.Elapsed) / float64(time.Millisecond)}
+			oj := outcomeJSON{
+				Solver:            o.Solver,
+				ElapsedMs:         float64(o.Elapsed) / float64(time.Millisecond),
+				UpperImprovements: o.Bounds.UpperImprovements,
+				LowerImprovements: o.Bounds.LowerImprovements,
+			}
+			if o.Bounds.BestUpperAt > 0 {
+				oj.TimeToBestMs = float64(o.Bounds.BestUpperAt) / float64(time.Millisecond)
+			}
 			if o.Err != nil {
 				oj.Error = o.Err.Error()
 			} else {
@@ -126,8 +141,9 @@ func main() {
 		LowerBound float64       `json:"lowerBound,omitempty"`
 		Note       string        `json:"note,omitempty"`
 		Winner     string        `json:"winner,omitempty"`
+		WithinGap  bool          `json:"withinGap,omitempty"`
 		Portfolio  []outcomeJSON `json:"portfolio,omitempty"`
-	}{res.Algorithm, res.Schedule.Assign, res.Makespan, res.LowerBound, res.Note, winner, outcomes}
+	}{res.Algorithm, res.Schedule.Assign, res.Makespan, res.LowerBound, res.Note, winner, withinGap, outcomes}
 	enc := json.NewEncoder(os.Stdout)
 	enc.SetIndent("", " ")
 	if err := enc.Encode(out); err != nil {
@@ -148,6 +164,11 @@ type outcomeJSON struct {
 	Note      string  `json:"note,omitempty"`
 	Error     string  `json:"error,omitempty"`
 	ElapsedMs float64 `json:"elapsedMs"`
+	// Incumbent-bus contributions: how often the member improved the shared
+	// makespan / lower bound, and when it last held the incumbent.
+	UpperImprovements int     `json:"upperImprovements,omitempty"`
+	LowerImprovements int     `json:"lowerImprovements,omitempty"`
+	TimeToBestMs      float64 `json:"timeToBestMs,omitempty"`
 }
 
 func fatal(err error) {

@@ -1,0 +1,45 @@
+// Package boundtest provides a recording core.BoundBus double for solver
+// tests: a single-goroutine stub that logs every published value and lets
+// tests prime the live bounds directly. Production code shares bounds via
+// the concurrency-safe engine.Incumbent instead.
+package boundtest
+
+import "math"
+
+// Bus is a core.BoundBus with directly settable bounds and publish logs.
+type Bus struct {
+	// U and L are the live upper/lower bounds; set them to prime the bus.
+	U, L float64
+	// UpperPubs and LowerPubs record every published value in order,
+	// improving or not.
+	UpperPubs, LowerPubs []float64
+}
+
+// New returns an empty bus (upper +Inf, lower 0).
+func New() *Bus { return &Bus{U: math.Inf(1)} }
+
+// Upper returns the current upper bound.
+func (b *Bus) Upper() float64 { return b.U }
+
+// Lower returns the current lower bound.
+func (b *Bus) Lower() float64 { return b.L }
+
+// PublishUpper records v and reports whether it improved the upper bound.
+func (b *Bus) PublishUpper(v float64) bool {
+	b.UpperPubs = append(b.UpperPubs, v)
+	if v < b.U {
+		b.U = v
+		return true
+	}
+	return false
+}
+
+// PublishLower records v and reports whether it improved the lower bound.
+func (b *Bus) PublishLower(v float64) bool {
+	b.LowerPubs = append(b.LowerPubs, v)
+	if v > b.L {
+		b.L = v
+		return true
+	}
+	return false
+}

@@ -1,0 +1,28 @@
+package core
+
+// BoundBus is a live, concurrency-safe exchange of makespan bounds between
+// solvers working on the same instance. Racing solvers publish every
+// improved feasible makespan (the incumbent) and every certified lower
+// bound they establish, and read the live values back to prune their own
+// searches: a branch-and-bound primes and re-tightens its pruning threshold
+// from Upper, and a dual-approximation binary search skips guesses at or
+// above the incumbent and publishes rejected guesses through PublishLower.
+//
+// Implementations must be safe for concurrent use from multiple goroutines;
+// the engine's Incumbent is the canonical one. All methods tolerate being
+// called with values that do not improve the current bounds (the publish
+// methods report whether the bound actually moved).
+type BoundBus interface {
+	// Upper returns the best known feasible makespan, +Inf when none has
+	// been published yet.
+	Upper() float64
+	// Lower returns the best certified lower bound on the optimal makespan,
+	// 0 when none has been published yet.
+	Lower() float64
+	// PublishUpper records a feasible makespan and reports whether it
+	// strictly improved the incumbent.
+	PublishUpper(v float64) bool
+	// PublishLower records a certified lower bound and reports whether it
+	// strictly improved the strongest known bound.
+	PublishLower(v float64) bool
+}

@@ -31,6 +31,11 @@ type Outcome struct {
 	LowerBound float64
 	// Guesses is the number of decision-procedure invocations.
 	Guesses int
+	// Skipped is the number of guesses short-circuited by a shared
+	// incumbent (SearchWithBounds): guesses at or above the live incumbent
+	// makespan are accepted without running the decider, since the
+	// incumbent schedule is already a witness. Always 0 for Search.
+	Skipped int
 	// Err is the context error (context.Canceled or
 	// context.DeadlineExceeded) when the search was stopped before
 	// narrowing to the requested precision; nil when the search completed.
@@ -53,6 +58,26 @@ type Outcome struct {
 // the makespan of a heuristic schedule and that schedule as a fallback via
 // fallback; pass nil to allow an empty outcome when all guesses fail).
 func Search(ctx context.Context, in *core.Instance, lb, ub, precision float64, fallback *core.Schedule, decide Decider) Outcome {
+	return SearchWithBounds(ctx, in, lb, ub, precision, fallback, nil, decide)
+}
+
+// SearchWithBounds is Search connected to a live bound exchange (a nil bus
+// degrades to plain Search). The search both consumes and feeds the bus:
+//
+//   - guesses at or above the live incumbent makespan are accepted without
+//     running the decider — the incumbent schedule, wherever it lives, is
+//     already a witness that a schedule with that makespan exists
+//     (Outcome.Skipped counts these);
+//   - the search floor is raised to the bus's certified lower bound before
+//     every guess, so refutations by concurrent racers narrow this search;
+//   - every rejected guess is published as a certified lower bound, and the
+//     makespan of every schedule a guess produces is published as an
+//     incumbent the moment it appears, not only at return.
+//
+// Deciders whose rejections are not certificates (e.g. a node-capped
+// dynamic program) must wrap the bus to suppress PublishLower for those
+// guesses, or they would poison every racer sharing it.
+func SearchWithBounds(ctx context.Context, in *core.Instance, lb, ub, precision float64, fallback *core.Schedule, bus core.BoundBus, decide Decider) Outcome {
 	out := Outcome{LowerBound: lb, Makespan: math.Inf(1)}
 	if fallback != nil {
 		out.Schedule = fallback
@@ -75,12 +100,30 @@ func Search(ctx context.Context, in *core.Instance, lb, ub, precision float64, f
 			out.Err = err
 			return out
 		}
+		if bus != nil {
+			if l := bus.Lower(); l > lo {
+				lo = l
+				if l > out.LowerBound {
+					out.LowerBound = l
+				}
+				continue
+			}
+		}
 		mid := math.Sqrt(lo * hi)
+		if bus != nil && mid >= bus.Upper() {
+			out.Skipped++
+			hi = mid
+			continue
+		}
 		out.Guesses++
 		if sched, ok := decide(mid); ok {
 			if sched != nil {
-				if ms := sched.Makespan(in); ms < out.Makespan {
+				ms := sched.Makespan(in)
+				if ms < out.Makespan {
 					out.Schedule, out.Makespan = sched, ms
+				}
+				if bus != nil {
+					bus.PublishUpper(ms)
 				}
 			}
 			hi = mid
@@ -88,6 +131,9 @@ func Search(ctx context.Context, in *core.Instance, lb, ub, precision float64, f
 			lo = mid
 			if mid > out.LowerBound {
 				out.LowerBound = mid
+			}
+			if bus != nil {
+				bus.PublishLower(mid)
 			}
 		}
 	}

@@ -5,6 +5,7 @@ import (
 	"math"
 	"testing"
 
+	"repro/internal/boundtest"
 	"repro/internal/core"
 )
 
@@ -85,6 +86,61 @@ func TestSearchZeroLowerBound(t *testing.T) {
 	})
 	if out.Schedule == nil {
 		t.Fatal("no schedule")
+	}
+}
+
+// TestSearchWithBoundsPublishes is the satellite requirement: every
+// rejected guess lands on the bus as a certified lower bound, and every
+// accepted schedule's makespan as an incumbent — while the search runs,
+// not after it.
+func TestSearchWithBoundsPublishes(t *testing.T) {
+	in := testInstance(t)
+	bus := boundtest.New()
+	perfect := &core.Schedule{Assign: []int{0, 1}} // makespan 5
+	out := SearchWithBounds(context.Background(), in, 1, 100, 0.01, nil, bus, func(T float64) (*core.Schedule, bool) {
+		if T >= 5 {
+			return perfect, true
+		}
+		return nil, false
+	})
+	if len(bus.LowerPubs) == 0 {
+		t.Fatal("no rejected guess was published as a lower bound")
+	}
+	if bus.L >= 5 || bus.L < 5/1.02 {
+		t.Errorf("published lower bound = %v, want just below 5", bus.L)
+	}
+	if math.Abs(bus.L-out.LowerBound) > core.Eps {
+		t.Errorf("bus lower %v != outcome lower %v", bus.L, out.LowerBound)
+	}
+	if bus.U != 5 {
+		t.Errorf("published incumbent = %v, want 5 (the accepted schedule)", bus.U)
+	}
+}
+
+// TestSearchWithBoundsConsumesIncumbent: guesses at or above a live
+// incumbent are accepted without invoking the decider, and a foreign lower
+// bound raises the search floor.
+func TestSearchWithBoundsConsumesIncumbent(t *testing.T) {
+	in := testInstance(t)
+	bus := boundtest.New()
+	bus.U = 5   // another racer already holds a makespan-5 schedule
+	bus.L = 4.9 // and a near-matching certificate
+	var calls int
+	out := SearchWithBounds(context.Background(), in, 1, 100, 0.01, nil, bus, func(T float64) (*core.Schedule, bool) {
+		calls++
+		if T >= 5 {
+			t.Errorf("decider invoked at T=%v despite incumbent 5", T)
+		}
+		return nil, false
+	})
+	if out.Skipped == 0 {
+		t.Error("no guesses skipped against the incumbent")
+	}
+	if out.LowerBound < 4.9 {
+		t.Errorf("foreign lower bound not consumed: LowerBound = %v", out.LowerBound)
+	}
+	if calls > 3 {
+		t.Errorf("decider ran %d times inside [4.9, 5] at precision 0.01, want at most a few", calls)
 	}
 }
 

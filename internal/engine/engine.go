@@ -49,6 +49,19 @@ type Options struct {
 	// LocalSearch post-optimizes the chosen schedule with the
 	// best-improvement descent of internal/improve before returning it.
 	LocalSearch bool
+	// Gap, in portfolio mode, is the relative optimality gap at which the
+	// race terminates early: once the shared incumbent makespan is within a
+	// factor 1+Gap of the best certified lower bound, the remaining racers
+	// are cancelled and the incumbent is returned as certified-good-enough.
+	// 0 disables early termination (racers run to completion or deadline).
+	Gap float64
+	// Bounds, when non-nil, connects the solve to a live incumbent bus
+	// (core.BoundBus): solvers prime their searches from its bounds and
+	// publish improved makespans and certified lower bounds back as they
+	// appear. Portfolio supplies its own shared bus to its members; a
+	// caller-provided bus seeds that race and receives its final bounds,
+	// enabling warm restarts across repeated solves.
+	Bounds core.BoundBus
 }
 
 // Caps declares what instances a solver can handle and how strong it is.

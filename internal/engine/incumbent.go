@@ -1,0 +1,98 @@
+package engine
+
+import (
+	"math"
+	"sync/atomic"
+
+	"repro/internal/core"
+)
+
+// Incumbent is the shared bound bus of a portfolio race: a lock-free
+// core.BoundBus holding the best feasible makespan published by any racer
+// (the incumbent) and the strongest certified lower bound. Racers publish
+// improvements via compare-and-swap on the raw float bits and read the live
+// values with a single atomic load, so consulting the bus at every search
+// node is cheap. Gap watchers can block on Updates to react to
+// improvements.
+type Incumbent struct {
+	upper   atomic.Uint64 // math.Float64bits of the incumbent makespan
+	lower   atomic.Uint64 // math.Float64bits of the certified lower bound
+	updates chan struct{} // capacity-1 improvement signal
+}
+
+var _ core.BoundBus = (*Incumbent)(nil)
+
+// NewIncumbent returns an empty bus: Upper is +Inf, Lower is 0.
+func NewIncumbent() *Incumbent {
+	inc := &Incumbent{updates: make(chan struct{}, 1)}
+	inc.upper.Store(math.Float64bits(math.Inf(1)))
+	inc.lower.Store(math.Float64bits(0))
+	return inc
+}
+
+// Upper returns the incumbent makespan, +Inf when none has been published.
+func (b *Incumbent) Upper() float64 { return math.Float64frombits(b.upper.Load()) }
+
+// Lower returns the certified lower bound, 0 when none has been published.
+func (b *Incumbent) Lower() float64 { return math.Float64frombits(b.lower.Load()) }
+
+// PublishUpper records a feasible makespan; it reports whether the
+// incumbent strictly improved. Non-finite and negative values are ignored.
+func (b *Incumbent) PublishUpper(v float64) bool {
+	if math.IsNaN(v) || math.IsInf(v, 0) || v < 0 {
+		return false
+	}
+	for {
+		old := b.upper.Load()
+		if v >= math.Float64frombits(old) {
+			return false
+		}
+		if b.upper.CompareAndSwap(old, math.Float64bits(v)) {
+			b.signal()
+			return true
+		}
+	}
+}
+
+// PublishLower records a certified lower bound; it reports whether the
+// strongest known bound strictly improved. Non-finite and non-positive
+// values are ignored (0 is the empty bound already).
+func (b *Incumbent) PublishLower(v float64) bool {
+	if math.IsNaN(v) || math.IsInf(v, 0) || v <= 0 {
+		return false
+	}
+	for {
+		old := b.lower.Load()
+		if v <= math.Float64frombits(old) {
+			return false
+		}
+		if b.lower.CompareAndSwap(old, math.Float64bits(v)) {
+			b.signal()
+			return true
+		}
+	}
+}
+
+// Gap returns the relative optimality gap Upper/Lower − 1, or +Inf while
+// either side is still missing. A non-positive gap means the incumbent is
+// proven optimal (up to floating-point slack of the publishers).
+func (b *Incumbent) Gap() float64 {
+	u, l := b.Upper(), b.Lower()
+	if l <= 0 || math.IsInf(u, 1) {
+		return math.Inf(1)
+	}
+	return u/l - 1
+}
+
+// Updates returns a channel that receives a signal after bound
+// improvements. The channel has capacity 1 and publishers never block on
+// it, so a reader sees at least one signal for any improvement that
+// happened since it last drained the channel (coalesced, not one-per-publish).
+func (b *Incumbent) Updates() <-chan struct{} { return b.updates }
+
+func (b *Incumbent) signal() {
+	select {
+	case b.updates <- struct{}{}:
+	default:
+	}
+}

@@ -1,0 +1,250 @@
+package engine
+
+import (
+	"context"
+	"fmt"
+	"math"
+	"math/rand"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"repro/internal/baseline"
+	"repro/internal/core"
+	"repro/internal/exact"
+	"repro/internal/gen"
+)
+
+func TestIncumbentPublishSemantics(t *testing.T) {
+	b := NewIncumbent()
+	if !math.IsInf(b.Upper(), 1) || b.Lower() != 0 {
+		t.Fatalf("fresh bus = (%v, %v), want (+Inf, 0)", b.Upper(), b.Lower())
+	}
+	if !math.IsInf(b.Gap(), 1) {
+		t.Errorf("fresh Gap = %v, want +Inf", b.Gap())
+	}
+	if !b.PublishUpper(10) {
+		t.Error("first upper publish not an improvement")
+	}
+	if b.PublishUpper(10) || b.PublishUpper(12) {
+		t.Error("non-improving upper publish reported as improvement")
+	}
+	if !b.PublishUpper(8) || b.Upper() != 8 {
+		t.Errorf("upper = %v after publishing 8", b.Upper())
+	}
+	if !b.PublishLower(4) || b.PublishLower(3) || b.Lower() != 4 {
+		t.Errorf("lower = %v after publishing 4 then 3", b.Lower())
+	}
+	if got := b.Gap(); math.Abs(got-1) > core.Eps {
+		t.Errorf("Gap = %v, want 1 (upper 8, lower 4)", got)
+	}
+	// Garbage values must be ignored.
+	if b.PublishUpper(math.NaN()) || b.PublishUpper(math.Inf(1)) || b.PublishUpper(-1) {
+		t.Error("accepted a non-finite or negative upper bound")
+	}
+	if b.PublishLower(math.NaN()) || b.PublishLower(math.Inf(1)) || b.PublishLower(0) {
+		t.Error("accepted a non-finite or non-positive lower bound")
+	}
+	select {
+	case <-b.Updates():
+	default:
+		t.Error("no update signal after improvements")
+	}
+}
+
+// TestIncumbentConcurrentPublishers hammers the bus from many goroutines;
+// run under -race this also proves the lock-free publishes are safe.
+func TestIncumbentConcurrentPublishers(t *testing.T) {
+	b := NewIncumbent()
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			rng := rand.New(rand.NewSource(int64(g)))
+			for i := 0; i < 1000; i++ {
+				b.PublishUpper(100 + rng.Float64()*900)
+				b.PublishLower(rng.Float64() * 100)
+				_ = b.Upper()
+				_ = b.Lower()
+			}
+		}(g)
+	}
+	wg.Wait()
+	if u := b.Upper(); u < 100 || u >= 1000 {
+		t.Errorf("final upper %v outside published range [100, 1000)", u)
+	}
+	if l := b.Lower(); l <= 0 || l > 100 {
+		t.Errorf("final lower %v outside published range (0, 100]", l)
+	}
+	if b.Upper() < b.Lower() {
+		t.Errorf("bounds crossed: upper %v < lower %v", b.Upper(), b.Lower())
+	}
+}
+
+// TestPortfolioGapTermination is the satellite requirement: a race with a
+// deliberately slow refuting member ends as soon as the refuter certifies
+// the incumbent within the requested gap, instead of waiting out the
+// refuter's multi-second grind.
+func TestPortfolioGapTermination(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	in := gen.Identical(rng, gen.Params{N: 10, M: 2, K: 2})
+	reg := NewRegistry()
+	reg.MustRegister(NewSolver("fast", Caps{Kinds: allKinds, Priority: 2},
+		func(ctx context.Context, in *core.Instance, opt Options) (core.Result, error) {
+			sched, err := baseline.Greedy(in)
+			if err != nil {
+				return core.Result{}, err
+			}
+			ms := sched.Makespan(in)
+			if opt.Bounds != nil {
+				opt.Bounds.PublishUpper(ms)
+			}
+			return core.Result{Algorithm: "fast", Schedule: sched, Makespan: ms}, nil
+		}))
+	reg.MustRegister(NewSolver("slow-refuter", Caps{Kinds: allKinds, Priority: 1},
+		func(ctx context.Context, in *core.Instance, opt Options) (core.Result, error) {
+			// Refute slowly: after 30ms certify that the incumbent is
+			// optimal, then grind until cancelled (5s when it is not).
+			time.Sleep(30 * time.Millisecond)
+			if opt.Bounds != nil {
+				opt.Bounds.PublishLower(opt.Bounds.Upper())
+			}
+			select {
+			case <-ctx.Done():
+				return core.Result{}, ctx.Err()
+			case <-time.After(5 * time.Second):
+				return core.Result{}, fmt.Errorf("gap termination never cancelled the race")
+			}
+		}))
+	start := time.Now()
+	pr, err := reg.Portfolio(context.Background(), in, Options{Gap: 0.01})
+	elapsed := time.Since(start)
+	if err != nil {
+		t.Fatalf("Portfolio: %v", err)
+	}
+	if elapsed > 2*time.Second {
+		t.Fatalf("gap-terminated race ran %v, want well under the refuter's 5s grind", elapsed)
+	}
+	if !pr.WithinGap {
+		t.Error("WithinGap not reported despite lower == upper")
+	}
+	if pr.Winner != "fast" {
+		t.Errorf("winner = %q, want fast", pr.Winner)
+	}
+	if math.Abs(pr.Best.LowerBound-pr.Best.Makespan) > core.Eps {
+		t.Errorf("LowerBound %v != Makespan %v despite full certification", pr.Best.LowerBound, pr.Best.Makespan)
+	}
+}
+
+// TestPortfolioPrimesBranchAndBound is the acceptance criterion: inside a
+// portfolio, the branch-and-bound racer consumes incumbents published by
+// the heuristic members and explores measurably fewer nodes than the same
+// search does standalone.
+func TestPortfolioPrimesBranchAndBound(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	in := gen.Uniform(rng, gen.Params{N: 13, M: 3, K: 4})
+	_, _, st0 := exact.BranchAndBound(context.Background(), in, exact.Options{})
+	if !st0.Proven || st0.Nodes == 0 {
+		t.Fatalf("standalone baseline not proven (%d nodes)", st0.Nodes)
+	}
+
+	var nodes atomic.Int64
+	reg := NewRegistry()
+	reg.MustRegister(newGreedySolver())
+	reg.MustRegister(newLPTSolver())
+	reg.MustRegister(NewSolver("probe-exact", Caps{Kinds: allKinds, Priority: 1},
+		func(ctx context.Context, in *core.Instance, opt Options) (core.Result, error) {
+			if opt.Bounds == nil {
+				return core.Result{}, fmt.Errorf("portfolio did not supply a bound bus")
+			}
+			// Let the heuristic racers seed the incumbent first, so the
+			// node-count comparison is deterministic.
+			for i := 0; i < 1000 && math.IsInf(opt.Bounds.Upper(), 1); i++ {
+				time.Sleep(100 * time.Microsecond)
+			}
+			sched, ms, st := exact.BranchAndBound(ctx, in, exact.Options{Bounds: opt.Bounds})
+			nodes.Store(st.Nodes)
+			if sched == nil {
+				return core.Result{}, fmt.Errorf("pruned out against the incumbent (%s)", st.Reason)
+			}
+			return core.Result{Algorithm: "probe-exact", Schedule: sched, Makespan: ms, LowerBound: st.Bound}, nil
+		}))
+	if _, err := reg.Portfolio(context.Background(), in, Options{}); err != nil {
+		t.Fatalf("Portfolio: %v", err)
+	}
+	primed := nodes.Load()
+	if primed == 0 {
+		t.Fatal("probe never ran")
+	}
+	if primed >= st0.Nodes {
+		t.Errorf("incumbent-primed search explored %d nodes, standalone %d — priming did not prune", primed, st0.Nodes)
+	}
+}
+
+// TestPortfolioHarvestsBoundsFromFailedMembers is the satellite bugfix:
+// a certified lower bound from a member whose schedule later flunked
+// validation must still strengthen Best.LowerBound, and inconsistent
+// bounds are clamped so Ratio never drops below 1.
+func TestPortfolioHarvestsBoundsFromFailedMembers(t *testing.T) {
+	in, err := core.NewIdentical([]float64{4, 4}, []int{0, 1}, []float64{1, 1}, 2)
+	if err != nil {
+		t.Fatalf("NewIdentical: %v", err)
+	}
+	valid := &core.Schedule{Assign: []int{0, 1}} // makespan 5
+	for _, tc := range []struct {
+		name   string
+		certLB float64
+		wantLB float64
+	}{
+		{"harvested", 4.5, 4.5}, // bound from the failed member survives
+		{"clamped", 7, 5},       // inconsistent bound clamps to the makespan
+	} {
+		t.Run(tc.name, func(t *testing.T) {
+			reg := NewRegistry()
+			reg.MustRegister(NewSolver("ok", Caps{Kinds: allKinds, Priority: 2},
+				func(ctx context.Context, in *core.Instance, opt Options) (core.Result, error) {
+					return core.Result{Algorithm: "ok", Schedule: valid, Makespan: 5, LowerBound: 1}, nil
+				}))
+			reg.MustRegister(NewSolver("broken-cert", Caps{Kinds: allKinds, Priority: 1},
+				func(ctx context.Context, in *core.Instance, opt Options) (core.Result, error) {
+					// Certified a strong bound, then produced an infeasible
+					// schedule (all jobs unassigned).
+					return core.Result{Algorithm: "broken", Schedule: core.NewSchedule(in.N), Makespan: 3, LowerBound: tc.certLB}, nil
+				}))
+			pr, err := reg.Portfolio(context.Background(), in, Options{})
+			if err != nil {
+				t.Fatalf("Portfolio: %v", err)
+			}
+			if pr.Winner != "ok" {
+				t.Fatalf("winner = %q, want ok (broken member must fail validation)", pr.Winner)
+			}
+			if math.Abs(pr.Best.LowerBound-tc.wantLB) > core.Eps {
+				t.Errorf("Best.LowerBound = %v, want %v", pr.Best.LowerBound, tc.wantLB)
+			}
+			if r := pr.Best.Ratio(); r < 1-core.Eps {
+				t.Errorf("Ratio = %v, want >= 1", r)
+			}
+		})
+	}
+}
+
+// TestRngForSeedZeroDistinctStream is the satellite regression test: seed 0
+// (the fixed default) must be deterministic but must not alias seed 1.
+func TestRngForSeedZeroDistinctStream(t *testing.T) {
+	draws := func(seed int64) [8]float64 {
+		rng := rngFor(Options{Seed: seed})
+		var out [8]float64
+		for i := range out {
+			out[i] = rng.Float64()
+		}
+		return out
+	}
+	if draws(0) != draws(0) {
+		t.Error("seed 0 is not deterministic")
+	}
+	if draws(0) == draws(1) {
+		t.Error("seed 0 aliases seed 1: the two seeds produce identical runs")
+	}
+}

@@ -10,6 +10,65 @@ import (
 	"repro/internal/core"
 )
 
+// BoundContribution reports one portfolio member's effect on the shared
+// incumbent bus.
+type BoundContribution struct {
+	// UpperImprovements counts how many times the member strictly improved
+	// the shared incumbent makespan.
+	UpperImprovements int
+	// LowerImprovements counts how many times the member strictly improved
+	// the shared certified lower bound.
+	LowerImprovements int
+	// BestUpper is the member's best published makespan (0 when it never
+	// improved the incumbent).
+	BestUpper float64
+	// BestLower is the member's best published lower bound (0 when it never
+	// improved the shared bound).
+	BestLower float64
+	// BestUpperAt is the race time at which the member last improved the
+	// shared incumbent — the portfolio's time-to-incumbent is this value
+	// for the member holding the final incumbent. 0 when it never did.
+	BestUpperAt time.Duration
+}
+
+// memberBus wraps the shared Incumbent for one racer, tallying the racer's
+// contributions. The tallies are written only from the racer's own
+// goroutine and read after the race's WaitGroup completes, so they need no
+// synchronization of their own.
+type memberBus struct {
+	inc   *Incumbent
+	start time.Time
+	c     BoundContribution
+}
+
+var _ core.BoundBus = (*memberBus)(nil)
+
+func (m *memberBus) Upper() float64 { return m.inc.Upper() }
+func (m *memberBus) Lower() float64 { return m.inc.Lower() }
+
+func (m *memberBus) PublishUpper(v float64) bool {
+	if !m.inc.PublishUpper(v) {
+		return false
+	}
+	m.c.UpperImprovements++
+	if m.c.BestUpper == 0 || v < m.c.BestUpper {
+		m.c.BestUpper = v
+	}
+	m.c.BestUpperAt = time.Since(m.start)
+	return true
+}
+
+func (m *memberBus) PublishLower(v float64) bool {
+	if !m.inc.PublishLower(v) {
+		return false
+	}
+	m.c.LowerImprovements++
+	if v > m.c.BestLower {
+		m.c.BestLower = v
+	}
+	return true
+}
+
 // SolverOutcome is one solver's contribution to a portfolio run.
 type SolverOutcome struct {
 	// Solver is the registry name of the solver.
@@ -21,48 +80,83 @@ type SolverOutcome struct {
 	Err error
 	// Elapsed is the solver's wall-clock runtime inside the race.
 	Elapsed time.Duration
+	// Bounds tallies what the member published to the shared incumbent bus
+	// while racing (tracked even when Err is non-nil: bounds published
+	// before a failure remain certified).
+	Bounds BoundContribution
 }
 
 // PortfolioResult is the outcome of racing all applicable solvers.
 type PortfolioResult struct {
 	// Best is the minimum-makespan result across successful members. Its
-	// LowerBound is the strongest certified bound any member produced, so
-	// Best.Ratio() reflects the whole portfolio's knowledge.
+	// LowerBound is the strongest certified bound any member produced
+	// (clamped to Best.Makespan so Ratio is never below 1), so Best.Ratio()
+	// reflects the whole portfolio's knowledge.
 	Best core.Result
 	// Winner is the registry name of the solver that produced Best.
 	Winner string
 	// Outcomes reports every raced solver in finish-priority order
 	// (matching Applicable), including failures.
 	Outcomes []SolverOutcome
+	// WithinGap reports that Options.Gap was set and Best is certified
+	// within that gap: Best.Makespan ≤ (1+Gap)·Best.LowerBound. The race's
+	// early termination watches the shared bus (which a caller-seeded
+	// Options.Bounds contributes to), but this flag describes the returned
+	// result only — a warm-started race whose members could not match the
+	// seeded incumbent reports false.
+	WithinGap bool
 }
 
 // Portfolio races every applicable solver concurrently under the shared
 // ctx and returns the best makespan found. Each member runs on its own
 // goroutine with the same deadline, so a context timeout bounds the whole
 // race; members that stop early contribute their best-so-far schedules.
-// An error is returned only when no member produced a feasible schedule.
+//
+// The racers share an incumbent bus (Incumbent): improved makespans and
+// certified lower bounds published by one member prune and narrow the
+// others mid-flight, so the race is faster than its slowest member rather
+// than as slow as it. With Options.Gap set, the race is cancelled as soon
+// as the incumbent is within a factor 1+Gap of the best certified lower
+// bound. A caller-provided Options.Bounds seeds the race and receives its
+// final bounds (warm restarts). An error is returned only when no member
+// produced a feasible schedule.
 func (r *Registry) Portfolio(ctx context.Context, in *core.Instance, opt Options) (PortfolioResult, error) {
 	solvers := r.Applicable(in, opt)
 	if len(solvers) == 0 {
 		return PortfolioResult{}, fmt.Errorf("engine: no registered solver is applicable to %v", in)
 	}
+	bus := NewIncumbent()
+	if opt.Bounds != nil {
+		bus.PublishUpper(opt.Bounds.Upper())
+		bus.PublishLower(opt.Bounds.Lower())
+	}
+	raceCtx, stopRace := context.WithCancel(ctx)
+	defer stopRace()
+	if opt.Gap > 0 {
+		go watchGap(raceCtx, bus, opt.Gap, stopRace)
+	}
+
 	outcomes := make([]SolverOutcome, len(solvers))
+	start := time.Now()
 	var wg sync.WaitGroup
 	for idx, s := range solvers {
 		wg.Add(1)
-		go func(idx int, s Solver) {
+		mb := &memberBus{inc: bus, start: start}
+		mopt := opt
+		mopt.Bounds = mb
+		go func(idx int, s Solver, mb *memberBus, mopt Options) {
 			defer wg.Done()
-			start := time.Now()
 			defer func() {
 				if p := recover(); p != nil {
 					outcomes[idx] = SolverOutcome{
 						Solver:  s.Name(),
 						Err:     fmt.Errorf("engine: solver %s panicked: %v", s.Name(), p),
 						Elapsed: time.Since(start),
+						Bounds:  mb.c,
 					}
 				}
 			}()
-			res, err := s.Solve(ctx, in, opt)
+			res, err := s.Solve(raceCtx, in, mopt)
 			if err == nil && res.Schedule == nil {
 				err = fmt.Errorf("engine: solver %s returned no schedule", s.Name())
 			}
@@ -71,20 +165,23 @@ func (r *Registry) Portfolio(ctx context.Context, in *core.Instance, opt Options
 					err = fmt.Errorf("engine: solver %s produced an infeasible schedule: %w", s.Name(), verr)
 				}
 			}
-			outcomes[idx] = SolverOutcome{Solver: s.Name(), Result: res, Err: err, Elapsed: time.Since(start)}
-		}(idx, s)
+			outcomes[idx] = SolverOutcome{Solver: s.Name(), Result: res, Err: err, Elapsed: time.Since(start), Bounds: mb.c}
+		}(idx, s, mb, mopt)
 	}
 	wg.Wait()
 
 	out := PortfolioResult{Outcomes: outcomes}
 	bestMs := math.Inf(1)
-	bestLB := 0.0
+	// Harvest the strongest certified lower bound from every member,
+	// including failed ones: a bound certified before a member's schedule
+	// flunked validation (or before it was cancelled) is still a bound.
+	bestLB := bus.Lower()
 	for _, o := range outcomes {
-		if o.Err != nil {
-			continue
-		}
 		if o.Result.LowerBound > bestLB {
 			bestLB = o.Result.LowerBound
+		}
+		if o.Err != nil {
+			continue
 		}
 		if o.Result.Makespan < bestMs {
 			bestMs = o.Result.Makespan
@@ -99,11 +196,40 @@ func (r *Registry) Portfolio(ctx context.Context, in *core.Instance, opt Options
 		}
 		return out, fmt.Errorf("engine: every portfolio member failed%s", errs)
 	}
-	out.Best.LowerBound = bestLB
 	out.Best = postProcess(ctx, in, out.Best, opt)
+	// Clamp: inconsistent members (a bound within floating-point slack of
+	// another member's makespan) must never push Ratio below 1.
+	if bestLB > out.Best.Makespan {
+		bestLB = out.Best.Makespan
+	}
+	out.Best.LowerBound = bestLB
+	out.WithinGap = opt.Gap > 0 && bestLB > 0 &&
+		out.Best.Makespan <= (1+opt.Gap)*bestLB+core.Eps
+	if opt.Bounds != nil {
+		// Mirror the race's final knowledge back to the caller's bus.
+		opt.Bounds.PublishUpper(out.Best.Makespan)
+		opt.Bounds.PublishLower(bestLB)
+	}
 	// Winner provenance lives in out.Winner/Outcomes; Best.Note stays
 	// reserved for degraded-run causes per the core.Result contract.
 	return out, nil
+}
+
+// watchGap cancels the race once the incumbent is certified within the
+// requested relative gap of the best lower bound. It wakes on every bus
+// improvement and exits with the race context.
+func watchGap(ctx context.Context, bus *Incumbent, gap float64, stop context.CancelFunc) {
+	for {
+		if bus.Gap() <= gap {
+			stop()
+			return
+		}
+		select {
+		case <-ctx.Done():
+			return
+		case <-bus.Updates():
+		}
+	}
 }
 
 // Portfolio races the default registry.

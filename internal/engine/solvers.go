@@ -57,10 +57,16 @@ func NewSolver(name string, caps Caps, solve func(ctx context.Context, in *core.
 	return &funcSolver{name: name, caps: caps, solve: solve}
 }
 
+// defaultSeedStream is the source used when Options.Seed is 0 (the "fixed
+// default" contract). It must not collide with small user-chosen seeds:
+// mapping 0 to 1, as this function once did, made -seed 0 and -seed 1
+// produce byte-identical randomized runs.
+const defaultSeedStream int64 = 0x5DEECE66DA9C6B2F
+
 func rngFor(opt Options) *rand.Rand {
 	seed := opt.Seed
 	if seed == 0 {
-		seed = 1
+		seed = defaultSeedStream
 	}
 	return rand.New(rand.NewSource(seed))
 }
@@ -81,12 +87,12 @@ func newLPTSolver() Solver {
 		if err != nil {
 			return core.Result{}, err
 		}
-		return core.Result{
+		return publishResult(core.Result{
 			Algorithm:  NameLPT,
 			Schedule:   sched,
 			Makespan:   sched.Makespan(in),
 			LowerBound: exact.VolumeLowerBound(in),
-		}, nil
+		}, opt), nil
 	})
 }
 
@@ -100,13 +106,23 @@ func newGreedySolver() Solver {
 		if err != nil {
 			return core.Result{}, err
 		}
-		return core.Result{
+		return publishResult(core.Result{
 			Algorithm:  NameGreedy,
 			Schedule:   sched,
 			Makespan:   sched.Makespan(in),
 			LowerBound: exact.VolumeLowerBound(in),
-		}, nil
+		}, opt), nil
 	})
+}
+
+// publishResult pushes a finished solver result onto the live bound bus, so
+// fast heuristics seed the incumbent for the still-running racers.
+func publishResult(res core.Result, opt Options) core.Result {
+	if opt.Bounds != nil {
+		opt.Bounds.PublishUpper(res.Makespan)
+		opt.Bounds.PublishLower(res.LowerBound)
+	}
+	return res
 }
 
 func newPTASSolver() Solver {
@@ -119,6 +135,7 @@ func newPTASSolver() Solver {
 			Eps:       opt.Eps,
 			NodeCap:   opt.NodeCap,
 			Precision: opt.Precision,
+			Bounds:    opt.Bounds,
 		})
 		return res, err
 	})
@@ -134,6 +151,7 @@ func newRoundingSolver() Solver {
 			C:         opt.RoundingC,
 			Rng:       rngFor(opt),
 			Precision: opt.Precision,
+			Bounds:    opt.Bounds,
 		})
 	})
 }
@@ -145,7 +163,7 @@ func newRA2Solver() Solver {
 		Guarantee:           "2-approximation (Theorem 3.10)",
 		Priority:            40,
 	}, func(ctx context.Context, in *core.Instance, opt Options) (core.Result, error) {
-		return special.ScheduleClassUniformRA(ctx, in, special.Options{Precision: opt.Precision})
+		return special.ScheduleClassUniformRA(ctx, in, special.Options{Precision: opt.Precision, Bounds: opt.Bounds})
 	})
 }
 
@@ -156,7 +174,7 @@ func newPT3Solver() Solver {
 		Guarantee:           "3-approximation (Theorem 3.11)",
 		Priority:            30,
 	}, func(ctx context.Context, in *core.Instance, opt Options) (core.Result, error) {
-		return special.ScheduleClassUniformPT(ctx, in, special.Options{Precision: opt.Precision})
+		return special.ScheduleClassUniformPT(ctx, in, special.Options{Precision: opt.Precision, Bounds: opt.Bounds})
 	})
 }
 
@@ -167,12 +185,31 @@ func newExactSolver() Solver {
 		Guarantee: "exact optimum (branch-and-bound)",
 		Priority:  5,
 	}, func(ctx context.Context, in *core.Instance, opt Options) (core.Result, error) {
+		// Prime the search with a heuristic pass so the branch-and-bound
+		// never starts from +Inf: the greedy makespan seeds the pruning
+		// threshold, its schedule covers the case where the primed search
+		// prunes its whole tree (nothing strictly better exists), and in
+		// a portfolio the bus tightens the threshold further mid-search.
+		var fallback *core.Schedule
+		prime := 0.0
+		if g, err := baseline.Greedy(in); err == nil {
+			fallback = g
+			prime = g.Makespan(in)
+			if opt.Bounds != nil {
+				opt.Bounds.PublishUpper(prime)
+			}
+		}
 		sched, ms, st := exact.BranchAndBound(ctx, in, exact.Options{
-			MaxJobs:   opt.MaxJobs,
-			NodeLimit: opt.NodeLimit,
+			MaxJobs:    opt.MaxJobs,
+			NodeLimit:  opt.NodeLimit,
+			UpperBound: prime,
+			Bounds:     opt.Bounds,
 		})
 		if sched == nil {
-			return core.Result{}, fmt.Errorf("branch-and-bound found no schedule (%s, n=%d, %d nodes)", st.Reason, in.N, st.Nodes)
+			if st.Reason == exact.StopTooLarge || fallback == nil {
+				return core.Result{}, fmt.Errorf("branch-and-bound found no schedule (%s, n=%d, %d nodes)", st.Reason, in.N, st.Nodes)
+			}
+			sched, ms = fallback, prime
 		}
 		res := core.Result{
 			Algorithm: NameExact,
@@ -181,6 +218,11 @@ func newExactSolver() Solver {
 		}
 		if st.Proven {
 			res.LowerBound = ms
+			if core.IsFinite(st.Bound) && st.Bound < ms {
+				// A concurrent racer's incumbent tightened the threshold
+				// below our schedule; only the threshold is certified.
+				res.LowerBound = st.Bound
+			}
 		} else {
 			res.LowerBound = exact.VolumeLowerBound(in)
 			res.Note = fmt.Sprintf("search incomplete (%s after %d nodes); schedule is best-so-far, optimality not proven", st.Reason, st.Nodes)

@@ -29,6 +29,13 @@ type Options struct {
 	// from a heuristic); 0 means start from the trivial single-machine
 	// bound.
 	UpperBound float64
+	// Bounds, when non-nil, connects the search to a live bound exchange
+	// (e.g. the engine portfolio's incumbent bus): the pruning threshold is
+	// primed with Bounds.Upper(), re-read at every node expansion so
+	// incumbents found by concurrent racers cut this search too, every
+	// improved schedule found here is published back, and on exhaustion the
+	// final threshold is published as a certified lower bound.
+	Bounds core.BoundBus
 }
 
 // StopReason says why a branch-and-bound run ended.
@@ -72,6 +79,13 @@ type Status struct {
 	Reason StopReason
 	// Nodes is the number of search nodes explored.
 	Nodes int64
+	// Bound is the final pruning threshold: the best makespan known to the
+	// search at exit, whether found locally, primed via Options.UpperBound,
+	// or read from Options.Bounds. When Proven is true the search exhausted
+	// every assignment with makespan below it, so Bound is a certified
+	// lower bound on the optimum (and equals the optimum whenever some
+	// schedule achieving it is known). +Inf when the search never started.
+	Bound float64
 }
 
 // checkEvery is the node interval at which the searcher polls the context;
@@ -89,15 +103,20 @@ func BranchAndBound(ctx context.Context, in *core.Instance, opt Options) (*core.
 		guard = MaxJobs
 	}
 	if in.N > guard {
-		return nil, 0, Status{Reason: StopTooLarge}
+		return nil, 0, Status{Reason: StopTooLarge, Bound: math.Inf(1)}
 	}
-	s := &searcher{in: in, nodeLimit: opt.NodeLimit, ctx: ctx}
+	s := &searcher{in: in, nodeLimit: opt.NodeLimit, ctx: ctx, bounds: opt.Bounds}
 	s.prepare()
-	best := opt.UpperBound
-	if best <= 0 {
-		best = math.Inf(1)
+	s.bound = math.Inf(1)
+	if opt.UpperBound > 0 {
+		s.bound = opt.UpperBound
 	}
-	s.bestVal = best
+	if s.bounds != nil {
+		if u := s.bounds.Upper(); u < s.bound {
+			s.bound = u
+		}
+	}
+	s.bestMs = math.Inf(1)
 	s.cur = core.NewSchedule(in.N)
 	s.loads = make([]float64, in.M)
 	s.classOn = make([][]bool, in.M)
@@ -105,22 +124,30 @@ func BranchAndBound(ctx context.Context, in *core.Instance, opt Options) (*core.
 		s.classOn[i] = make([]bool, in.K)
 	}
 	s.dfs(0)
-	st := Status{Proven: !s.limitHit, Reason: s.stopReason, Nodes: s.nodes}
+	st := Status{Proven: !s.limitHit, Reason: s.stopReason, Nodes: s.nodes, Bound: s.bound}
+	if st.Proven && s.bounds != nil && core.IsFinite(s.bound) {
+		// Exhausting every assignment below the threshold certifies it as a
+		// lower bound on the optimum, even when the schedule achieving it
+		// lives in another racer.
+		s.bounds.PublishLower(s.bound)
+	}
 	if s.best == nil {
 		return nil, 0, st
 	}
-	return s.best, s.bestVal, st
+	return s.best, s.bestMs, st
 }
 
 type searcher struct {
 	in         *core.Instance
 	ctx        context.Context
-	order      []int     // jobs sorted by decreasing min processing time
-	sufMin     []float64 // suffix sums of min_i p_{ij} over the order
-	sameRows   [][]bool  // sameRows[a][b]: machines a and b fully identical
+	bounds     core.BoundBus // optional live bound exchange; nil when standalone
+	order      []int         // jobs sorted by decreasing min processing time
+	sufMin     []float64     // suffix sums of min_i p_{ij} over the order
+	sameRows   [][]bool      // sameRows[a][b]: machines a and b fully identical
 	cur        *core.Schedule
 	best       *core.Schedule
-	bestVal    float64
+	bestMs     float64 // makespan of best (+Inf while none found locally)
+	bound      float64 // pruning threshold: min of bestMs, priming, live incumbent
 	loads      []float64
 	classOn    [][]bool
 	nodes      int64
@@ -205,7 +232,14 @@ func (s *searcher) dfs(idx int) {
 		s.stopReason = StopCancelled
 		return
 	}
-	if s.lowerBound(idx) >= s.bestVal-core.Eps {
+	if s.bounds != nil {
+		// Re-read the live incumbent at every expansion: a better schedule
+		// published by a concurrent racer tightens this search immediately.
+		if u := s.bounds.Upper(); u < s.bound {
+			s.bound = u
+		}
+	}
+	if s.lowerBound(idx) >= s.bound-core.Eps {
 		return
 	}
 	in := s.in
@@ -216,9 +250,13 @@ func (s *searcher) dfs(idx int) {
 				ms = l
 			}
 		}
-		if ms < s.bestVal-core.Eps {
-			s.bestVal = ms
+		if ms < s.bound-core.Eps {
+			s.bound = ms
+			s.bestMs = ms
 			s.best = s.cur.Clone()
+			if s.bounds != nil {
+				s.bounds.PublishUpper(ms)
+			}
 		}
 		return
 	}
@@ -238,7 +276,7 @@ func (s *searcher) dfs(idx int) {
 			delta += in.S[i][k]
 			addedSetup = true
 		}
-		if s.loads[i]+delta >= s.bestVal-core.Eps {
+		if s.loads[i]+delta >= s.bound-core.Eps {
 			continue
 		}
 		skip := false

@@ -7,6 +7,7 @@ import (
 	"testing"
 	"testing/quick"
 
+	"repro/internal/boundtest"
 	"repro/internal/core"
 	"repro/internal/gen"
 )
@@ -123,6 +124,42 @@ func TestBranchAndBoundUsesUpperBound(t *testing.T) {
 	proven := bst.Proven
 	if !proven || sched == nil || math.Abs(opt-5) > core.Eps {
 		t.Errorf("opt = %v (proven=%v), want 5", opt, proven)
+	}
+}
+
+// TestBranchAndBoundSharedBoundsPrune: a live incumbent primes the pruning
+// threshold, so the bus-connected search explores strictly fewer nodes than
+// the blind one, still proves optimality, and certifies the threshold as a
+// lower bound on exhaustion.
+func TestBranchAndBoundSharedBoundsPrune(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	in := gen.Uniform(rng, gen.Params{N: 12, M: 3, K: 3})
+	_, opt0, st0 := BranchAndBound(context.Background(), in, Options{})
+	if !st0.Proven {
+		t.Fatal("baseline search not proven")
+	}
+	if math.Abs(st0.Bound-opt0) > core.Eps {
+		t.Errorf("Status.Bound = %v, want the proven optimum %v", st0.Bound, opt0)
+	}
+
+	bus := boundtest.New()
+	bus.U = opt0 // a racer already holds an optimal schedule
+	_, _, st1 := BranchAndBound(context.Background(), in, Options{Bounds: bus})
+	if st1.Nodes >= st0.Nodes {
+		t.Errorf("incumbent-primed search explored %d nodes, blind search %d — want strictly fewer", st1.Nodes, st0.Nodes)
+	}
+	if !st1.Proven {
+		t.Error("primed search not proven despite exhausting its (pruned) tree")
+	}
+	if math.Abs(bus.L-opt0) > core.Eps {
+		t.Errorf("proven exhaustion published lower bound %v, want %v", bus.L, opt0)
+	}
+
+	// A bus-connected search publishes its own incumbents as it improves.
+	bus2 := boundtest.New()
+	_, opt2, _ := BranchAndBound(context.Background(), in, Options{Bounds: bus2})
+	if len(bus2.UpperPubs) == 0 || math.Abs(bus2.U-opt2) > core.Eps {
+		t.Errorf("search published %d incumbents ending at %v, want its optimum %v", len(bus2.UpperPubs), bus2.U, opt2)
 	}
 }
 

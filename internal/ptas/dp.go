@@ -2,9 +2,9 @@ package ptas
 
 import (
 	"context"
-	"fmt"
+	"encoding/binary"
+	"math"
 	"sort"
-	"strings"
 
 	"repro/internal/core"
 )
@@ -51,8 +51,17 @@ type dp struct {
 	assign []int // job -> machine (-1: unassigned/fractional)
 	isFrac []bool
 
-	memo map[string]bool // failed states
-	ok   bool
+	memo    map[string]bool // failed states, keyed by their binary encoding
+	keyBuf  []byte          // reused state-key scratch (grown once, then flat)
+	cellBuf []memoCell      // reused machine-cell scratch for key canonicalization
+	ok      bool
+}
+
+// memoCell is one (speed, load, flag) machine triple of a state key;
+// sorting the cells factors out machine symmetry.
+type memoCell struct {
+	speed, load float64
+	flag        bool
 }
 
 // newDP builds the DP context; returns a context whose solve() immediately
@@ -205,8 +214,7 @@ func (d *dp) rec(g, ci, ji int, xi bool, l1, l2, l3 float64) bool {
 		d.cancelled = true
 		return false
 	}
-	key := d.stateKey(g, ci, ji, xi, l1, l2, l3)
-	if d.memo[key] {
+	if d.failedState(g, ci, ji, xi, l1, l2, l3) {
 		return false
 	}
 	list := d.jobList(g, ci)
@@ -214,7 +222,7 @@ func (d *dp) rec(g, ci, ji int, xi bool, l1, l2, l3 float64) bool {
 		if d.advance(g, ci, l1, l2, l3) {
 			return true
 		}
-		d.memo[key] = true
+		d.markFailed(g, ci, ji, xi, l1, l2, l3)
 		return false
 	}
 
@@ -227,14 +235,21 @@ func (d *dp) rec(g, ci, ji int, xi bool, l1, l2, l3 float64) bool {
 	}
 
 	// Placement edges: one per distinct (speed, load, flag) cell among the
-	// group's machines.
-	tried := map[string]bool{}
-	for _, i := range d.machines[g] {
-		cell := fmt.Sprintf("%v|%v|%v", d.s.speed[i], d.mLoad[i], d.mFlag[i])
-		if tried[cell] {
+	// group's machines. A machine matching an earlier machine's cell leads
+	// to an isomorphic subtree (capacity is a function of speed alone), so
+	// only the first is expanded.
+	group := d.machines[g]
+	for mi, i := range group {
+		dup := false
+		for _, i2 := range group[:mi] {
+			if d.s.speed[i2] == d.s.speed[i] && d.mLoad[i2] == d.mLoad[i] && d.mFlag[i2] == d.mFlag[i] {
+				dup = true
+				break
+			}
+		}
+		if dup {
 			continue
 		}
-		tried[cell] = true
 		delta := p
 		setFlag := false
 		if isCore && !d.mFlag[i] {
@@ -275,7 +290,7 @@ func (d *dp) rec(g, ci, ji int, xi bool, l1, l2, l3 float64) bool {
 		d.isFrac[j] = false
 	}
 
-	d.memo[key] = true
+	d.markFailed(g, ci, ji, xi, l1, l2, l3)
 	return false
 }
 
@@ -353,26 +368,79 @@ func maxf(a, b float64) float64 {
 	return b
 }
 
-// stateKey canonicalizes the current state: machine symmetry is factored
-// out by sorting the (speed, load, flag) triples of the *group-relevant*
-// machines (machines of groups > g have load 0 and flag false; machines of
-// earlier groups never change again but their loads still matter for λ
-// absorption only through past decisions, which the λ values capture — they
-// are excluded from the key only when they can no longer influence the
-// future, i.e. after their leave transition).
-func (d *dp) stateKey(g, ci, ji int, xi bool, l1, l2, l3 float64) string {
-	var sb strings.Builder
-	fmt.Fprintf(&sb, "%d|%d|%d|%t|%v|%v|%v;", g, ci, ji, xi, l1, l2, l3)
-	cells := make([]string, 0, len(d.mLoad))
+// encodeState writes the canonical binary state key into d.keyBuf (reused
+// across calls, so it stays allocation-free once grown). Machine symmetry
+// is factored out by sorting the (speed, load, flag) triples of the
+// *group-relevant* machines (machines of groups > g have load 0 and flag
+// false; machines of earlier groups never change again but their loads
+// still matter for λ absorption only through past decisions, which the λ
+// values capture — they are excluded from the key only when they can no
+// longer influence the future, i.e. after their leave transition). Floats
+// are keyed by their IEEE bits, which agrees with value equality for every
+// value the DP produces (loads are finite and never −0).
+func (d *dp) encodeState(g, ci, ji int, xi bool, l1, l2, l3 float64) {
+	buf := d.keyBuf[:0]
+	buf = binary.LittleEndian.AppendUint32(buf, uint32(g))
+	buf = binary.LittleEndian.AppendUint32(buf, uint32(ci+1))
+	buf = binary.LittleEndian.AppendUint32(buf, uint32(ji))
+	buf = append(buf, boolByte(xi))
+	buf = binary.LittleEndian.AppendUint64(buf, math.Float64bits(l1))
+	buf = binary.LittleEndian.AppendUint64(buf, math.Float64bits(l2))
+	buf = binary.LittleEndian.AppendUint64(buf, math.Float64bits(l3))
+	cells := d.cellBuf[:0]
 	for i := range d.mLoad {
 		if d.leaveAt[i] < g {
 			continue // left the window; its free space is folded into λ3
 		}
-		cells = append(cells, fmt.Sprintf("%v|%v|%t", d.s.speed[i], d.mLoad[i], d.mFlag[i]))
+		cells = append(cells, memoCell{d.s.speed[i], d.mLoad[i], d.mFlag[i]})
 	}
-	sort.Strings(cells)
-	sb.WriteString(strings.Join(cells, ";"))
-	return sb.String()
+	// Insertion sort: cell counts are at most m and typically tiny, and
+	// sort.Slice would allocate its closure on every node.
+	for a := 1; a < len(cells); a++ {
+		for b := a; b > 0 && cellLess(cells[b], cells[b-1]); b-- {
+			cells[b], cells[b-1] = cells[b-1], cells[b]
+		}
+	}
+	for _, c := range cells {
+		buf = binary.LittleEndian.AppendUint64(buf, math.Float64bits(c.speed))
+		buf = binary.LittleEndian.AppendUint64(buf, math.Float64bits(c.load))
+		buf = append(buf, boolByte(c.flag))
+	}
+	d.keyBuf = buf
+	d.cellBuf = cells[:0]
+}
+
+func boolByte(b bool) byte {
+	if b {
+		return 1
+	}
+	return 0
+}
+
+func cellLess(a, b memoCell) bool {
+	if a.speed != b.speed {
+		return a.speed < b.speed
+	}
+	if a.load != b.load {
+		return a.load < b.load
+	}
+	return !a.flag && b.flag
+}
+
+// failedState reports whether the state is memoized as failed. The
+// string(keyBuf) map index compiles to an allocation-free lookup.
+func (d *dp) failedState(g, ci, ji int, xi bool, l1, l2, l3 float64) bool {
+	d.encodeState(g, ci, ji, xi, l1, l2, l3)
+	return d.memo[string(d.keyBuf)]
+}
+
+// markFailed memoizes the state as failed. The key is re-encoded because
+// the recursive expansion of the state's children clobbered the shared
+// buffer; backtracking restored the loads and flags, so the encoding is
+// identical to the one probed on entry.
+func (d *dp) markFailed(g, ci, ji int, xi bool, l1, l2, l3 float64) {
+	d.encodeState(g, ci, ji, xi, l1, l2, l3)
+	d.memo[string(d.keyBuf)] = true
 }
 
 // integralAssign returns a copy of the integral job → machine assignment.

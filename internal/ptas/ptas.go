@@ -52,6 +52,14 @@ type Options struct {
 	// Precision is the relative precision of the binary search on T;
 	// default ε/4 (so the search loss is dominated by ε).
 	Precision float64
+	// Bounds, when non-nil, connects the run to a live bound exchange (the
+	// engine portfolio's incumbent bus): the LPT bootstrap and every
+	// accepted guess are published as incumbents the moment they appear,
+	// certified rejections as lower bounds, and the binary search skips
+	// guesses at or above the live incumbent. Capped or cancelled
+	// rejections are never published — they are suspicions, not
+	// certificates.
+	Bounds core.BoundBus
 }
 
 func (o Options) normalize() Options {
@@ -105,7 +113,17 @@ func Schedule(ctx context.Context, in *core.Instance, opt Options) (core.Result,
 	if v := exact.VolumeLowerBound(in); v > lb {
 		lb = v
 	}
-	out := dual.Search(ctx, in, lb, ub, opt.Precision, lptSched, func(T float64) (*core.Schedule, bool) {
+	// lastSound marks whether the most recent guess's rejection is a
+	// certificate: a capped or cancelled DP run only suspects infeasibility
+	// and must not be published as a lower bound.
+	lastSound := true
+	var bus core.BoundBus
+	if opt.Bounds != nil {
+		opt.Bounds.PublishUpper(ub) // the LPT schedule is feasible
+		opt.Bounds.PublishLower(lb) // Lemma 2.1 ratio and volume bound are certified
+		bus = guardedBus{BoundBus: opt.Bounds, sound: &lastSound}
+	}
+	out := dual.SearchWithBounds(ctx, in, lb, ub, opt.Precision, lptSched, bus, func(T float64) (*core.Schedule, bool) {
 		sched, st := decide(ctx, in, T, opt)
 		stats.Nodes += st.Nodes
 		if st.Capped {
@@ -114,6 +132,7 @@ func Schedule(ctx context.Context, in *core.Instance, opt Options) (core.Result,
 		if st.Cancelled {
 			stats.Cancelled = true
 		}
+		lastSound = !st.Capped && !st.Cancelled
 		stats.Guesses++
 		return sched, sched != nil
 	})
@@ -143,6 +162,23 @@ func Schedule(ctx context.Context, in *core.Instance, opt Options) (core.Result,
 		LowerBound: low,
 		Note:       note,
 	}, stats, nil
+}
+
+// guardedBus filters PublishLower through a soundness flag set by the
+// decider: rejections caused by the node cap or a cancelled context are not
+// infeasibility certificates, and publishing them would poison the shared
+// bound bus for every racer. The flag is read and written on the single
+// goroutine running the binary search, so no synchronization is needed.
+type guardedBus struct {
+	core.BoundBus
+	sound *bool
+}
+
+func (g guardedBus) PublishLower(v float64) bool {
+	if !*g.sound {
+		return false
+	}
+	return g.BoundBus.PublishLower(v)
 }
 
 // guessStats reports counters for a single guess.

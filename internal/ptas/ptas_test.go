@@ -8,6 +8,7 @@ import (
 	"testing"
 	"testing/quick"
 
+	"repro/internal/boundtest"
 	"repro/internal/core"
 	"repro/internal/exact"
 	"repro/internal/gen"
@@ -304,5 +305,36 @@ func TestOptionsNormalize(t *testing.T) {
 	o2 := Options{Eps: 0.25}.normalize()
 	if o2.Precision != 0.0625 {
 		t.Errorf("precision should default to eps/4, got %v", o2.Precision)
+	}
+}
+
+// TestCappedRejectionsNotPublished: a node-capped guess is a suspicion, not
+// a certificate, so the guarded bus must keep it off the shared bound bus —
+// every published lower bound stays sound against the true optimum.
+func TestCappedRejectionsNotPublished(t *testing.T) {
+	rng := rand.New(rand.NewSource(21))
+	in := gen.Uniform(rng, gen.Params{N: 12, M: 3, K: 3})
+	_, opt, bst := exact.BranchAndBound(context.Background(), in, exact.Options{})
+	if !bst.Proven {
+		t.Fatal("reference optimum not proven")
+	}
+	bus := boundtest.New()
+	res, stats, err := Schedule(context.Background(), in, Options{Eps: 0.25, NodeCap: 2, Bounds: bus})
+	if err != nil {
+		t.Fatalf("Schedule: %v", err)
+	}
+	if !stats.Capped {
+		t.Skip("node cap never hit; instance too easy for the guard to matter")
+	}
+	for _, lb := range bus.LowerPubs {
+		if lb > opt+1e-6 {
+			t.Errorf("unsound lower bound %v published to the bus (optimum %v)", lb, opt)
+		}
+	}
+	if bus.U > res.Makespan+core.Eps {
+		t.Errorf("bus incumbent %v worse than returned makespan %v", bus.U, res.Makespan)
+	}
+	if bus.U < opt-1e-6 {
+		t.Errorf("bus incumbent %v below the optimum %v (infeasible publish)", bus.U, opt)
 	}
 }

@@ -42,6 +42,12 @@ type Options struct {
 	// Precision is the relative precision of the binary search on T.
 	// Default 0.05.
 	Precision float64
+	// Bounds, when non-nil, connects the run to a live bound exchange (the
+	// engine portfolio's incumbent bus): the greedy bootstrap and every
+	// rounded schedule are published as incumbents the moment they appear,
+	// LP-infeasible guesses as certified lower bounds, and the binary
+	// search skips guesses at or above the live incumbent.
+	Bounds core.BoundBus
 }
 
 func (o Options) normalize() Options {
@@ -261,6 +267,11 @@ func ScheduleDetailed(ctx context.Context, in *core.Instance, opt Options) (core
 		return core.Result{}, det, fmt.Errorf("rounding: greedy bootstrap: %w", err)
 	}
 	ub := greedy.Makespan(in)
+	vol := exact.VolumeLowerBound(in)
+	if opt.Bounds != nil {
+		opt.Bounds.PublishUpper(ub) // the greedy schedule is feasible
+		opt.Bounds.PublishLower(vol)
+	}
 	// Seed the pure-rounding record at T = ub, where the LP is feasible by
 	// construction (the greedy schedule is an integral witness); the binary
 	// search may otherwise reject every interior guess and leave no
@@ -269,10 +280,13 @@ func ScheduleDetailed(ctx context.Context, in *core.Instance, opt Options) (core
 		if f, err := SolveLP(in, ub); err == nil && f != nil {
 			sched, _ := Round(ctx, in, f, opt.C, opt.Rng)
 			det.PureMakespan, det.PureSchedule = sched.Makespan(in), sched
+			if opt.Bounds != nil {
+				opt.Bounds.PublishUpper(det.PureMakespan)
+			}
 		}
 	}
 	var solveErr error
-	out := dual.Search(ctx, in, 0, ub, opt.Precision, greedy, func(T float64) (*core.Schedule, bool) {
+	out := dual.SearchWithBounds(ctx, in, 0, ub, opt.Precision, greedy, opt.Bounds, func(T float64) (*core.Schedule, bool) {
 		det.Guesses++
 		f, err := SolveLP(in, T)
 		if err != nil {
@@ -292,8 +306,8 @@ func ScheduleDetailed(ctx context.Context, in *core.Instance, opt Options) (core
 		return core.Result{}, det, solveErr
 	}
 	lb := out.LowerBound
-	if v := exact.VolumeLowerBound(in); v > lb {
-		lb = v
+	if vol > lb {
+		lb = vol
 	}
 	note := ""
 	if out.Err != nil {

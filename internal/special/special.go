@@ -48,6 +48,12 @@ type Options struct {
 	// Rng is unused by the deterministic rounding but kept for signature
 	// symmetry with the other algorithms; may be nil.
 	Rng *rand.Rand
+	// Bounds, when non-nil, connects the run to a live bound exchange (the
+	// engine portfolio's incumbent bus): the greedy bootstrap and every
+	// accepted guess are published as incumbents the moment they appear,
+	// LP-RelaxedRA-infeasible guesses as certified lower bounds, and the
+	// binary search skips guesses at or above the live incumbent.
+	Bounds core.BoundBus
 }
 
 func (o Options) normalize() Options {
@@ -169,7 +175,11 @@ func schedule(ctx context.Context, in *core.Instance, name string, opt Options, 
 	}
 	ub := greedy.Makespan(in)
 	lb := exact.VolumeLowerBound(in)
-	out := dual.Search(ctx, in, lb, ub, opt.Precision, greedy, decide)
+	if opt.Bounds != nil {
+		opt.Bounds.PublishUpper(ub) // the greedy schedule is feasible
+		opt.Bounds.PublishLower(lb)
+	}
+	out := dual.SearchWithBounds(ctx, in, lb, ub, opt.Precision, greedy, opt.Bounds, decide)
 	low := out.LowerBound
 	if lb > low {
 		low = lb
