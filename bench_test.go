@@ -196,6 +196,65 @@ func BenchmarkSolveEngine(b *testing.B) {
 	}
 }
 
+// BenchmarkSolveBatch measures the engine's service mode: a batch of
+// instances solved through the worker pool. The "cold" variant disables the
+// warm-start cache so every iteration pays full solver cost; the "warm"
+// variant models steady-state service traffic, where iteration two onward
+// re-solves fingerprints the cache already knows.
+func BenchmarkSolveBatch(b *testing.B) {
+	rng := rand.New(rand.NewSource(2))
+	ins := make([]*Instance, 16)
+	for i := range ins {
+		ins[i] = gen.Uniform(rng, gen.Params{N: 14, M: 4, K: 3})
+	}
+	for _, mode := range []struct {
+		name string
+		opts []SolveOption
+	}{
+		{"cold", []SolveOption{WithoutWarmStart()}},
+		{"warm", nil},
+	} {
+		b.Run(mode.name, func(b *testing.B) {
+			eng, err := New(WithWorkers(4))
+			if err != nil {
+				b.Fatal(err)
+			}
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				for _, br := range eng.SolveBatch(context.Background(), ins, mode.opts...) {
+					if br.Err != nil {
+						b.Fatal(br.Err)
+					}
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkBoundCacheHit measures a fingerprint-cache hit: re-solving an
+// instance the engine has already solved, so the dual search starts
+// narrowed to the cached bounds. Compare against BenchmarkSolveEngine to
+// see the warm-start win.
+func BenchmarkBoundCacheHit(b *testing.B) {
+	rng := rand.New(rand.NewSource(1))
+	in := gen.Uniform(rng, gen.Params{N: 14, M: 4, K: 3})
+	eng, err := New()
+	if err != nil {
+		b.Fatal(err)
+	}
+	if _, err := eng.Solve(context.Background(), in); err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := eng.Solve(context.Background(), in); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
 // BenchmarkPortfolio measures the concurrent race of all applicable solvers
 // (wall-clock should track the slowest member, not the sum).
 func BenchmarkPortfolio(b *testing.B) {

@@ -18,8 +18,8 @@ import (
 	"os"
 	"time"
 
+	"repro"
 	"repro/internal/core"
-	"repro/internal/engine"
 	"repro/internal/gen"
 )
 
@@ -69,18 +69,20 @@ func main() {
 	if *check {
 		ctx, cancel := context.WithTimeout(context.Background(), *timeout)
 		defer cancel()
-		solver, err := engine.Default().Select(in, engine.Options{})
+		// One engine Solve does selection and solving in a single dispatch;
+		// the chosen solver is reported by the Result itself.
+		eng, err := sched.New()
 		if err != nil {
 			fmt.Fprintln(os.Stderr, "instgen: check:", err)
 			os.Exit(1)
 		}
-		res, err := engine.Default().SolveNamed(ctx, solver.Name(), in, engine.Options{})
+		res, err := eng.Solve(ctx, in)
 		if err != nil {
 			fmt.Fprintln(os.Stderr, "instgen: check:", err)
 			os.Exit(1)
 		}
-		fmt.Fprintf(os.Stderr, "instgen: check: %s (%s) makespan=%.0f lowerBound=%.1f ratio=%.3f\n",
-			res.Algorithm, solver.Capabilities().Guarantee, res.Makespan, res.LowerBound, res.Ratio())
+		fmt.Fprintf(os.Stderr, "instgen: check: solved by %s makespan=%.0f lowerBound=%.1f ratio=%.3f\n",
+			res.Algorithm, res.Makespan, res.LowerBound, res.Ratio())
 		if res.Note != "" {
 			fmt.Fprintf(os.Stderr, "instgen: check note: %s\n", res.Note)
 		}

@@ -25,8 +25,8 @@ import (
 	"os"
 	"time"
 
+	"repro"
 	"repro/internal/core"
-	"repro/internal/engine"
 	"repro/internal/experiments"
 	"repro/internal/gen"
 	"repro/internal/table"
@@ -99,7 +99,13 @@ func run(e experiments.Experiment, cfg experiments.Config) error {
 // portfolio — the time-to-incumbent: how far into the race the winning
 // makespan was published to the shared bound bus.
 func engineBench(seed int64, n, m, k int, timeout time.Duration, gap float64) error {
-	reg := engine.Default()
+	// Every row solves cold (WithoutWarmStart): the rows compare the
+	// algorithms, so a warm start from an earlier row's cached bounds would
+	// contaminate the measurement.
+	eng, err := sched.New()
+	if err != nil {
+		return err
+	}
 	cases := []struct {
 		name string
 		gen  func(*rand.Rand, gen.Params) *core.Instance
@@ -116,21 +122,21 @@ func engineBench(seed int64, n, m, k int, timeout time.Duration, gap float64) er
 		in := c.gen(rng, params)
 		tab := table.New(fmt.Sprintf("engine race — %s (n=%d m=%d K=%d)", c.name, in.N, in.M, in.K),
 			"solver", "makespan", "ratio", "time", "tti")
-		for _, s := range reg.Applicable(in, engine.Options{}) {
+		for _, name := range eng.Applicable(in) {
 			ctx, cancel := withTimeout(timeout)
 			start := time.Now()
-			res, err := s.Solve(ctx, in, engine.Options{})
+			res, err := eng.Solve(ctx, in, sched.WithAlgorithm(name), sched.WithoutWarmStart())
 			elapsed := time.Since(start)
 			cancel()
 			if err != nil {
-				tab.AddRow(s.Name(), "error", err.Error(), fmtDur(elapsed), "-")
+				tab.AddRow(name, "error", err.Error(), fmtDur(elapsed), "-")
 				continue
 			}
-			tab.AddRow(s.Name(), fmt.Sprintf("%.0f", res.Makespan), fmt.Sprintf("%.3f", res.Ratio()), fmtDur(elapsed), "-")
+			tab.AddRow(name, fmt.Sprintf("%.0f", res.Makespan), fmt.Sprintf("%.3f", res.Ratio()), fmtDur(elapsed), "-")
 		}
 		ctx, cancel := withTimeout(timeout)
 		start := time.Now()
-		pr, err := reg.Portfolio(ctx, in, engine.Options{Gap: gap})
+		pr, err := eng.Portfolio(ctx, in, sched.WithGap(gap), sched.WithoutWarmStart())
 		elapsed := time.Since(start)
 		cancel()
 		if err != nil {

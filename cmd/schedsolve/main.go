@@ -1,5 +1,5 @@
 // Command schedsolve reads a scheduling instance in the library's JSON
-// format and solves it through the solver engine.
+// format and solves it through an engine handle (sched.New).
 //
 // Usage:
 //
@@ -9,13 +9,16 @@
 //	schedsolve -in instance.json -portfolio         race all applicable solvers
 //	schedsolve -in instance.json -portfolio -timeout 2s
 //	schedsolve -in instance.json -portfolio -gap 0.05
+//	schedsolve -in instance.json -trace             stream bound improvements to stderr
 //	schedsolve -list-algos                          show registered solvers
 //
 // -timeout bounds the run with a context deadline: in-flight searches
 // (PTAS dynamic program, branch-and-bound, LP rounding binary search) stop
 // and the best schedule found so far is returned. -gap stops a portfolio
 // race as soon as the shared incumbent is certified within (1+gap)× the
-// best lower bound published by any racer.
+// best lower bound published by any racer. -trace subscribes to the
+// engine's anytime event stream and prints every incumbent improvement and
+// certified-bound update as it happens.
 //
 // The chosen assignment is printed as JSON: {"machine": [...], "makespan": X}.
 package main
@@ -26,10 +29,10 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"slices"
 	"time"
 
 	"repro"
-	"repro/internal/engine"
 )
 
 func main() {
@@ -44,13 +47,18 @@ func main() {
 		localOpt  = flag.Bool("local-search", false, "post-optimize the result with best-improvement descent")
 		maxJobs   = flag.Int("max-jobs", 0, "job guard override for branch-and-bound (0 = default 16)")
 		gantt     = flag.Bool("gantt", false, "print an ASCII Gantt chart of the result to stderr")
+		trace     = flag.Bool("trace", false, "stream incumbent/lower-bound improvements to stderr as they happen")
 		listAlgos = flag.Bool("list-algos", false, "list registered solvers with capabilities and exit")
 	)
 	flag.Parse()
+
+	eng, err := sched.New()
+	if err != nil {
+		fatal(err)
+	}
 	if *listAlgos {
-		for _, s := range engine.Default().Solvers() {
-			caps := s.Capabilities()
-			fmt.Printf("%-18s priority %2d  %s\n", s.Name(), caps.Priority, caps.Guarantee)
+		for _, info := range eng.SolverInfo() {
+			fmt.Printf("%-18s priority %2d  %s\n", info.Name, info.Priority, info.Guarantee)
 		}
 		return
 	}
@@ -74,12 +82,24 @@ func main() {
 		ctx, cancel = context.WithTimeout(ctx, *timeout)
 		defer cancel()
 	}
-	opt := sched.SolveOptions{
-		Eps:         *eps,
-		Seed:        *seed,
-		MaxJobs:     *maxJobs,
-		LocalSearch: *localOpt,
-		Gap:         *gap,
+	opts := []sched.SolveOption{
+		sched.WithEps(*eps),
+		sched.WithSeed(*seed),
+		sched.WithMaxJobs(*maxJobs),
+		sched.WithLocalSearch(*localOpt),
+		sched.WithGap(*gap),
+	}
+	if *trace {
+		events, cancelEvents := eng.Events(256)
+		done := make(chan struct{})
+		go func() {
+			defer close(done)
+			for ev := range events {
+				fmt.Fprintf(os.Stderr, "schedsolve: %8s  %-11s %.6g\n",
+					ev.At.Round(10*time.Microsecond), ev.Kind, ev.Value)
+			}
+		}()
+		defer func() { cancelEvents(); <-done }()
 	}
 
 	var res sched.Result
@@ -88,7 +108,7 @@ func main() {
 	var withinGap bool
 	switch {
 	case *portfolio:
-		pr, err := sched.Portfolio(ctx, in, opt)
+		pr, err := eng.Portfolio(ctx, in, opts...)
 		if err != nil {
 			fatal(err)
 		}
@@ -113,22 +133,18 @@ func main() {
 			}
 			outcomes = append(outcomes, oj)
 		}
-	case *algo == "auto":
-		res, err = sched.SolveWithContext(ctx, in, opt)
-		if err != nil {
-			fatal(err)
-		}
 	default:
-		name := *algo
-		if name == "optimal" {
-			name = engine.NameExact
+		if *algo != "auto" {
+			name := *algo
+			if name == "optimal" {
+				name = sched.AlgoExact
+			}
+			if !slices.Contains(eng.Solvers(), name) {
+				fatal(fmt.Errorf("unknown algorithm %q (use -list-algos)", *algo))
+			}
+			opts = append(opts, sched.WithAlgorithm(name))
 		}
-		if _, ok := engine.Default().Get(name); !ok {
-			fatal(fmt.Errorf("unknown algorithm %q (use -list-algos)", *algo))
-		}
-		// SolveNamed (not Solver.Solve directly) so -local-search and any
-		// future engine post-passes apply to named dispatch too.
-		res, err = engine.Default().SolveNamed(ctx, name, in, opt)
+		res, err = eng.Solve(ctx, in, opts...)
 		if err != nil {
 			fatal(err)
 		}

@@ -1,0 +1,500 @@
+package sched
+
+import (
+	"context"
+	"fmt"
+	"sync"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/engine"
+)
+
+// Engine is a long-lived handle over a configured solver set: the unit of
+// API the service mode is built from. An Engine owns
+//
+//   - its own solver registry (configurable via WithSolvers/WithRegistry —
+//     the seam future LP backends and custom heuristics plug into),
+//   - a bound cache keyed by canonical instance fingerprint
+//     (Instance.Fingerprint): repeated solves of a fingerprint-identical
+//     instance warm-start from the bounds and best schedule established by
+//     earlier solves, so branch-and-bound searches are primed and
+//     dual-approximation searches floored, and
+//   - an event fan-out streaming anytime progress (incumbent improvements,
+//     certified-bound updates) to subscribers.
+//
+// All methods are safe for concurrent use; SolveBatch additionally bounds
+// its own concurrency with the engine's worker budget (WithWorkers). The
+// package-level Solve/Portfolio/PTAS/… functions are thin wrappers over a
+// lazily-built shared engine (DefaultEngine).
+type Engine struct {
+	reg      *engine.Registry
+	cache    *engine.BoundCache
+	workers  int
+	defaults []SolveOption
+
+	mu   sync.RWMutex
+	subs map[chan Event]struct{}
+}
+
+// New builds an Engine. With no options it carries the full paper solver
+// set, a 256-fingerprint bound cache and GOMAXPROCS batch workers.
+func New(opts ...EngineOption) (*Engine, error) {
+	cfg := engineConfig{workers: defaultWorkers(), cacheSize: engine.DefaultBoundCacheSize}
+	for _, o := range opts {
+		if o == nil {
+			continue
+		}
+		if err := o(&cfg); err != nil {
+			return nil, err
+		}
+	}
+	reg := cfg.registry
+	if reg == nil {
+		reg = engine.NewDefaultRegistry()
+	}
+	if len(cfg.solvers) > 0 {
+		subset := engine.NewRegistry()
+		for _, name := range cfg.solvers {
+			s, ok := reg.Get(name)
+			if !ok {
+				return nil, fmt.Errorf("sched: unknown solver %q (registered: %v)", name, reg.Names())
+			}
+			if err := subset.Register(s); err != nil {
+				return nil, fmt.Errorf("sched: WithSolvers: %w", err)
+			}
+		}
+		reg = subset
+	}
+	e := &Engine{
+		reg:      reg,
+		workers:  cfg.workers,
+		defaults: cfg.defaults,
+		subs:     make(map[chan Event]struct{}),
+	}
+	if cfg.cacheSize > 0 {
+		e.cache = engine.NewBoundCache(cfg.cacheSize)
+	}
+	return e, nil
+}
+
+// Solvers returns the names of the engine's registered solvers, usable with
+// WithAlgorithm.
+func (e *Engine) Solvers() []string { return e.reg.Names() }
+
+// SolverInfo describes one registered solver for listings and diagnostics.
+type SolverInfo struct {
+	// Name is the registry name (usable with WithAlgorithm).
+	Name string
+	// Guarantee is the human-readable approximation guarantee.
+	Guarantee string
+	// Priority orders automatic selection (highest applicable wins).
+	Priority int
+}
+
+// SolverInfo lists the engine's solvers with their guarantees and selection
+// priorities, in registration order.
+func (e *Engine) SolverInfo() []SolverInfo {
+	var out []SolverInfo
+	for _, s := range e.reg.Solvers() {
+		caps := s.Capabilities()
+		out = append(out, SolverInfo{Name: s.Name(), Guarantee: caps.Guarantee, Priority: caps.Priority})
+	}
+	return out
+}
+
+// Applicable returns the names of the solvers whose capabilities match the
+// instance, strongest first — the set a Portfolio call would race.
+func (e *Engine) Applicable(in *Instance) []string {
+	var out []string
+	for _, s := range e.reg.Applicable(in, engine.Options{}) {
+		out = append(out, s.Name())
+	}
+	return out
+}
+
+// CachedFingerprints returns the number of distinct instance fingerprints
+// currently held by the warm-start bound cache (0 when caching is
+// disabled).
+func (e *Engine) CachedFingerprints() int {
+	if e.cache == nil {
+		return 0
+	}
+	return e.cache.Len()
+}
+
+// Events subscribes to the engine's anytime progress stream: every bound
+// improvement of every subsequent Solve, Portfolio and SolveBatch call is
+// sent to the returned channel, stamped with the instance fingerprint so
+// concurrent solves can be demultiplexed. buffer sizes the channel (values
+// < 1 select a default of 64). Sends never block solvers: if the
+// subscriber falls behind the buffer, improvements are dropped, not
+// queued. The returned cancel function unsubscribes and closes the
+// channel; it is idempotent.
+//
+// The event tap is installed at solve start: a solve that began while no
+// subscriber (and no WithEvents channel) existed runs untapped and stays
+// silent for its whole duration. A solve that began tapped broadcasts to
+// whatever subscribers exist at each improvement, including ones added
+// mid-solve.
+func (e *Engine) Events(buffer int) (<-chan Event, func()) {
+	if buffer < 1 {
+		buffer = 64
+	}
+	ch := make(chan Event, buffer)
+	e.mu.Lock()
+	e.subs[ch] = struct{}{}
+	e.mu.Unlock()
+	var once sync.Once
+	cancel := func() {
+		once.Do(func() {
+			e.mu.Lock()
+			delete(e.subs, ch)
+			close(ch)
+			e.mu.Unlock()
+		})
+	}
+	return ch, cancel
+}
+
+// broadcast fans an event out to the call-local channel (if any) and every
+// engine-level subscriber, never blocking: a full channel drops the event.
+// Holding the read lock while sending is what makes closing a subscriber
+// channel (done under the write lock) safe.
+func (e *Engine) broadcast(ev Event, callCh chan<- Event) {
+	if callCh != nil {
+		select {
+		case callCh <- ev:
+		default:
+		}
+	}
+	e.mu.RLock()
+	for ch := range e.subs {
+		select {
+		case ch <- ev:
+		default:
+		}
+	}
+	e.mu.RUnlock()
+}
+
+// config folds the engine defaults and the call's options into one
+// solveConfig.
+func (e *Engine) config(opts []SolveOption) solveConfig {
+	var cfg solveConfig
+	for _, o := range e.defaults {
+		if o != nil {
+			o(&cfg)
+		}
+	}
+	for _, o := range opts {
+		if o != nil {
+			o(&cfg)
+		}
+	}
+	return cfg
+}
+
+// hasSubscribers reports whether any engine-level Events subscriber is
+// registered; with none (and no per-call channel) a solve runs untapped, so
+// the steady-state overhead of the event layer is one RLock per solve.
+func (e *Engine) hasSubscribers() bool {
+	e.mu.RLock()
+	defer e.mu.RUnlock()
+	return len(e.subs) > 0
+}
+
+// Solve solves one instance through the engine: automatic
+// strongest-applicable dispatch (or the WithAlgorithm solver), warm-started
+// from the fingerprint cache, under the WithTimeout deadline, streaming
+// progress to WithEvents/Events subscribers.
+func (e *Engine) Solve(ctx context.Context, in *Instance, opts ...SolveOption) (Result, error) {
+	return e.solveOne(ctx, in, e.config(opts))
+}
+
+// solveSession is the per-call warm-start state shared by Solve and
+// Portfolio: the instance fingerprint, the seeded base bus, the cached
+// knowledge it was seeded from, the instrumented engine options and the
+// (possibly deadline-bounded) context.
+type solveSession struct {
+	fp     string
+	base   BoundBus
+	cached engine.CachedBounds
+	hit    bool
+	opt    engine.Options
+	ctx    context.Context
+	cancel context.CancelFunc
+}
+
+// begin opens a solve session: look the fingerprint up in the cache, seed
+// the bound bus, install the event tap and apply the per-request timeout.
+// The fingerprint is only computed when something consumes it (the cache
+// or an event listener), so a cache-less heuristics engine pays no hashing
+// on its hot path. Callers must defer s.cancel().
+func (e *Engine) begin(ctx context.Context, in *Instance, cfg solveConfig) solveSession {
+	s := solveSession{ctx: ctx, cancel: func() {}}
+	tapped := cfg.events != nil || e.hasSubscribers()
+	if e.cache != nil || tapped {
+		s.fp = in.Fingerprint()
+	}
+	if e.cache != nil && !cfg.cold {
+		s.cached, s.hit = e.cache.Lookup(s.fp)
+	}
+	s.base = cfg.opt.Bounds
+	if s.base == nil {
+		s.base = engine.NewIncumbent()
+	}
+	if s.hit {
+		// Warm start: prime the incumbent with the best makespan any
+		// earlier solve of this fingerprint achieved (branch-and-bound
+		// pruning thresholds start there; dual searches skip guesses at or
+		// above it) and floor the lower bound (dual searches start
+		// narrowed; gap watchers see the true remaining gap).
+		s.base.PublishUpper(s.cached.Upper)
+		s.base.PublishLower(s.cached.Lower)
+	}
+	s.opt = cfg.opt
+	s.opt.Bounds = s.base
+	if tapped {
+		s.opt.Bounds = engine.NewEventBus(s.base, s.fp, func(ev Event) { e.broadcast(ev, cfg.events) })
+	}
+	if cfg.timeout > 0 {
+		s.ctx, s.cancel = context.WithTimeout(ctx, cfg.timeout)
+	}
+	return s
+}
+
+// fail records what a failed session still learned: lower bounds certified
+// on the bus before the failure are knowledge worth keeping.
+func (e *Engine) fail(s solveSession) {
+	if e.cache != nil {
+		e.cache.Update(s.fp, engine.CachedBounds{Lower: s.base.Lower()})
+	}
+}
+
+// solveOne runs one configured solve: seed the bound bus from the cache,
+// dispatch, then fold the outcome back into the cache.
+func (e *Engine) solveOne(ctx context.Context, in *Instance, cfg solveConfig) (Result, error) {
+	s := e.begin(ctx, in, cfg)
+	defer s.cancel()
+	var res Result
+	var err error
+	if cfg.algorithm != "" {
+		res, err = e.reg.SolveNamed(s.ctx, cfg.algorithm, in, s.opt)
+	} else {
+		res, err = e.reg.Solve(s.ctx, in, s.opt)
+	}
+	if err != nil {
+		e.fail(s)
+		return Result{}, err
+	}
+	res, _ = e.finish(s, res)
+	return res, nil
+}
+
+// finish closes a session by reconciling a solver result with the cached
+// knowledge for the fingerprint: the returned result is never worse than
+// what the cache already held (warm starts are monotone), its lower bound
+// absorbs every certified bound seen, and the cache is updated for future
+// solves. The bool reports whether the cached schedule was substituted for
+// the run's own.
+func (e *Engine) finish(s solveSession, res Result) (Result, bool) {
+	substituted := false
+	if s.hit && s.cached.Schedule != nil && s.cached.Upper < res.Makespan-core.Eps {
+		substituted = true
+		// The warm-start seed beat this run (typical when the cached bound
+		// is already optimal: a primed branch-and-bound proves nothing
+		// better exists without re-finding the witness, and a primed dual
+		// search skips every guess at or above it). Hand back the cached
+		// schedule; Nodes still reports this run's effort.
+		res.Note = fmt.Sprintf(
+			"warm start: returning the cached %s schedule (makespan %g) from an earlier solve of this fingerprint; this run's %s reached %g",
+			s.cached.Algorithm, s.cached.Upper, res.Algorithm, res.Makespan)
+		res.Schedule = s.cached.Schedule
+		res.Makespan = s.cached.Upper
+		res.Algorithm = s.cached.Algorithm
+	}
+	if l := s.base.Lower(); l > res.LowerBound {
+		res.LowerBound = l
+	}
+	if s.hit && s.cached.Lower > res.LowerBound {
+		res.LowerBound = s.cached.Lower
+	}
+	if res.LowerBound > res.Makespan {
+		res.LowerBound = res.Makespan
+	}
+	if e.cache != nil {
+		e.cache.Update(s.fp, engine.CachedBounds{
+			Upper:     res.Makespan,
+			Lower:     res.LowerBound,
+			Schedule:  res.Schedule,
+			Algorithm: res.Algorithm,
+		})
+	}
+	return res, substituted
+}
+
+// Portfolio races every applicable solver concurrently and keeps the best
+// schedule (see the package Portfolio function for the racing semantics).
+// On an Engine the race is additionally warm-started from the fingerprint
+// cache, streams every incumbent and bound improvement to event
+// subscribers live, and feeds its final bounds back into the cache.
+// WithAlgorithm is ignored — a portfolio always races the whole applicable
+// set.
+func (e *Engine) Portfolio(ctx context.Context, in *Instance, opts ...SolveOption) (PortfolioResult, error) {
+	s := e.begin(ctx, in, e.config(opts))
+	defer s.cancel()
+	pr, err := e.reg.Portfolio(s.ctx, in, s.opt)
+	if err != nil {
+		e.fail(s)
+		return PortfolioResult{}, err
+	}
+	var substituted bool
+	pr.Best, substituted = e.finish(s, pr.Best)
+	if substituted {
+		// Best no longer comes from any raced member; keep Winner naming
+		// the algorithm that actually produced the returned schedule (the
+		// cached one — Best.Note carries the full provenance).
+		pr.Winner = pr.Best.Algorithm
+	}
+	return pr, nil
+}
+
+// BatchResult is one instance's outcome within a SolveBatch call.
+type BatchResult struct {
+	// Instance is the solved instance (as passed in).
+	Instance *Instance
+	// Result is the solve outcome; meaningful only when Err is nil.
+	Result Result
+	// Err is the per-instance failure: a solver error, the batch context's
+	// cancellation, or a nil instance. Other instances are unaffected.
+	Err error
+	// Elapsed is the instance's wall-clock solve time inside the batch.
+	Elapsed time.Duration
+}
+
+// SolveBatch solves many instances through a bounded worker pool — the
+// engine's service mode. Up to WithWorkers instances are in flight at once;
+// each gets its own deadline when WithTimeout is set (per request, from the
+// moment a worker picks it up), shares the engine's fingerprint cache
+// (repeated instances in one batch warm-start each other) and streams
+// progress to event subscribers tagged with its fingerprint.
+//
+// The returned slice is index-aligned with ins and always has one entry per
+// instance: cancelling ctx stops the batch early, marking the unsolved
+// remainder with the context's error. Per-instance failures land in
+// BatchResult.Err; SolveBatch itself does not fail.
+func (e *Engine) SolveBatch(ctx context.Context, ins []*Instance, opts ...SolveOption) []BatchResult {
+	cfg := e.config(opts)
+	// A WithBounds bus is a per-instance contract: its bounds are trusted
+	// as certified knowledge about the one instance being solved. Batch
+	// options apply to every instance, so sharing one caller bus across
+	// fingerprint-distinct instances would cross-contaminate certified
+	// bounds (instance A's lower bound poisoning instance B's result and
+	// cache entry). Drop it; the engine's own per-solve buses and the
+	// fingerprint cache provide the batch warm-start path.
+	cfg.opt.Bounds = nil
+	out := make([]BatchResult, len(ins))
+	if len(ins) == 0 {
+		return out
+	}
+	workers := e.workers
+	if workers > len(ins) {
+		workers = len(ins)
+	}
+	if workers < 1 {
+		workers = 1
+	}
+	jobs := make(chan int)
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := range jobs {
+				start := time.Now()
+				br := BatchResult{Instance: ins[i]}
+				switch {
+				case ctx.Err() != nil:
+					br.Err = ctx.Err()
+				case ins[i] == nil:
+					br.Err = fmt.Errorf("sched: batch instance %d is nil", i)
+				default:
+					br.Result, br.Err = e.solveOne(ctx, ins[i], cfg)
+				}
+				br.Elapsed = time.Since(start)
+				out[i] = br
+			}
+		}()
+	}
+	for i := range ins {
+		jobs <- i
+	}
+	close(jobs)
+	wg.Wait()
+	return out
+}
+
+// --- solver plug-in surface -------------------------------------------------
+
+// Solver is one schedulable algorithm behind the engine registry; see
+// NewSolver for building one from a plain function.
+type Solver = engine.Solver
+
+// SolverCaps declares what instances a Solver handles and how strong it is.
+type SolverCaps = engine.Caps
+
+// Registry holds named solvers; build one with NewRegistry (empty) or
+// NewDefaultRegistry (the paper set) and hand it to New via WithRegistry.
+type Registry = engine.Registry
+
+// NewRegistry returns an empty solver registry.
+func NewRegistry() *Registry { return engine.NewRegistry() }
+
+// NewDefaultRegistry returns a fresh registry holding the full paper solver
+// set — the starting point for engines that add custom solvers on top.
+func NewDefaultRegistry() *Registry { return engine.NewDefaultRegistry() }
+
+// NewSolver builds a Solver from a name, capabilities and a solve function:
+// the hook alternative LP backends and custom heuristics use to plug into
+// an Engine. The solve function must observe ctx and, when opt.Bounds is
+// non-nil, should publish improved makespans and certified lower bounds to
+// participate in portfolio races and event streams.
+func NewSolver(name string, caps SolverCaps, solve func(ctx context.Context, in *Instance, opt SolveOptions) (Result, error)) Solver {
+	return engine.NewSolver(name, caps, solve)
+}
+
+// Registered solver names of the paper set, usable with WithAlgorithm,
+// WithSolvers and the schedsolve -algo flag.
+const (
+	AlgoLPT      = engine.NameLPT
+	AlgoGreedy   = engine.NameGreedy
+	AlgoPTAS     = engine.NamePTAS
+	AlgoRounding = engine.NameRounding
+	AlgoRA2      = engine.NameRA2
+	AlgoPT3      = engine.NamePT3
+	AlgoExact    = engine.NameExact
+)
+
+// BoundBus is a live, concurrency-safe exchange of makespan bounds; see
+// WithBounds for connecting one to a solve.
+type BoundBus = core.BoundBus
+
+// NewBoundBus returns an empty bound bus (upper +Inf, lower 0) suitable for
+// WithBounds: a caller-owned warm-start channel that outlives any one
+// engine.
+func NewBoundBus() BoundBus { return engine.NewIncumbent() }
+
+// Event is one anytime-progress signal: an improved incumbent makespan or
+// certified lower bound, stamped with the instance fingerprint and the time
+// since its solve started.
+type Event = engine.Event
+
+// EventKind distinguishes incumbent improvements from lower-bound updates.
+type EventKind = engine.EventKind
+
+// Event kinds.
+const (
+	EventIncumbent  = engine.EventIncumbent
+	EventLowerBound = engine.EventLowerBound
+)

@@ -7,15 +7,19 @@
 // (unrelated machines); before the first job over a dataset runs on a
 // node, the dataset must be staged there (setup time = dataset size /
 // node's ingest bandwidth). We compare the paper's randomized rounding
-// (Theorem 3.3) with the greedy baseline.
+// (Theorem 3.3) with the greedy baseline, then race the whole applicable
+// solver set in a portfolio while streaming its anytime progress — the
+// incumbent makespan converging down, the certified bound converging up.
 //
 // Run with: go run ./examples/datacenter
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 	"math/rand"
+	"time"
 
 	"repro"
 )
@@ -66,11 +70,18 @@ func main() {
 		log.Fatal(err)
 	}
 
-	greedy, err := sched.Greedy(in)
+	eng, err := sched.New()
 	if err != nil {
 		log.Fatal(err)
 	}
-	res, err := sched.RandomizedRounding(in, rng)
+	ctx := context.Background()
+
+	// Head-to-head, solving cold so each row measures its own algorithm.
+	greedy, err := eng.Solve(ctx, in, sched.WithAlgorithm("greedy"), sched.WithoutWarmStart())
+	if err != nil {
+		log.Fatal(err)
+	}
+	res, err := eng.Solve(ctx, in, sched.WithAlgorithm("rounding"), sched.WithSeed(11), sched.WithoutWarmStart())
 	if err != nil {
 		log.Fatal(err)
 	}
@@ -81,9 +92,30 @@ func main() {
 	fmt.Printf("rounding is within %.2f× of optimal on this instance\n",
 		res.Makespan/res.LowerBound)
 
-	fmt.Println("\nstaging plan (rounding):")
-	loads := res.Schedule.Loads(in)
-	for i, js := range res.Schedule.MachineJobs(in) {
+	// Portfolio race with a live event stream: every incumbent improvement
+	// and certified-bound update is printed as the racers publish it. Cold,
+	// so the whole anytime trajectory is visible (a warm-started race would
+	// begin at the cached bounds and have little left to improve).
+	events := make(chan sched.Event, 256)
+	pr, err := eng.Portfolio(ctx, in,
+		sched.WithEvents(events), sched.WithTimeout(5*time.Second), sched.WithoutWarmStart())
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("\nportfolio race (winner %s, makespan %.1f):\n", pr.Winner, pr.Best.Makespan)
+drain:
+	for {
+		select {
+		case ev := <-events:
+			fmt.Printf("  %8s  %-11s %.1f\n", ev.At.Round(10*time.Microsecond), ev.Kind, ev.Value)
+		default:
+			break drain
+		}
+	}
+
+	fmt.Println("\nstaging plan (portfolio best):")
+	loads := pr.Best.Schedule.Loads(in)
+	for i, js := range pr.Best.Schedule.MachineJobs(in) {
 		datasets := map[int]bool{}
 		for _, j := range js {
 			datasets[class[j]] = true

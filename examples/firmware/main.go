@@ -11,6 +11,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 	"math/rand"
@@ -58,11 +59,17 @@ func main() {
 		log.Fatal(err)
 	}
 
-	res, err := sched.ClassUniformRA(in) // Theorem 3.10: ≤ 2·Opt
+	// The engine detects the class-uniform structure and auto-selects the
+	// Theorem 3.10 2-approximation — the strongest applicable solver.
+	eng, err := sched.New()
 	if err != nil {
 		log.Fatal(err)
 	}
-	fmt.Printf("2-approximation:    makespan %.1f min\n", res.Makespan)
+	res, err := eng.Solve(context.Background(), in)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("%s:    makespan %.1f min\n", res.Algorithm, res.Makespan)
 	fmt.Printf("certified bound:    optimum ≥ %.1f min (ratio ≤ %.2f)\n",
 		res.LowerBound, res.Makespan/res.LowerBound)
 

@@ -5,12 +5,14 @@
 // Print jobs are grouped by paper stock; switching stock requires cleaning
 // and recalibration whose duration depends on the stock (and, through the
 // press speed, on the machine). We schedule a day's workload with the
-// Section 2 PTAS at two accuracies and with the Lemma 2.1 LPT rule.
+// Section 2 PTAS at two accuracies and with the Lemma 2.1 LPT rule, all
+// through one engine handle.
 //
 // Run with: go run ./examples/printshop
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 	"math/rand"
@@ -43,14 +45,21 @@ func main() {
 		log.Fatal(err)
 	}
 
-	lpt, err := sched.LPT(in)
+	eng, err := sched.New()
+	if err != nil {
+		log.Fatal(err)
+	}
+	ctx := context.Background()
+
+	lpt, err := eng.Solve(ctx, in, sched.WithAlgorithm("lpt"), sched.WithoutWarmStart())
 	if err != nil {
 		log.Fatal(err)
 	}
 	fmt.Printf("LPT (4.74-approx):   makespan %.1f min\n", lpt.Makespan)
 
 	for _, eps := range []float64{0.5, 0.25} {
-		res, err := sched.PTAS(in, eps)
+		res, err := eng.Solve(ctx, in,
+			sched.WithAlgorithm("ptas"), sched.WithEps(eps), sched.WithoutWarmStart())
 		if err != nil {
 			log.Fatal(err)
 		}
@@ -58,7 +67,10 @@ func main() {
 			eps, res.Makespan, res.LowerBound)
 	}
 
-	res, err := sched.PTAS(in, 0.25)
+	// The detailed plan re-solves the same fingerprint: this run
+	// warm-starts from the bounds the rows above left in the engine's
+	// cache, so its dual search starts already narrowed.
+	res, err := eng.Solve(ctx, in, sched.WithAlgorithm("ptas"), sched.WithEps(0.25))
 	if err != nil {
 		log.Fatal(err)
 	}

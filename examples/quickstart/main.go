@@ -1,10 +1,11 @@
-// Quickstart: build a small instance, solve it with the automatic
-// dispatcher, and print the schedule.
+// Quickstart: build a small instance, solve it through an engine handle,
+// and print the schedule.
 //
 // Run with: go run ./examples/quickstart
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 
@@ -24,7 +25,16 @@ func main() {
 		log.Fatal(err)
 	}
 
-	res, err := sched.Solve(in) // identical machines → the Section 2 PTAS
+	// An Engine is the long-lived handle: it owns the solver registry and
+	// a bound cache keyed by instance fingerprint, so repeated solves of
+	// the same instance warm-start from each other's bounds.
+	eng, err := sched.New()
+	if err != nil {
+		log.Fatal(err)
+	}
+	ctx := context.Background()
+
+	res, err := eng.Solve(ctx, in) // identical machines → the Section 2 PTAS
 	if err != nil {
 		log.Fatal(err)
 	}
@@ -36,11 +46,16 @@ func main() {
 		fmt.Printf("machine %d: jobs %v\n", i, js)
 	}
 
-	// The exact optimum is tractable at this size — compare.
-	opt, proven, err := sched.Optimal(in, 0)
+	// The exact optimum is tractable at this size — compare. This second
+	// solve of the same fingerprint warm-starts from the cached PTAS
+	// bounds: the branch-and-bound's pruning threshold is primed before it
+	// expands a single node.
+	opt, err := eng.Solve(ctx, in, sched.WithAlgorithm("branch-and-bound"))
 	if err != nil {
 		log.Fatal(err)
 	}
-	fmt.Printf("exact optimum: %.1f (proven=%v) — ratio %.3f\n",
-		opt.Makespan, proven, res.Makespan/opt.Makespan)
+	// Certified optimal when the lower bound meets the makespan.
+	proven := opt.LowerBound >= opt.Makespan
+	fmt.Printf("exact optimum: %.1f (proven=%v, %d nodes) — ratio %.3f\n",
+		opt.Makespan, proven, opt.Nodes, res.Makespan/opt.Makespan)
 }

@@ -1,0 +1,54 @@
+package core
+
+import (
+	"crypto/sha256"
+	"encoding/binary"
+	"encoding/hex"
+	"math"
+)
+
+// fingerprintVersion is folded into every fingerprint so that a change to
+// the encoding below can never collide with hashes produced by an older
+// scheme (e.g. bounds persisted across processes).
+const fingerprintVersion = "sched/instance/v1"
+
+// Fingerprint returns a canonical content hash of the instance, stable
+// across processes and identical for instances that pose the same
+// scheduling problem: it covers the machine environment (Kind), the
+// dimensions, the job→class map and the full processing and setup matrices.
+// The derived base fields (JobSize, SetupSize, Speed, Eligible) are fully
+// determined by Kind, P and S and are deliberately not hashed, so an
+// instance and its Clone — or a deserialized copy — fingerprint alike.
+//
+// The engine layer keys its bound cache by this value: repeated solves of a
+// fingerprint-identical instance warm-start from the bounds (and best
+// schedule) established by earlier solves.
+func (in *Instance) Fingerprint() string {
+	h := sha256.New()
+	var buf [8]byte
+	putU := func(u uint64) {
+		binary.LittleEndian.PutUint64(buf[:], u)
+		h.Write(buf[:])
+	}
+	putF := func(f float64) { putU(math.Float64bits(f)) }
+
+	h.Write([]byte(fingerprintVersion))
+	putU(uint64(in.Kind))
+	putU(uint64(in.N))
+	putU(uint64(in.M))
+	putU(uint64(in.K))
+	for _, c := range in.Class {
+		putU(uint64(c))
+	}
+	for _, row := range in.P {
+		for _, v := range row {
+			putF(v)
+		}
+	}
+	for _, row := range in.S {
+		for _, v := range row {
+			putF(v)
+		}
+	}
+	return hex.EncodeToString(h.Sum(nil))
+}

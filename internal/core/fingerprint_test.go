@@ -1,0 +1,81 @@
+package core
+
+import (
+	"bytes"
+	"testing"
+)
+
+func fpInstance(t *testing.T) *Instance {
+	t.Helper()
+	in, err := NewUniform(
+		[]float64{5, 3, 8, 2, 7},
+		[]int{0, 1, 0, 2, 1},
+		[]float64{2, 4, 1},
+		[]float64{1, 2},
+	)
+	if err != nil {
+		t.Fatalf("NewUniform: %v", err)
+	}
+	return in
+}
+
+func TestFingerprintDeterministicAndCloneStable(t *testing.T) {
+	in := fpInstance(t)
+	fp := in.Fingerprint()
+	if len(fp) != 64 {
+		t.Fatalf("fingerprint %q is not a sha256 hex digest", fp)
+	}
+	if got := in.Fingerprint(); got != fp {
+		t.Errorf("fingerprint not deterministic: %q vs %q", got, fp)
+	}
+	if got := in.Clone().Fingerprint(); got != fp {
+		t.Errorf("clone fingerprint differs: %q vs %q", got, fp)
+	}
+	// An independently-constructed identical instance matches too.
+	if got := fpInstance(t).Fingerprint(); got != fp {
+		t.Errorf("rebuilt instance fingerprint differs: %q vs %q", got, fp)
+	}
+}
+
+func TestFingerprintRoundTripsThroughJSON(t *testing.T) {
+	in := fpInstance(t)
+	var buf bytes.Buffer
+	if err := in.WriteJSON(&buf); err != nil {
+		t.Fatalf("WriteJSON: %v", err)
+	}
+	out, err := ReadJSON(&buf)
+	if err != nil {
+		t.Fatalf("ReadJSON: %v", err)
+	}
+	if got, want := out.Fingerprint(), in.Fingerprint(); got != want {
+		t.Errorf("JSON round trip changed the fingerprint: %q vs %q", got, want)
+	}
+}
+
+func TestFingerprintSensitivity(t *testing.T) {
+	base := fpInstance(t).Fingerprint()
+
+	perturbed := fpInstance(t)
+	perturbed.P[1][3] += 1
+	if perturbed.Fingerprint() == base {
+		t.Error("changing one processing time kept the fingerprint")
+	}
+
+	setup := fpInstance(t)
+	setup.S[0][2] += 1
+	if setup.Fingerprint() == base {
+		t.Error("changing one setup time kept the fingerprint")
+	}
+
+	class := fpInstance(t)
+	class.Class[0] = 1
+	if class.Fingerprint() == base {
+		t.Error("changing a job class kept the fingerprint")
+	}
+
+	kind := fpInstance(t)
+	kind.Kind = Identical
+	if kind.Fingerprint() == base {
+		t.Error("changing the machine environment kept the fingerprint")
+	}
+}

@@ -141,6 +141,11 @@ type Result struct {
 	// algorithm's guarantee. An empty Note means the algorithm ran to
 	// completion with its full guarantee intact.
 	Note string
+	// Nodes counts the search nodes this run expanded (branch-and-bound
+	// tree nodes, PTAS dynamic-program nodes); 0 for algorithms that do not
+	// run a node-based search. Warm-started solves report the effort of the
+	// current run, not of the run that produced any cached bounds.
+	Nodes int64
 }
 
 // Ratio returns Makespan/LowerBound, or NaN when no lower bound is known.

@@ -1,0 +1,133 @@
+package engine
+
+import (
+	"math"
+	"sync"
+
+	"repro/internal/core"
+)
+
+// CachedBounds is the knowledge a BoundCache retains about one instance
+// fingerprint: the best feasible makespan seen across all solves of that
+// fingerprint, the schedule achieving it, and the strongest certified lower
+// bound. It is the in-process realization of the roadmap's "persist final
+// bounds per instance fingerprint" item: a later solve of an identical
+// instance seeds its bound bus from these values, so branch-and-bound
+// searches start with a primed pruning threshold and dual-approximation
+// searches start with a raised floor.
+type CachedBounds struct {
+	// Upper is the best known feasible makespan; +Inf when none is known.
+	Upper float64
+	// Lower is the strongest certified lower bound; 0 when none is known.
+	Lower float64
+	// Schedule achieves Upper (nil while Upper is +Inf). The cache stores
+	// and returns defensive copies, so callers may mutate it freely.
+	Schedule *core.Schedule
+	// Algorithm names the solver that produced Schedule.
+	Algorithm string
+}
+
+// BoundCache is a concurrency-safe, capacity-bounded map from instance
+// fingerprints (core.Instance.Fingerprint) to the bounds established by
+// earlier solves. Updates merge monotonically — the upper bound only ever
+// decreases, the lower bound only ever increases — so concurrent solves of
+// the same fingerprint can race their updates without losing certified
+// knowledge. When the capacity is exceeded the oldest-inserted fingerprint
+// is evicted (the production traffic pattern is many repeats of recent
+// instances, not uniform access over all history).
+type BoundCache struct {
+	mu      sync.Mutex
+	cap     int
+	entries map[string]*CachedBounds
+	order   []string // insertion order, for FIFO eviction
+	hits    int64
+	misses  int64
+}
+
+// DefaultBoundCacheSize is the entry capacity used when none is chosen.
+const DefaultBoundCacheSize = 256
+
+// NewBoundCache returns an empty cache holding at most capacity
+// fingerprints (capacity <= 0 selects DefaultBoundCacheSize).
+func NewBoundCache(capacity int) *BoundCache {
+	if capacity <= 0 {
+		capacity = DefaultBoundCacheSize
+	}
+	return &BoundCache{cap: capacity, entries: make(map[string]*CachedBounds)}
+}
+
+// Lookup returns the cached bounds for the fingerprint. The returned
+// schedule is a copy.
+func (c *BoundCache) Lookup(fp string) (CachedBounds, bool) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	e, ok := c.entries[fp]
+	if !ok {
+		c.misses++
+		return CachedBounds{Upper: math.Inf(1)}, false
+	}
+	c.hits++
+	out := *e
+	if out.Schedule != nil {
+		out.Schedule = out.Schedule.Clone()
+	}
+	return out, true
+}
+
+// Update merges new knowledge for the fingerprint into the cache: b.Upper
+// (with its schedule) replaces the stored upper bound only when strictly
+// better and accompanied by a schedule, and b.Lower replaces the stored
+// lower bound only when strictly better. Non-finite or non-positive lower
+// bounds and upper bounds without schedules are ignored, so callers can
+// pass partial knowledge (e.g. only a lower bound learned from a failed
+// solve).
+func (c *BoundCache) Update(fp string, b CachedBounds) {
+	if fp == "" {
+		return
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	e, ok := c.entries[fp]
+	if !ok {
+		improvesUpper := b.Schedule != nil && core.IsFinite(b.Upper)
+		improvesLower := core.IsFinite(b.Lower) && b.Lower > 0
+		if !improvesUpper && !improvesLower {
+			return
+		}
+		e = &CachedBounds{Upper: math.Inf(1)}
+		c.entries[fp] = e
+		c.order = append(c.order, fp)
+		c.evictLocked()
+	}
+	if b.Schedule != nil && core.IsFinite(b.Upper) && b.Upper < e.Upper {
+		e.Upper = b.Upper
+		e.Schedule = b.Schedule.Clone()
+		e.Algorithm = b.Algorithm
+	}
+	if core.IsFinite(b.Lower) && b.Lower > e.Lower {
+		e.Lower = b.Lower
+	}
+}
+
+// evictLocked drops oldest-inserted fingerprints until the capacity holds.
+func (c *BoundCache) evictLocked() {
+	for len(c.order) > c.cap {
+		victim := c.order[0]
+		c.order = c.order[1:]
+		delete(c.entries, victim)
+	}
+}
+
+// Len returns the number of cached fingerprints.
+func (c *BoundCache) Len() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return len(c.entries)
+}
+
+// Stats returns the lookup hit and miss counts since creation.
+func (c *BoundCache) Stats() (hits, misses int64) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.hits, c.misses
+}

@@ -1,0 +1,177 @@
+package engine
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+	"sync"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/gen"
+)
+
+func schedOf(assign ...int) *core.Schedule {
+	return &core.Schedule{Assign: assign}
+}
+
+func TestBoundCacheMergeMonotone(t *testing.T) {
+	c := NewBoundCache(8)
+	if _, ok := c.Lookup("a"); ok {
+		t.Fatal("empty cache reported a hit")
+	}
+
+	c.Update("a", CachedBounds{Upper: 10, Lower: 4, Schedule: schedOf(0, 1), Algorithm: "greedy"})
+	got, ok := c.Lookup("a")
+	if !ok || got.Upper != 10 || got.Lower != 4 || got.Algorithm != "greedy" {
+		t.Fatalf("Lookup after first update = %+v ok=%v", got, ok)
+	}
+
+	// A worse upper and worse lower must not overwrite.
+	c.Update("a", CachedBounds{Upper: 12, Lower: 3, Schedule: schedOf(1, 1), Algorithm: "lpt"})
+	got, _ = c.Lookup("a")
+	if got.Upper != 10 || got.Lower != 4 || got.Algorithm != "greedy" {
+		t.Errorf("non-improving update overwrote entry: %+v", got)
+	}
+
+	// A better upper replaces the schedule; a better lower replaces the bound.
+	c.Update("a", CachedBounds{Upper: 8, Lower: 6, Schedule: schedOf(1, 0), Algorithm: "ptas"})
+	got, _ = c.Lookup("a")
+	if got.Upper != 8 || got.Lower != 6 || got.Algorithm != "ptas" {
+		t.Errorf("improving update lost: %+v", got)
+	}
+
+	// Lower-only knowledge (e.g. from a failed solve) merges without a schedule.
+	c.Update("a", CachedBounds{Upper: math.Inf(1), Lower: 7})
+	got, _ = c.Lookup("a")
+	if got.Lower != 7 || got.Upper != 8 || got.Schedule == nil {
+		t.Errorf("lower-only update mishandled: %+v", got)
+	}
+
+	// An upper without a schedule is not storable knowledge.
+	c.Update("b", CachedBounds{Upper: 5})
+	if _, ok := c.Lookup("b"); ok {
+		t.Error("schedule-less upper bound created an entry")
+	}
+}
+
+func TestBoundCacheReturnsCopies(t *testing.T) {
+	c := NewBoundCache(8)
+	orig := schedOf(0, 1, 2)
+	c.Update("a", CachedBounds{Upper: 9, Schedule: orig})
+	orig.Assign[0] = 99 // caller mutates after storing
+
+	got, _ := c.Lookup("a")
+	if got.Schedule.Assign[0] == 99 {
+		t.Error("cache aliased the stored schedule")
+	}
+	got.Schedule.Assign[1] = 77 // caller mutates the looked-up copy
+	again, _ := c.Lookup("a")
+	if again.Schedule.Assign[1] == 77 {
+		t.Error("cache aliased the returned schedule")
+	}
+}
+
+func TestBoundCacheEvictsOldest(t *testing.T) {
+	c := NewBoundCache(3)
+	for i := 0; i < 5; i++ {
+		c.Update(fmt.Sprintf("fp%d", i), CachedBounds{Upper: float64(i + 1), Schedule: schedOf(0)})
+	}
+	if c.Len() != 3 {
+		t.Fatalf("Len = %d, want 3", c.Len())
+	}
+	if _, ok := c.Lookup("fp0"); ok {
+		t.Error("oldest entry survived eviction")
+	}
+	if _, ok := c.Lookup("fp4"); !ok {
+		t.Error("newest entry was evicted")
+	}
+}
+
+func TestBoundCacheConcurrentMerge(t *testing.T) {
+	c := NewBoundCache(16)
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < 200; i++ {
+				c.Update("shared", CachedBounds{
+					Upper:    float64(100 - i%50),
+					Lower:    float64(i % 40),
+					Schedule: schedOf(g),
+				})
+				c.Lookup("shared")
+			}
+		}(g)
+	}
+	wg.Wait()
+	got, ok := c.Lookup("shared")
+	if !ok || got.Upper != 51 || got.Lower != 39 {
+		t.Errorf("after concurrent merge: %+v ok=%v (want Upper=51 Lower=39)", got, ok)
+	}
+}
+
+func TestEventBusEmitsOnStrictImprovement(t *testing.T) {
+	var mu sync.Mutex
+	var events []Event
+	bus := NewEventBus(NewIncumbent(), "fp-x", func(ev Event) {
+		mu.Lock()
+		events = append(events, ev)
+		mu.Unlock()
+	})
+
+	if !bus.PublishUpper(10) {
+		t.Fatal("first upper rejected")
+	}
+	if bus.PublishUpper(11) {
+		t.Fatal("worse upper accepted")
+	}
+	if !bus.PublishUpper(8) || !bus.PublishLower(3) || bus.PublishLower(2) {
+		t.Fatal("unexpected publish outcomes")
+	}
+
+	want := []struct {
+		kind  EventKind
+		value float64
+	}{{EventIncumbent, 10}, {EventIncumbent, 8}, {EventLowerBound, 3}}
+	if len(events) != len(want) {
+		t.Fatalf("got %d events, want %d: %+v", len(events), len(want), events)
+	}
+	for i, w := range want {
+		if events[i].Kind != w.kind || events[i].Value != w.value || events[i].Fingerprint != "fp-x" {
+			t.Errorf("event %d = %+v, want kind=%v value=%v", i, events[i], w.kind, w.value)
+		}
+	}
+	if bus.Upper() != 8 || bus.Lower() != 3 {
+		t.Errorf("bus reads upper=%v lower=%v", bus.Upper(), bus.Lower())
+	}
+}
+
+func TestPortfolioForwardsBoundsLiveToCallerBus(t *testing.T) {
+	// The caller's bus must see improvements while the race is running, not
+	// only at the final mirror: count events observed through an event bus
+	// wrapped around the caller-side incumbent.
+	count := 0
+	var mu sync.Mutex
+	caller := NewEventBus(NewIncumbent(), "fp", func(ev Event) {
+		mu.Lock()
+		count++
+		mu.Unlock()
+	})
+
+	rng := rand.New(rand.NewSource(5))
+	in := gen.Uniform(rng, gen.Params{N: 14, M: 3, K: 3})
+	pr, err := Default().Portfolio(t.Context(), in, Options{Bounds: caller})
+	if err != nil {
+		t.Fatalf("Portfolio: %v", err)
+	}
+	mu.Lock()
+	defer mu.Unlock()
+	if count == 0 {
+		t.Error("caller bus saw no live improvements during the race")
+	}
+	if u := caller.Upper(); u > pr.Best.Makespan+core.Eps {
+		t.Errorf("caller bus upper %v worse than race best %v", u, pr.Best.Makespan)
+	}
+}

@@ -1,0 +1,95 @@
+package engine
+
+import (
+	"fmt"
+	"time"
+
+	"repro/internal/core"
+)
+
+// EventKind distinguishes the two bound movements an anytime solve emits.
+type EventKind int
+
+const (
+	// EventIncumbent: a strictly improved feasible makespan (the incumbent)
+	// was published to the solve's bound bus.
+	EventIncumbent EventKind = iota
+	// EventLowerBound: a strictly improved certified lower bound on the
+	// optimal makespan was published.
+	EventLowerBound
+)
+
+// String returns the conventional short name of the event kind.
+func (k EventKind) String() string {
+	switch k {
+	case EventIncumbent:
+		return "incumbent"
+	case EventLowerBound:
+		return "lower-bound"
+	default:
+		return fmt.Sprintf("EventKind(%d)", int(k))
+	}
+}
+
+// Event is one observed bound improvement during a solve: the anytime
+// progress signal of the engine. Subscribers see the incumbent makespan
+// converge downward and the certified lower bound converge upward as the
+// solvers work.
+type Event struct {
+	// Kind says which bound moved.
+	Kind EventKind
+	// Value is the new bound.
+	Value float64
+	// Fingerprint identifies the instance being solved
+	// (core.Instance.Fingerprint), so subscribers watching a whole engine —
+	// e.g. one running SolveBatch — can demultiplex events per instance.
+	Fingerprint string
+	// At is the elapsed time since the solve observing the improvement
+	// started.
+	At time.Duration
+}
+
+// EventSink consumes events. Sinks are called synchronously from solver
+// goroutines at every bound improvement, so they must be safe for
+// concurrent use and must not block (drop rather than stall a search).
+type EventSink func(Event)
+
+// eventBus decorates a BoundBus so that every publish that strictly
+// improves the underlying bus is also reported to the sink. Reads pass
+// through untouched; the improvement decision (and therefore event
+// deduplication) is delegated to the inner bus, which for the engine's
+// Incumbent is an atomic compare-and-swap — concurrent publishers emit
+// exactly one event per strict improvement.
+type eventBus struct {
+	inner core.BoundBus
+	fp    string
+	sink  EventSink
+	start time.Time
+}
+
+var _ core.BoundBus = (*eventBus)(nil)
+
+// NewEventBus wraps bus so every strict bound improvement is reported to
+// sink, stamped with the instance fingerprint and the time since the wrap.
+func NewEventBus(bus core.BoundBus, fingerprint string, sink EventSink) core.BoundBus {
+	return &eventBus{inner: bus, fp: fingerprint, sink: sink, start: time.Now()}
+}
+
+func (b *eventBus) Upper() float64 { return b.inner.Upper() }
+func (b *eventBus) Lower() float64 { return b.inner.Lower() }
+
+func (b *eventBus) PublishUpper(v float64) bool {
+	if !b.inner.PublishUpper(v) {
+		return false
+	}
+	b.sink(Event{Kind: EventIncumbent, Value: v, Fingerprint: b.fp, At: time.Since(b.start)})
+	return true
+}
+
+func (b *eventBus) PublishLower(v float64) bool {
+	if !b.inner.PublishLower(v) {
+		return false
+	}
+	b.sink(Event{Kind: EventLowerBound, Value: v, Fingerprint: b.fp, At: time.Since(b.start)})
+	return true
+}

@@ -105,12 +105,15 @@ func TestPortfolioGapTermination(t *testing.T) {
 		}))
 	reg.MustRegister(NewSolver("slow-refuter", Caps{Kinds: allKinds, Priority: 1},
 		func(ctx context.Context, in *core.Instance, opt Options) (core.Result, error) {
-			// Refute slowly: after 30ms certify that the incumbent is
-			// optimal, then grind until cancelled (5s when it is not).
-			time.Sleep(30 * time.Millisecond)
-			if opt.Bounds != nil {
-				opt.Bounds.PublishLower(opt.Bounds.Upper())
+			// Refute slowly: wait (bounded) for the fast member's incumbent
+			// to land, certify it optimal, then grind until cancelled (5s
+			// when it is not). Waiting on the bus rather than a fixed sleep
+			// keeps the test robust on loaded runners: publishing +Inf
+			// would be silently ignored and the gap would never close.
+			for i := 0; i < 2000 && math.IsInf(opt.Bounds.Upper(), 1); i++ {
+				time.Sleep(time.Millisecond)
 			}
+			opt.Bounds.PublishLower(opt.Bounds.Upper())
 			select {
 			case <-ctx.Done():
 				return core.Result{}, ctx.Err()
@@ -160,9 +163,14 @@ func TestPortfolioPrimesBranchAndBound(t *testing.T) {
 				return core.Result{}, fmt.Errorf("portfolio did not supply a bound bus")
 			}
 			// Let the heuristic racers seed the incumbent first, so the
-			// node-count comparison is deterministic.
-			for i := 0; i < 1000 && math.IsInf(opt.Bounds.Upper(), 1); i++ {
+			// node-count comparison is deterministic. Fail loudly if they
+			// never do (instead of flunking the node-count assertion with a
+			// misleading message on a badly overloaded runner).
+			for i := 0; i < 20000 && math.IsInf(opt.Bounds.Upper(), 1); i++ {
 				time.Sleep(100 * time.Microsecond)
+			}
+			if math.IsInf(opt.Bounds.Upper(), 1) {
+				return core.Result{}, fmt.Errorf("heuristic racers never seeded the incumbent within 2s")
 			}
 			sched, ms, st := exact.BranchAndBound(ctx, in, exact.Options{Bounds: opt.Bounds})
 			nodes.Store(st.Nodes)

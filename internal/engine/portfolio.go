@@ -32,12 +32,18 @@ type BoundContribution struct {
 }
 
 // memberBus wraps the shared Incumbent for one racer, tallying the racer's
-// contributions. The tallies are written only from the racer's own
-// goroutine and read after the race's WaitGroup completes, so they need no
-// synchronization of their own.
+// contributions. The tallies are mutex-guarded: the BoundBus contract
+// promises concurrency safety, and a solver is free to publish from
+// several internal goroutines. Improvements of the race-internal
+// incumbent are additionally forwarded live to the caller-supplied observer
+// bus (Options.Bounds) when one exists, so event streams and warm-start
+// caches layered above the race see bounds as they appear, not only at the
+// final mirror.
 type memberBus struct {
 	inc   *Incumbent
+	obs   core.BoundBus // optional caller bus; must be concurrency-safe
 	start time.Time
+	mu    sync.Mutex
 	c     BoundContribution
 }
 
@@ -46,15 +52,27 @@ var _ core.BoundBus = (*memberBus)(nil)
 func (m *memberBus) Upper() float64 { return m.inc.Upper() }
 func (m *memberBus) Lower() float64 { return m.inc.Lower() }
 
+// contribution returns a snapshot of the racer's tallies.
+func (m *memberBus) contribution() BoundContribution {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return m.c
+}
+
 func (m *memberBus) PublishUpper(v float64) bool {
 	if !m.inc.PublishUpper(v) {
 		return false
 	}
+	if m.obs != nil {
+		m.obs.PublishUpper(v)
+	}
+	m.mu.Lock()
 	m.c.UpperImprovements++
 	if m.c.BestUpper == 0 || v < m.c.BestUpper {
 		m.c.BestUpper = v
 	}
 	m.c.BestUpperAt = time.Since(m.start)
+	m.mu.Unlock()
 	return true
 }
 
@@ -62,10 +80,15 @@ func (m *memberBus) PublishLower(v float64) bool {
 	if !m.inc.PublishLower(v) {
 		return false
 	}
+	if m.obs != nil {
+		m.obs.PublishLower(v)
+	}
+	m.mu.Lock()
 	m.c.LowerImprovements++
 	if v > m.c.BestLower {
 		m.c.BestLower = v
 	}
+	m.mu.Unlock()
 	return true
 }
 
@@ -117,9 +140,11 @@ type PortfolioResult struct {
 // others mid-flight, so the race is faster than its slowest member rather
 // than as slow as it. With Options.Gap set, the race is cancelled as soon
 // as the incumbent is within a factor 1+Gap of the best certified lower
-// bound. A caller-provided Options.Bounds seeds the race and receives its
-// final bounds (warm restarts). An error is returned only when no member
-// produced a feasible schedule.
+// bound. A caller-provided Options.Bounds seeds the race, receives every
+// improvement live as racers publish it (anytime observability for event
+// streams layered above), and is mirrored the race's final bounds (warm
+// restarts). An error is returned only when no member produced a feasible
+// schedule.
 func (r *Registry) Portfolio(ctx context.Context, in *core.Instance, opt Options) (PortfolioResult, error) {
 	solvers := r.Applicable(in, opt)
 	if len(solvers) == 0 {
@@ -141,7 +166,7 @@ func (r *Registry) Portfolio(ctx context.Context, in *core.Instance, opt Options
 	var wg sync.WaitGroup
 	for idx, s := range solvers {
 		wg.Add(1)
-		mb := &memberBus{inc: bus, start: start}
+		mb := &memberBus{inc: bus, obs: opt.Bounds, start: start}
 		mopt := opt
 		mopt.Bounds = mb
 		go func(idx int, s Solver, mb *memberBus, mopt Options) {
@@ -152,7 +177,7 @@ func (r *Registry) Portfolio(ctx context.Context, in *core.Instance, opt Options
 						Solver:  s.Name(),
 						Err:     fmt.Errorf("engine: solver %s panicked: %v", s.Name(), p),
 						Elapsed: time.Since(start),
-						Bounds:  mb.c,
+						Bounds:  mb.contribution(),
 					}
 				}
 			}()
@@ -165,7 +190,7 @@ func (r *Registry) Portfolio(ctx context.Context, in *core.Instance, opt Options
 					err = fmt.Errorf("engine: solver %s produced an infeasible schedule: %w", s.Name(), verr)
 				}
 			}
-			outcomes[idx] = SolverOutcome{Solver: s.Name(), Result: res, Err: err, Elapsed: time.Since(start), Bounds: mb.c}
+			outcomes[idx] = SolverOutcome{Solver: s.Name(), Result: res, Err: err, Elapsed: time.Since(start), Bounds: mb.contribution()}
 		}(idx, s, mb, mopt)
 	}
 	wg.Wait()

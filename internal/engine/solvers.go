@@ -215,6 +215,7 @@ func newExactSolver() Solver {
 			Algorithm: NameExact,
 			Schedule:  sched,
 			Makespan:  ms,
+			Nodes:     st.Nodes,
 		}
 		if st.Proven {
 			res.LowerBound = ms
@@ -250,21 +251,31 @@ var (
 	defaultReg  *Registry
 )
 
-// Default returns the shared registry with every algorithm of the paper
-// registered: the Lemma 2.1 LPT rule, the setup-aware greedy baseline, the
-// Section 2 PTAS, the Section 3.1 randomized LP rounding, the two
-// class-uniform special cases of Section 3.3, and the exact
-// branch-and-bound for small instances.
+// NewDefaultRegistry returns a fresh registry with every algorithm of the
+// paper registered: the Lemma 2.1 LPT rule, the setup-aware greedy
+// baseline, the Section 2 PTAS, the Section 3.1 randomized LP rounding, the
+// two class-uniform special cases of Section 3.3, and the exact
+// branch-and-bound for small instances. Each call builds an independent
+// registry, so callers (e.g. engine handles) can register additional
+// solvers — alternative LP backends, heuristics — without affecting anyone
+// else.
+func NewDefaultRegistry() *Registry {
+	reg := NewRegistry()
+	reg.MustRegister(newPTASSolver())
+	reg.MustRegister(newRA2Solver())
+	reg.MustRegister(newPT3Solver())
+	reg.MustRegister(newRoundingSolver())
+	reg.MustRegister(newLPTSolver())
+	reg.MustRegister(newExactSolver())
+	reg.MustRegister(newGreedySolver())
+	return reg
+}
+
+// Default returns the shared process-wide registry with the full paper
+// solver set (see NewDefaultRegistry).
 func Default() *Registry {
 	defaultOnce.Do(func() {
-		defaultReg = NewRegistry()
-		defaultReg.MustRegister(newPTASSolver())
-		defaultReg.MustRegister(newRA2Solver())
-		defaultReg.MustRegister(newPT3Solver())
-		defaultReg.MustRegister(newRoundingSolver())
-		defaultReg.MustRegister(newLPTSolver())
-		defaultReg.MustRegister(newExactSolver())
-		defaultReg.MustRegister(newGreedySolver())
+		defaultReg = NewDefaultRegistry()
 	})
 	return defaultReg
 }

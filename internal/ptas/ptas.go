@@ -161,6 +161,7 @@ func Schedule(ctx context.Context, in *core.Instance, opt Options) (core.Result,
 		Makespan:   out.Makespan,
 		LowerBound: low,
 		Note:       note,
+		Nodes:      stats.Nodes,
 	}, stats, nil
 }
 

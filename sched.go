@@ -39,6 +39,7 @@ import (
 	"fmt"
 	"io"
 	"math/rand"
+	"sync"
 
 	"repro/internal/core"
 	"repro/internal/engine"
@@ -113,9 +114,30 @@ type PortfolioResult = engine.PortfolioResult
 // SolverOutcome is one solver's contribution to a portfolio race.
 type SolverOutcome = engine.SolverOutcome
 
+var (
+	defaultEngineOnce sync.Once
+	defaultEngine     *Engine
+)
+
+// DefaultEngine returns the lazily-built package-level Engine behind the
+// compatibility wrappers (Solve, Portfolio, PTAS, …): the full paper solver
+// set with a warm-start bound cache. Long-lived programs that want their
+// own solver sets, worker budgets or event streams should build engines
+// with New instead.
+func DefaultEngine() *Engine {
+	defaultEngineOnce.Do(func() {
+		e, err := New()
+		if err != nil {
+			panic(fmt.Sprintf("sched: building the default engine: %v", err))
+		}
+		defaultEngine = e
+	})
+	return defaultEngine
+}
+
 // Solvers returns the names of all registered solvers (usable with the
-// schedsolve -algo flag and engine registry lookups).
-func Solvers() []string { return engine.Default().Names() }
+// schedsolve -algo flag, WithAlgorithm and WithSolvers).
+func Solvers() []string { return DefaultEngine().Solvers() }
 
 // LPT runs the setup-aware LPT rule of Lemma 2.1 (identical/uniform
 // machines; approximation factor 3(1+1/√3) ≈ 4.74).
@@ -154,9 +176,11 @@ func ClassUniformPT(in *Instance) (Result, error) {
 	return special.ScheduleClassUniformPT(context.Background(), in, special.Options{})
 }
 
-// solveByName dispatches to one registered solver through the engine.
+// solveByName dispatches to one registered solver through the default
+// engine. Named single-algorithm wrappers always solve cold: LPT(in) must
+// run LPT, not hand back a cached PTAS schedule.
 func solveByName(ctx context.Context, name string, in *Instance, opt SolveOptions) (Result, error) {
-	return engine.Default().SolveNamed(ctx, name, in, opt)
+	return DefaultEngine().Solve(ctx, in, WithOptions(opt), WithAlgorithm(name), WithoutWarmStart())
 }
 
 // Optimal computes an exact optimum by branch-and-bound. It refuses
@@ -182,6 +206,7 @@ func OptimalWithContext(ctx context.Context, in *Instance, maxJobs int) (Result,
 		Schedule:   sched,
 		Makespan:   opt,
 		LowerBound: opt,
+		Nodes:      st.Nodes,
 	}
 	if !st.Proven {
 		res.LowerBound = exact.VolumeLowerBound(in)
@@ -190,11 +215,13 @@ func OptimalWithContext(ctx context.Context, in *Instance, maxJobs int) (Result,
 	return res, st.Proven, nil
 }
 
-// Solve dispatches through the engine registry to the strongest algorithm
+// Solve dispatches through the default engine to the strongest algorithm
 // applicable to the instance: the PTAS for identical/uniform machines, the
 // 2-approximation for class-uniform restricted assignment, the
 // 3-approximation for class-uniform processing times, and randomized
-// rounding for general unrelated machines.
+// rounding for general unrelated machines. Repeated solves of a
+// fingerprint-identical instance warm-start from the default engine's
+// bound cache.
 func Solve(in *Instance) (Result, error) {
 	return SolveWithContext(context.Background(), in)
 }
@@ -203,25 +230,53 @@ func Solve(in *Instance) (Result, error) {
 // stops in-flight searches (PTAS dynamic program, branch-and-bound nodes,
 // LP rounding's binary search) and returns the best feasible schedule
 // reached, with Result.Note explaining any early stop. Pass at most one
-// SolveOptions to tune the chosen solver.
+// SolveOptions to tune the chosen solver; Engine.Solve with functional
+// options (WithEps, WithGap, …) is the richer interface.
 func SolveWithContext(ctx context.Context, in *Instance, opts ...SolveOptions) (Result, error) {
-	return engine.Solve(ctx, in, firstOpt(opts))
+	opt, err := onlyOpt("SolveWithContext", opts)
+	if err != nil {
+		return Result{}, err
+	}
+	return DefaultEngine().Solve(ctx, in, WithOptions(opt))
+}
+
+// SolveBatch solves many instances through the default engine's worker
+// pool; see Engine.SolveBatch for the service-mode semantics (per-request
+// deadlines via WithTimeout, per-instance results and errors).
+func SolveBatch(ctx context.Context, ins []*Instance, opts ...SolveOption) []BatchResult {
+	return DefaultEngine().SolveBatch(ctx, ins, opts...)
 }
 
 // Portfolio races every solver applicable to the instance concurrently
 // under the shared ctx — typically bounded by a deadline — and returns the
 // minimum-makespan schedule along with every member's outcome. At least
 // two solvers race for every machine environment (the specialists plus the
-// baselines and, for small instances, the exact search).
+// baselines and, for small instances, the exact search). Pass at most one
+// SolveOptions; Engine.Portfolio with functional options is the richer
+// interface.
 func Portfolio(ctx context.Context, in *Instance, opts ...SolveOptions) (PortfolioResult, error) {
-	return engine.Portfolio(ctx, in, firstOpt(opts))
+	opt, err := onlyOpt("Portfolio", opts)
+	if err != nil {
+		return PortfolioResult{}, err
+	}
+	return DefaultEngine().Portfolio(ctx, in, WithOptions(opt))
 }
 
-func firstOpt(opts []SolveOptions) SolveOptions {
-	if len(opts) > 0 {
-		return opts[0]
+// onlyOpt unpacks the optional trailing SolveOptions of the compatibility
+// wrappers. More than one is rejected loudly: an earlier version silently
+// dropped every option after the first, which is exactly the kind of
+// footgun the variadic-struct signature invites.
+func onlyOpt(fn string, opts []SolveOptions) (SolveOptions, error) {
+	switch len(opts) {
+	case 0:
+		return SolveOptions{}, nil
+	case 1:
+		return opts[0], nil
+	default:
+		return SolveOptions{}, fmt.Errorf(
+			"sched: %s accepts at most one SolveOptions, got %d — merge them, or use Engine.Solve with functional options (WithEps, WithGap, …)",
+			fn, len(opts))
 	}
-	return SolveOptions{}
 }
 
 // Figure1 renders the speed-group diagnostic of the paper's Figure 1 for a
