@@ -17,6 +17,7 @@ import (
 	"repro/internal/exact"
 	"repro/internal/experiments"
 	"repro/internal/gen"
+	"repro/internal/lp"
 	"repro/internal/ptas"
 	"repro/internal/rounding"
 	"repro/internal/special"
@@ -117,6 +118,104 @@ func BenchmarkRoundingLPSolve(b *testing.B) {
 					b.Fatal(err)
 				}
 			}
+		})
+	}
+}
+
+// roundingGuessSetup builds the M=10, N=100, K=8 unrelated instance and the
+// descending guess trajectory T₀ > T₁ > … a dual-approximation search
+// walks: the shape whose per-guess LP cost the warm-start machinery exists
+// to kill. The trajectory spans feasible and infeasible guesses.
+func roundingGuessSetup(b *testing.B) (in *Instance, ub float64, guesses []float64) {
+	b.Helper()
+	rng := rand.New(rand.NewSource(1))
+	in = gen.Unrelated(rng, gen.Params{N: 100, M: 10, K: 8})
+	g, err := baseline.Greedy(in)
+	if err != nil {
+		b.Fatal(err)
+	}
+	ub = g.Makespan(in)
+	for T := ub; len(guesses) < 8; T *= 0.85 {
+		guesses = append(guesses, T)
+	}
+	return in, ub, guesses
+}
+
+// BenchmarkRoundingGuessCold is the pre-relaxation dense path: every guess
+// rebuilds the whole LP (O(M·N) variables and constraints) and a fresh
+// tableau from scratch. Compare with BenchmarkRoundingGuessWarm.
+func BenchmarkRoundingGuessCold(b *testing.B) {
+	in, _, guesses := roundingGuessSetup(b)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		for _, T := range guesses {
+			f, err := rounding.SolveLP(in, T)
+			if err != nil {
+				b.Fatal(err)
+			}
+			f.Release()
+		}
+	}
+}
+
+// BenchmarkRoundingGuessWarm measures the same guess trajectory through a
+// Relaxation: one build at T=ub, then in-place re-solves (mutated RHS and
+// bounds, basis warm-started via dual simplex) per guess.
+func BenchmarkRoundingGuessWarm(b *testing.B) {
+	for _, kind := range []lp.BackendKind{lp.Dense, lp.Sparse} {
+		b.Run(string(kind), func(b *testing.B) {
+			in, ub, guesses := roundingGuessSetup(b)
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				rel, err := rounding.NewRelaxation(in, rounding.RelaxationConfig{Envelope: ub, Backend: kind})
+				if err != nil {
+					b.Fatal(err)
+				}
+				for _, T := range guesses {
+					if _, err := rel.ReSolve(T); err != nil {
+						b.Fatal(err)
+					}
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkLPBackend compares a single cold solve of the rounding
+// relaxation at T=ub across the LP solvers: the legacy tableau
+// (Problem.Solve via SolveLP), the dense backend and the sparse revised
+// backend.
+func BenchmarkLPBackend(b *testing.B) {
+	run := func(b *testing.B, solve func() error) {
+		b.Helper()
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			if err := solve(); err != nil {
+				b.Fatal(err)
+			}
+		}
+	}
+	in, ub, _ := roundingGuessSetup(b)
+	b.Run("legacy", func(b *testing.B) {
+		run(b, func() error {
+			f, err := rounding.SolveLP(in, ub)
+			f.Release()
+			return err
+		})
+	})
+	for _, kind := range []lp.BackendKind{lp.Dense, lp.Sparse} {
+		b.Run(string(kind), func(b *testing.B) {
+			run(b, func() error {
+				rel, err := rounding.NewRelaxation(in, rounding.RelaxationConfig{Envelope: ub, Backend: kind})
+				if err != nil {
+					return err
+				}
+				_, err = rel.ReSolve(ub)
+				return err
+			})
 		})
 	}
 }

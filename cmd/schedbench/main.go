@@ -10,11 +10,13 @@
 //	schedbench -seed 7 -exp E2    change the master seed
 //	schedbench -engine            race every registered solver per environment
 //	schedbench -engine -timeout 2s -n 40 -m 6
+//	schedbench -engine -lp dense  pin the LP backend (compare against -lp sparse)
 //
 // The -engine mode generates one instance per machine environment and runs
 // every applicable registry solver plus the portfolio race on it, printing
-// per-solver makespans and runtimes; -timeout bounds each run with a
-// context deadline.
+// per-solver makespans, runtimes and LP pivot counts (the lp-iters column;
+// see the -lp flag for backend comparison rows); -timeout bounds each run
+// with a context deadline.
 package main
 
 import (
@@ -45,6 +47,7 @@ func main() {
 		n       = flag.Int("n", 24, "engine mode: number of jobs")
 		m       = flag.Int("m", 4, "engine mode: number of machines")
 		k       = flag.Int("k", 3, "engine mode: number of setup classes")
+		lpKind  = flag.String("lp", "", "engine mode: LP backend for the randomized rounding's feasibility LPs (dense|sparse; default sparse)")
 	)
 	flag.Parse()
 
@@ -55,7 +58,7 @@ func main() {
 			fmt.Printf("%-4s %s\n     claim: %s\n", e.ID, e.Name, e.Claim)
 		}
 	case *engMode:
-		if err := engineBench(*seed, *n, *m, *k, *timeout, *gap); err != nil {
+		if err := engineBench(*seed, *n, *m, *k, *timeout, *gap, *lpKind); err != nil {
 			fmt.Fprintln(os.Stderr, "error:", err)
 			os.Exit(1)
 		}
@@ -98,10 +101,13 @@ func run(e experiments.Experiment, cfg experiments.Config) error {
 // registry, reporting makespans, lower-bound ratios, runtimes and — for the
 // portfolio — the time-to-incumbent: how far into the race the winning
 // makespan was published to the shared bound bus.
-func engineBench(seed int64, n, m, k int, timeout time.Duration, gap float64) error {
+func engineBench(seed int64, n, m, k int, timeout time.Duration, gap float64, lpKind string) error {
 	// Every row solves cold (WithoutWarmStart): the rows compare the
 	// algorithms, so a warm start from an earlier row's cached bounds would
-	// contaminate the measurement.
+	// contaminate the measurement. The -lp flag pins the LP backend of the
+	// randomized-rounding solver (other solvers run no backend-selectable
+	// LPs); the lp-iters column makes backend wins visible in the table
+	// (pivot counts per run), not just in microbenchmarks.
 	eng, err := sched.New()
 	if err != nil {
 		return err
@@ -120,27 +126,33 @@ func engineBench(seed int64, n, m, k int, timeout time.Duration, gap float64) er
 	for _, c := range cases {
 		rng := rand.New(rand.NewSource(seed))
 		in := c.gen(rng, params)
-		tab := table.New(fmt.Sprintf("engine race — %s (n=%d m=%d K=%d)", c.name, in.N, in.M, in.K),
-			"solver", "makespan", "ratio", "time", "tti")
+		title := fmt.Sprintf("engine race — %s (n=%d m=%d K=%d)", c.name, in.N, in.M, in.K)
+		if lpKind != "" {
+			title += fmt.Sprintf(" [lp=%s]", lpKind)
+		}
+		tab := table.New(title, "solver", "makespan", "ratio", "time", "lp-iters", "tti")
 		for _, name := range eng.Applicable(in) {
 			ctx, cancel := withTimeout(timeout)
 			start := time.Now()
-			res, err := eng.Solve(ctx, in, sched.WithAlgorithm(name), sched.WithoutWarmStart())
+			res, err := eng.Solve(ctx, in,
+				sched.WithAlgorithm(name), sched.WithoutWarmStart(), sched.WithLPBackend(lpKind))
 			elapsed := time.Since(start)
 			cancel()
 			if err != nil {
-				tab.AddRow(name, "error", err.Error(), fmtDur(elapsed), "-")
+				tab.AddRow(name, "error", err.Error(), fmtDur(elapsed), "-", "-")
 				continue
 			}
-			tab.AddRow(name, fmt.Sprintf("%.0f", res.Makespan), fmt.Sprintf("%.3f", res.Ratio()), fmtDur(elapsed), "-")
+			tab.AddRow(name, fmt.Sprintf("%.0f", res.Makespan), fmt.Sprintf("%.3f", res.Ratio()),
+				fmtDur(elapsed), fmtIters(res.LPIters), "-")
 		}
 		ctx, cancel := withTimeout(timeout)
 		start := time.Now()
-		pr, err := eng.Portfolio(ctx, in, sched.WithGap(gap), sched.WithoutWarmStart())
+		pr, err := eng.Portfolio(ctx, in,
+			sched.WithGap(gap), sched.WithoutWarmStart(), sched.WithLPBackend(lpKind))
 		elapsed := time.Since(start)
 		cancel()
 		if err != nil {
-			tab.AddRow("portfolio", "error", err.Error(), fmtDur(elapsed), "-")
+			tab.AddRow("portfolio", "error", err.Error(), fmtDur(elapsed), "-", "-")
 		} else {
 			tti := "-"
 			for _, o := range pr.Outcomes {
@@ -152,8 +164,8 @@ func engineBench(seed int64, n, m, k int, timeout time.Duration, gap float64) er
 			if pr.WithinGap {
 				name += " (gap hit)"
 			}
-			tab.AddRow(name,
-				fmt.Sprintf("%.0f", pr.Best.Makespan), fmt.Sprintf("%.3f", pr.Best.Ratio()), fmtDur(elapsed), tti)
+			tab.AddRow(name, fmt.Sprintf("%.0f", pr.Best.Makespan), fmt.Sprintf("%.3f", pr.Best.Ratio()),
+				fmtDur(elapsed), fmtIters(pr.Best.LPIters), tti)
 		}
 		fmt.Println(tab.String())
 	}
@@ -169,4 +181,12 @@ func withTimeout(d time.Duration) (context.Context, context.CancelFunc) {
 
 func fmtDur(d time.Duration) string {
 	return d.Round(10 * time.Microsecond).String()
+}
+
+// fmtIters renders an LP pivot count, dashing out solvers that run no LPs.
+func fmtIters(n int64) string {
+	if n <= 0 {
+		return "-"
+	}
+	return fmt.Sprintf("%d", n)
 }

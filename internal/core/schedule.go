@@ -146,6 +146,11 @@ type Result struct {
 	// run a node-based search. Warm-started solves report the effort of the
 	// current run, not of the run that produced any cached bounds.
 	Nodes int64
+	// LPIters counts the simplex pivots performed across every LP solved by
+	// this run (the randomized rounding's per-guess feasibility tests); 0
+	// for algorithms that solve no LPs. It is the per-backend effort metric
+	// the LP-backend comparison rows of schedbench report.
+	LPIters int64
 }
 
 // Ratio returns Makespan/LowerBound, or NaN when no lower bound is known.

@@ -17,6 +17,29 @@ import (
 // (nil, false) when it certifies that no schedule with makespan ≤ T exists.
 type Decider func(T float64) (*core.Schedule, bool)
 
+// Guess is the handle a GuessDecider receives for one decision-procedure
+// invocation: the makespan guess plus the state of the surrounding search.
+// Deciders that keep warm-start state between guesses (an LP relaxation
+// re-solved per guess, a reusable DP arena) use it to size and prime that
+// state: Index tells them whether this is the build or a re-solve, and
+// [Lo, Hi] brackets every future guess the search can still emit, so
+// anything constructed for the envelope Hi remains valid for the rest of
+// the search.
+type Guess struct {
+	// T is the makespan guess to decide.
+	T float64
+	// Index is the 0-based ordinal of this decider invocation (guesses
+	// skipped via a shared incumbent do not count).
+	Index int
+	// Lo and Hi are the current search bracket: every remaining guess lies
+	// in [Lo, Hi], and T itself is their geometric mean.
+	Lo, Hi float64
+}
+
+// GuessDecider is a Decider that receives the full Guess handle instead of
+// the bare T. See SearchGuesses.
+type GuessDecider func(g Guess) (*core.Schedule, bool)
+
 // Outcome is the result of a dual approximation search.
 type Outcome struct {
 	// Schedule is the best (smallest makespan) schedule produced by any
@@ -78,6 +101,17 @@ func Search(ctx context.Context, in *core.Instance, lb, ub, precision float64, f
 // dynamic program) must wrap the bus to suppress PublishLower for those
 // guesses, or they would poison every racer sharing it.
 func SearchWithBounds(ctx context.Context, in *core.Instance, lb, ub, precision float64, fallback *core.Schedule, bus core.BoundBus, decide Decider) Outcome {
+	return SearchGuesses(ctx, in, lb, ub, precision, fallback, bus, func(g Guess) (*core.Schedule, bool) {
+		return decide(g.T)
+	})
+}
+
+// SearchGuesses is SearchWithBounds for deciders that carry warm-start
+// state across guesses: the callback receives the Guess handle (ordinal and
+// live bracket) alongside T, so a decider can build an expensive structure
+// once at the envelope and cheaply re-solve it for every subsequent guess
+// (the randomized-rounding LP relaxation does exactly this).
+func SearchGuesses(ctx context.Context, in *core.Instance, lb, ub, precision float64, fallback *core.Schedule, bus core.BoundBus, decide GuessDecider) Outcome {
 	out := Outcome{LowerBound: lb, Makespan: math.Inf(1)}
 	if fallback != nil {
 		out.Schedule = fallback
@@ -115,8 +149,9 @@ func SearchWithBounds(ctx context.Context, in *core.Instance, lb, ub, precision 
 			hi = mid
 			continue
 		}
+		g := Guess{T: mid, Index: out.Guesses, Lo: lo, Hi: hi}
 		out.Guesses++
-		if sched, ok := decide(mid); ok {
+		if sched, ok := decide(g); ok {
 			if sched != nil {
 				ms := sched.Makespan(in)
 				if ms < out.Makespan {

@@ -46,6 +46,11 @@ type Options struct {
 	// RoundingC is the iteration multiplier of the randomized rounding
 	// (0 = solver default).
 	RoundingC int
+	// LPBackend selects the LP solver backend behind solvers that solve
+	// LPs (the randomized rounding's per-guess feasibility tests):
+	// "sparse" (warm-started revised simplex, the default), or "dense"
+	// (the reference dense solver). Unknown names are a solve-time error.
+	LPBackend string
 	// LocalSearch post-optimizes the chosen schedule with the
 	// best-improvement descent of internal/improve before returning it.
 	LocalSearch bool

@@ -152,6 +152,7 @@ func newRoundingSolver() Solver {
 			Rng:       rngFor(opt),
 			Precision: opt.Precision,
 			Bounds:    opt.Bounds,
+			LPBackend: opt.LPBackend,
 		})
 	})
 }

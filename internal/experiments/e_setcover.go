@@ -28,12 +28,17 @@ func init() {
 }
 
 // lpFeasibleMakespan binary-searches the smallest T at which the ILP-UM LP
-// relaxation is feasible — the LP bound T*_LP.
+// relaxation is feasible — the LP bound T*_LP. The relaxation is built once
+// at the envelope and warm re-solved per guess.
 func lpFeasibleMakespan(in *core.Instance, ub float64) (float64, error) {
+	rel, err := rounding.NewRelaxation(in, rounding.RelaxationConfig{Envelope: ub})
+	if err != nil {
+		return 0, err
+	}
 	var solveErr error
 	best := ub
-	out := dual.Search(context.Background(), in, 0, ub, 0.03, nil, func(T float64) (*core.Schedule, bool) {
-		f, err := rounding.SolveLP(in, T)
+	out := dual.SearchGuesses(context.Background(), in, 0, ub, 0.03, nil, nil, func(g dual.Guess) (*core.Schedule, bool) {
+		f, err := rel.ReSolve(g.T)
 		if err != nil {
 			solveErr = err
 			return nil, true
@@ -41,8 +46,8 @@ func lpFeasibleMakespan(in *core.Instance, ub float64) (float64, error) {
 		if f == nil {
 			return nil, false
 		}
-		if T < best {
-			best = T
+		if g.T < best {
+			best = g.T
 		}
 		return nil, true
 	})

@@ -112,6 +112,7 @@ func runE10(cfg Config) (string, error) {
 				}
 				runs++
 			}
+			frac.Release()
 		}
 		s := stats.Summarize(ratios)
 		t.AddRow(c, s.Mean,

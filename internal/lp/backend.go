@@ -1,0 +1,113 @@
+package lp
+
+import "fmt"
+
+// BackendKind selects one of the LP backend implementations behind the
+// Backend interface.
+type BackendKind string
+
+const (
+	// Dense is the dense simplex backend: it maintains an explicit dense
+	// basis inverse, so per-pivot work is Θ(m²) regardless of sparsity.
+	// It is the reference/fallback implementation.
+	Dense BackendKind = "dense"
+	// Sparse is the sparse revised simplex backend: columns are stored
+	// sparse and the basis inverse is kept in product form (an eta file
+	// with periodic refactorization), so per-pivot work scales with the
+	// number of nonzeros rather than the matrix dimensions.
+	Sparse BackendKind = "sparse"
+)
+
+// DefaultBackend is the backend used when a caller does not choose one.
+const DefaultBackend = Sparse
+
+// ParseBackend validates a backend name ("" means DefaultBackend).
+func ParseBackend(s string) (BackendKind, error) {
+	switch BackendKind(s) {
+	case "":
+		return DefaultBackend, nil
+	case Dense, Sparse:
+		return BackendKind(s), nil
+	default:
+		return "", fmt.Errorf("lp: unknown backend %q (want %q or %q)", s, Dense, Sparse)
+	}
+}
+
+// VarStatus is the state of a column in a Basis snapshot.
+type VarStatus int8
+
+const (
+	// NonbasicLower: the variable sits at its lower bound (0).
+	NonbasicLower VarStatus = iota
+	// NonbasicUpper: the variable sits at its upper bound.
+	NonbasicUpper
+	// BasicVar: the variable is basic; its value is determined by the basis.
+	BasicVar
+)
+
+// Basis is a snapshot of a simplex basis, transplantable between backends
+// bound to the same Problem. The column space is the standard form shared
+// by all backends: structural variables [0, NumVars()), then one slack per
+// constraint row (column NumVars()+r for row r).
+type Basis struct {
+	// Cols[r] is the column basic in row r.
+	Cols []int
+	// Status[j] is the state of column j; exactly the columns listed in
+	// Cols must be BasicVar.
+	Status []VarStatus
+}
+
+// Backend is a mutable LP solver instance bound to one Problem. Unlike
+// Problem.Solve, a Backend persists its basis and factorization between
+// calls: after an optimal Solve, the RHS and variable upper bounds can be
+// changed in place and the next Solve warm-starts from the previous basis
+// (dual simplex when the basis went primal-infeasible, an immediate exit
+// when it is still optimal). This turns a sequence of related solves —
+// e.g. the per-guess LP feasibility tests of a dual-approximation search —
+// from guesses × full-solve into one build plus cheap re-solves.
+//
+// Backends are not safe for concurrent use. The Solution returned by Solve
+// (including its X slice) is owned by the backend and valid only until the
+// next Solve call; callers that need to retain it must copy.
+type Backend interface {
+	// Solve optimizes from the current state. The first call solves cold;
+	// later calls warm-start from the previous basis.
+	Solve() (*Solution, error)
+	// SetRHS replaces the right-hand side of constraint row r (rows are
+	// indexed in Problem.AddConstraint order).
+	SetRHS(r int, rhs float64)
+	// SetVarUpper replaces the upper bound of structural variable v.
+	// Clamping a variable to 0 fixes it without rebuilding the problem.
+	SetVarUpper(v int, upper float64)
+	// Basis snapshots the current basis (after a Solve).
+	Basis() *Basis
+	// Warm installs a basis snapshot (e.g. taken from another backend bound
+	// to the same problem), refactorizing as needed. The next Solve starts
+	// from it.
+	Warm(*Basis) error
+}
+
+// NewBackend builds a backend of the given kind bound to p. The problem's
+// rows and variables are copied into the backend's standard form at
+// construction; later Problem mutations are not observed (use the backend's
+// own SetRHS/SetVarUpper mutators). ws supplies reusable scratch so that
+// building and solving allocates from the workspace's grow-only buffers;
+// nil allocates a private workspace.
+func NewBackend(kind BackendKind, p *Problem, ws *Workspace) (Backend, error) {
+	kind, err := ParseBackend(string(kind))
+	if err != nil {
+		return nil, err
+	}
+	if ws == nil {
+		ws = NewWorkspace()
+	}
+	s := newSolverState(p, ws)
+	switch kind {
+	case Dense:
+		s.inv = &denseInverse{}
+	default:
+		s.inv = &etaFile{}
+	}
+	s.inv.reset(s.sf.m)
+	return s, nil
+}

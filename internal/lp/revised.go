@@ -1,0 +1,733 @@
+package lp
+
+import (
+	"fmt"
+	"math"
+	"sort"
+)
+
+// solverState is the revised simplex core shared by every Backend: a
+// bounded-variable simplex method over the canonical standard form, driven
+// through a basisRep (dense explicit inverse or sparse eta file). It keeps
+// the basis, the nonbasic statuses and the factorization alive between
+// Solve calls, which is what makes warm re-solving after SetRHS /
+// SetVarUpper mutations cheap:
+//
+//   - a cold Solve runs a bound-violation composite phase 1 (no artificial
+//     variables: the all-slack basis is always factorizable and basics are
+//     simply allowed to start outside their bounds) followed by a primal
+//     phase 2;
+//   - a warm Solve after mutations re-prices the unchanged reduced costs,
+//     and when the previous optimal basis is still dual feasible repairs
+//     primal feasibility with the dual simplex — typically a handful of
+//     pivots instead of a full two-phase solve.
+//
+// Dantzig pricing switches to Bland's rule after a stall, as in the legacy
+// tableau solver, so degenerate instances cannot cycle forever.
+type solverState struct {
+	sf  standardForm
+	inv basisRep
+	ws  *Workspace
+
+	basis  []int       // column basic in each row
+	status []varStatus // per column
+	xB     []float64   // values of the basic variables (ws-backed)
+
+	sol    Solution
+	iters  int  // pivots in the current Solve call
+	dualOK bool // the current basis is known dual feasible (prior optimum)
+}
+
+const (
+	// feasTol is the per-variable bound-violation tolerance.
+	feasTol = 1e-7
+	// dualTol is the reduced-cost tolerance for dual feasibility.
+	dualTol = 1e-7
+	// infeasTol is the total phase-1 violation above which the LP is
+	// declared infeasible (mirrors the legacy tableau solver).
+	infeasTol = 1e-6
+)
+
+func newSolverState(p *Problem, ws *Workspace) *solverState {
+	s := &solverState{ws: ws}
+	s.sf.build(p, ws)
+	s.basis = make([]int, s.sf.m)
+	s.status = make([]varStatus, s.sf.n)
+	for r := 0; r < s.sf.m; r++ {
+		s.basis[r] = s.sf.nv + r
+		s.status[s.sf.nv+r] = basic
+	}
+	return s
+}
+
+// --- Backend interface -------------------------------------------------------
+
+func (s *solverState) SetRHS(r int, rhs float64) {
+	if r < 0 || r >= s.sf.m {
+		panic(fmt.Sprintf("lp: SetRHS row %d out of range", r))
+	}
+	if math.IsNaN(rhs) || math.IsInf(rhs, 0) {
+		panic(fmt.Sprintf("lp: invalid rhs %v", rhs))
+	}
+	s.sf.rhs[r] = s.sf.rowSign[r] * rhs
+}
+
+func (s *solverState) SetVarUpper(v int, upper float64) {
+	if v < 0 || v >= s.sf.nv {
+		panic(fmt.Sprintf("lp: SetVarUpper variable %d out of range", v))
+	}
+	if upper < 0 || math.IsNaN(upper) {
+		panic(fmt.Sprintf("lp: invalid upper bound %v", upper))
+	}
+	s.sf.ub[v] = upper
+	if s.status[v] == atUpper && math.IsInf(upper, 1) {
+		// A nonbasic variable cannot sit at an infinite bound.
+		s.status[v] = atLower
+	}
+}
+
+func (s *solverState) Basis() *Basis {
+	b := &Basis{
+		Cols:   make([]int, s.sf.m),
+		Status: make([]VarStatus, s.sf.n),
+	}
+	copy(b.Cols, s.basis)
+	for j, st := range s.status {
+		b.Status[j] = VarStatus(st)
+	}
+	return b
+}
+
+func (s *solverState) Warm(b *Basis) error {
+	if b == nil || len(b.Cols) != s.sf.m || len(b.Status) != s.sf.n {
+		return fmt.Errorf("lp: Warm basis has wrong shape (want %d rows, %d columns)", s.sf.m, s.sf.n)
+	}
+	nBasic := 0
+	for j, st := range b.Status {
+		switch st {
+		case BasicVar:
+			nBasic++
+		case NonbasicUpper:
+			if math.IsInf(s.sf.ub[j], 1) {
+				return fmt.Errorf("lp: Warm basis puts column %d at an infinite upper bound", j)
+			}
+		case NonbasicLower:
+		default:
+			return fmt.Errorf("lp: Warm basis has invalid status %d for column %d", st, j)
+		}
+	}
+	if nBasic != s.sf.m {
+		return fmt.Errorf("lp: Warm basis has %d basic columns, want %d", nBasic, s.sf.m)
+	}
+	for _, j := range b.Cols {
+		if j < 0 || j >= s.sf.n || b.Status[j] != BasicVar {
+			return fmt.Errorf("lp: Warm basis row column %d is not a basic column", j)
+		}
+	}
+	copy(s.basis, b.Cols)
+	for j, st := range b.Status {
+		s.status[j] = varStatus(st)
+	}
+	if err := s.refactor(); err != nil {
+		s.coldReset()
+		return fmt.Errorf("lp: Warm basis is singular: %w", err)
+	}
+	// Optimality of the transplanted basis is verified (not assumed) at the
+	// next Solve: the dual-feasibility check gates the warm path.
+	s.dualOK = true
+	return nil
+}
+
+// Solve optimizes from the current state. See the Backend docs for the
+// ownership rules of the returned Solution.
+func (s *solverState) Solve() (*Solution, error) {
+	s.iters = 0
+	s.xB = growF(&s.ws.xB, s.sf.m)
+	s.computeXB()
+	maxIters := 200*(s.sf.m+s.sf.n) + 20000
+
+	if s.dualOK && s.dualFeasible() {
+		s.dualOK = false
+		st, err := s.dualSimplex(maxIters)
+		if err == nil {
+			switch st {
+			case Infeasible:
+				// The failing ray left the basis untouched, so it remains
+				// dual feasible for the next warm attempt.
+				s.dualOK = true
+				return s.finish(Infeasible), nil
+			default:
+				// Primal feasibility restored; confirm optimality (exits
+				// immediately unless numerics left a stray reduced cost).
+				st2, err2 := s.primal(true, maxIters)
+				if err2 == nil {
+					if st2 == Unbounded {
+						return s.finish(Unbounded), nil
+					}
+					s.dualOK = true
+					return s.finish(Optimal), nil
+				}
+			}
+		}
+		// Numerical trouble on the warm path: restart cold.
+		s.coldReset()
+		s.computeXB()
+	}
+	s.dualOK = false
+
+	st, err := s.primal(false, maxIters)
+	if err != nil {
+		return nil, err
+	}
+	if st == Infeasible {
+		return s.finish(Infeasible), nil
+	}
+	st, err = s.primal(true, maxIters)
+	if err != nil {
+		return nil, err
+	}
+	if st == Unbounded {
+		return s.finish(Unbounded), nil
+	}
+	s.dualOK = true
+	return s.finish(Optimal), nil
+}
+
+// --- state maintenance -------------------------------------------------------
+
+// coldReset reinstalls the all-slack identity basis.
+func (s *solverState) coldReset() {
+	for j := range s.status {
+		s.status[j] = atLower
+	}
+	for r := 0; r < s.sf.m; r++ {
+		s.basis[r] = s.sf.nv + r
+		s.status[s.sf.nv+r] = basic
+	}
+	s.inv.reset(s.sf.m)
+	s.dualOK = false
+}
+
+// computeXB recomputes the basic values from the current rhs, bounds and
+// nonbasic statuses: xB = B⁻¹(b − Σ_{j at upper} u_j·a_j).
+func (s *solverState) computeXB() {
+	rhsEff := growF(&s.ws.rhsEff, s.sf.m)
+	copy(rhsEff, s.sf.rhs)
+	for j := 0; j < s.sf.n; j++ {
+		if s.status[j] == atUpper {
+			if u := s.sf.ub[j]; u != 0 {
+				s.sf.scatterColumn(j, -u, rhsEff)
+			}
+		}
+	}
+	s.inv.ftran(rhsEff)
+	copy(s.xB, rhsEff)
+}
+
+// refactor rebuilds the basis representation from scratch for the current
+// basic column set, choosing pivot rows greedily (sparsest columns first,
+// largest available pivot within a column) to limit fill.
+func (s *solverState) refactor() error {
+	m := s.sf.m
+	cols := growInt(&s.ws.newBasis, m)
+	copy(cols, s.basis)
+	order := growInt(&s.ws.order, m)
+	for i := range order {
+		order[i] = i
+	}
+	sort.Slice(order, func(a, b int) bool {
+		return s.sf.colNNZ(cols[order[a]]) < s.sf.colNNZ(cols[order[b]])
+	})
+	marks := growBool(&s.ws.marks, m)
+	for i := range marks {
+		marks[i] = false
+	}
+	w := growF(&s.ws.w, m)
+	s.inv.reset(m)
+	for _, i := range order {
+		j := cols[i]
+		for k := range w {
+			w[k] = 0
+		}
+		s.sf.scatterColumn(j, 1, w)
+		s.inv.ftran(w)
+		best, bestAbs := -1, 1e-10
+		for r := 0; r < m; r++ {
+			if !marks[r] {
+				if a := math.Abs(w[r]); a > bestAbs {
+					best, bestAbs = r, a
+				}
+			}
+		}
+		if best < 0 {
+			return fmt.Errorf("lp: singular basis (column %d)", j)
+		}
+		marks[best] = true
+		s.basis[best] = j
+		s.inv.update(best, w)
+	}
+	s.inv.markRefactored()
+	return nil
+}
+
+// ftranColumn loads column j in current basis coordinates into ws.w.
+func (s *solverState) ftranColumn(j int) []float64 {
+	w := growF(&s.ws.w, s.sf.m)
+	for i := range w {
+		w[i] = 0
+	}
+	s.sf.scatterColumn(j, 1, w)
+	s.inv.ftran(w)
+	return w
+}
+
+// dualsFor computes y = c_Bᵀ·B⁻¹ for the given phase into ws.y. The
+// second return value reports y ≡ 0 (every basic cost is zero — always
+// the case in phase 2 of a feasibility LP), which lets callers skip the
+// per-column pricing dot products entirely.
+func (s *solverState) dualsFor(phase2 bool) ([]float64, bool) {
+	y := growF(&s.ws.y, s.sf.m)
+	zero := true
+	for i := 0; i < s.sf.m; i++ {
+		var c float64
+		if phase2 {
+			c = s.sf.objAt(s.basis[i])
+		} else {
+			switch {
+			case s.xB[i] < -feasTol:
+				c = -1
+			case s.xB[i] > s.sf.ub[s.basis[i]]+feasTol:
+				c = 1
+			}
+		}
+		y[i] = c
+		if c != 0 {
+			zero = false
+		}
+	}
+	if !zero {
+		s.inv.btran(y)
+	}
+	return y, zero
+}
+
+// reducedCost returns d_j for the given phase ('cost' is 0 for every
+// column in phase 1, whose objective is pure bound violation).
+func (s *solverState) reducedCost(j int, y []float64, yZero, phase2 bool) float64 {
+	c := 0.0
+	if phase2 {
+		c = s.sf.objAt(j)
+	}
+	if yZero {
+		return c
+	}
+	return c - s.sf.dotColumn(j, y)
+}
+
+// dualFeasible reports whether the current basis is dual feasible for the
+// real (phase 2) objective within dualTol.
+func (s *solverState) dualFeasible() bool {
+	if s.sf.objZero {
+		return true // all reduced costs are identically zero
+	}
+	y, yZero := s.dualsFor(true)
+	for j := 0; j < s.sf.n; j++ {
+		if s.status[j] == basic || s.sf.ub[j] == 0 {
+			continue // fixed columns cannot move: sign irrelevant
+		}
+		d := s.reducedCost(j, y, yZero, true)
+		if s.status[j] == atLower && d < -dualTol {
+			return false
+		}
+		if s.status[j] == atUpper && d > dualTol {
+			return false
+		}
+	}
+	return true
+}
+
+// violation returns the total and maximum bound violation of the basics.
+func (s *solverState) violation() (sum, max float64) {
+	for i := 0; i < s.sf.m; i++ {
+		v := s.xB[i]
+		var excess float64
+		if v < 0 {
+			excess = -v
+		} else if ubB := s.sf.ub[s.basis[i]]; v > ubB {
+			excess = v - ubB
+		}
+		if excess > 0 {
+			sum += excess
+			if excess > max {
+				max = excess
+			}
+		}
+	}
+	return sum, max
+}
+
+// --- primal simplex (composite phase 1 + phase 2) ---------------------------
+
+// primal runs bounded primal simplex iterations. With phase2=false it
+// minimizes the total bound violation of the basic variables (the
+// artificial-free composite phase 1): out-of-bounds basics price as ±1 and
+// block the ratio test only when they reach the bound they violate, from
+// outside. Returns Optimal when feasible/optimal, Infeasible when the
+// phase-1 optimum has positive violation, Unbounded for a phase-2 ray.
+func (s *solverState) primal(phase2 bool, maxIters int) (Status, error) {
+	stall, bland := 0, false
+	sinceRecompute := 0
+	for {
+		if s.iters > maxIters {
+			return 0, fmt.Errorf("lp: simplex iteration limit reached (%d pivots)", s.iters)
+		}
+		if s.inv.shouldRefactor() {
+			if err := s.refactor(); err != nil {
+				return 0, err
+			}
+			s.computeXB()
+		}
+		vSum, vMax := s.violation()
+		if !phase2 && vMax <= feasTol {
+			return Optimal, nil
+		}
+		y, yZero := s.dualsFor(phase2)
+		j, dir, dj := s.chooseEntering(y, yZero, phase2, bland)
+		if j < 0 {
+			if phase2 {
+				return Optimal, nil
+			}
+			if vSum > infeasTol {
+				return Infeasible, nil
+			}
+			return Optimal, nil // violation within noise: accept as feasible
+		}
+		w := s.ftranColumn(j)
+		leave, leaveAt, t, flip := s.ratioTest(j, dir, w, !phase2, bland)
+		if leave < 0 && !flip {
+			if phase2 {
+				return Unbounded, nil
+			}
+			// Phase 1 is bounded below by 0; an unblocked ray is numerics.
+			return 0, fmt.Errorf("lp: phase 1 found an unblocked ray (violation %g)", vSum)
+		}
+		if flip {
+			s.applyFlip(j, dir, w)
+		} else {
+			s.applyPivot(j, dir, w, leave, leaveAt, t)
+		}
+		// Stall detection: |d_j|·t is the objective improvement.
+		if math.Abs(dj)*t > tol {
+			stall = 0
+		} else if stall++; stall > stallLimit {
+			bland = true
+		}
+		if sinceRecompute++; sinceRecompute >= 256 {
+			s.computeXB() // shed accumulated floating-point drift
+			sinceRecompute = 0
+		}
+	}
+}
+
+// chooseEntering picks a nonbasic column whose move improves the phase
+// objective: at lower bound with d < −tol, or at upper bound with d > tol.
+// Dantzig (largest |d|) normally, first eligible index under Bland's rule.
+// Fixed columns (upper bound 0) never enter. Returns (-1,0,0) at phase
+// optimality.
+func (s *solverState) chooseEntering(y []float64, yZero, phase2, bland bool) (j int, dir, dj float64) {
+	best, bestScore, bestDir, bestD := -1, tol, 1.0, 0.0
+	for c := 0; c < s.sf.n; c++ {
+		st := s.status[c]
+		if st == basic || s.sf.ub[c] == 0 {
+			continue
+		}
+		d := s.reducedCost(c, y, yZero, phase2)
+		var score float64
+		var dr float64
+		if st == atLower {
+			score, dr = -d, 1
+		} else {
+			score, dr = d, -1
+		}
+		if score > bestScore {
+			if bland {
+				return c, dr, d
+			}
+			best, bestScore, bestDir, bestD = c, score, dr, d
+		}
+	}
+	return best, bestDir, bestD
+}
+
+// ratioTest finds the maximum step t for entering column j moving in
+// direction dir (+1 from lower bound, −1 from upper), with column w =
+// B⁻¹a_j. allowViolated enables the phase-1 rules: an out-of-bounds basic
+// does not block until it reaches the bound it violates (from outside),
+// and blocks there. Returns the leaving row and the bound it leaves at, or
+// flip=true when the entering column's own opposite bound is the binding
+// limit. leave<0 && !flip means unblocked (unbounded ray).
+func (s *solverState) ratioTest(j int, dir float64, w []float64, allowViolated, bland bool) (leave int, leaveAt varStatus, t float64, flip bool) {
+	limit := math.Inf(1)
+	if u := s.sf.ub[j]; !math.IsInf(u, 1) {
+		limit, flip = u, true
+	}
+	leave = -1
+	for i := 0; i < s.sf.m; i++ {
+		wi := w[i]
+		if wi > -pivTol && wi < pivTol {
+			continue
+		}
+		delta := -wi * dir // d(xB[i])/dt
+		v := s.xB[i]
+		ubB := s.sf.ub[s.basis[i]]
+		var ti float64
+		var at varStatus
+		switch {
+		case allowViolated && v < -feasTol:
+			if delta <= 0 {
+				continue // moves further below: accounted by the phase cost
+			}
+			ti, at = -v/delta, atLower
+		case allowViolated && v > ubB+feasTol:
+			if delta >= 0 {
+				continue
+			}
+			ti, at = (ubB-v)/delta, atUpper
+		default:
+			if delta < 0 {
+				ti, at = v/(-delta), atLower
+			} else if !math.IsInf(ubB, 1) {
+				ti, at = (ubB-v)/delta, atUpper
+			} else {
+				continue
+			}
+		}
+		if ti < 0 {
+			ti = 0 // degeneracy: a basic variable slightly past its bound
+		}
+		take := ti < limit-tol
+		if !take && ti < limit+tol && leave >= 0 {
+			// Near-tie between rows: Bland prefers the smallest basic
+			// index (anti-cycling); otherwise take the larger pivot.
+			if bland {
+				take = s.basis[i] < s.basis[leave]
+			} else {
+				take = math.Abs(wi) > math.Abs(w[leave])
+			}
+		}
+		if take {
+			limit, leave, leaveAt, flip = ti, i, at, false
+		}
+	}
+	return leave, leaveAt, limit, flip
+}
+
+// applyFlip moves entering column j across to its opposite bound without a
+// basis change.
+func (s *solverState) applyFlip(j int, dir float64, w []float64) {
+	if u := s.sf.ub[j]; u != 0 {
+		for i, wi := range w {
+			if wi != 0 {
+				s.xB[i] -= wi * dir * u
+			}
+		}
+	}
+	if s.status[j] == atLower {
+		s.status[j] = atUpper
+	} else {
+		s.status[j] = atLower
+	}
+	s.iters++
+}
+
+// applyPivot performs the basis exchange: entering j (moving dir·t) for
+// the basic variable of row leave, which exits at leaveAt.
+func (s *solverState) applyPivot(j int, dir float64, w []float64, leave int, leaveAt varStatus, t float64) {
+	if t != 0 {
+		for i, wi := range w {
+			if wi != 0 {
+				s.xB[i] -= wi * dir * t
+			}
+		}
+	}
+	enterVal := t
+	if dir < 0 {
+		enterVal = s.sf.ub[j] - t
+	}
+	old := s.basis[leave]
+	s.status[old] = leaveAt
+	s.basis[leave] = j
+	s.status[j] = basic
+	s.xB[leave] = enterVal
+	s.inv.update(leave, w)
+	s.iters++
+}
+
+// --- dual simplex (the warm-restart workhorse) -------------------------------
+
+// dualSimplex restores primal feasibility from a dual-feasible basis: the
+// state after RHS or bound mutations of a previously optimal solve. Each
+// iteration evicts the worst bound-violating basic variable and enters the
+// column chosen by the bounded-variable dual ratio test, so dual
+// feasibility is invariant and termination means optimality. Returns
+// Infeasible when no column can repair a violated row — with a
+// dual-feasible basis that is a certificate that the mutated LP has no
+// feasible point, exactly what a shrinking-makespan feasibility probe
+// needs. Errors signal numerical trouble; the caller falls back to a cold
+// solve.
+func (s *solverState) dualSimplex(maxIters int) (Status, error) {
+	m := s.sf.m
+	rho := growF(&s.ws.rho, m)
+	stall := 0
+	lastViol := math.Inf(1)
+	for iter := 0; ; iter++ {
+		if s.iters > maxIters || iter > maxIters {
+			return 0, fmt.Errorf("lp: dual simplex iteration limit reached (%d pivots)", s.iters)
+		}
+		if s.inv.shouldRefactor() {
+			if err := s.refactor(); err != nil {
+				return 0, err
+			}
+			s.computeXB()
+		}
+		// Leaving variable: the basic with the largest bound violation.
+		r, below := -1, false
+		worst := feasTol
+		vSum := 0.0
+		for i := 0; i < m; i++ {
+			v := s.xB[i]
+			ubB := s.sf.ub[s.basis[i]]
+			if excess := -v; excess > worst {
+				worst, r, below = excess, i, true
+			} else if excess := v - ubB; excess > worst {
+				worst, r, below = excess, i, false
+			}
+			if v < 0 {
+				vSum -= v
+			} else if v > ubB {
+				vSum += v - ubB
+			}
+		}
+		if r < 0 {
+			return Optimal, nil // primal feasible (and dual feasible): done
+		}
+		if vSum < lastViol-tol {
+			lastViol, stall = vSum, 0
+		} else if stall++; stall > 2*stallLimit {
+			// Degenerate dual pivots are not making progress (possible when
+			// every reduced cost ties at zero, as in pure feasibility LPs).
+			return 0, fmt.Errorf("lp: dual simplex stalled (violation %g)", vSum)
+		}
+		// Row r of B⁻¹, then the dual ratio test over nonbasic columns.
+		// A feasibility LP (all costs zero) keeps every reduced cost at
+		// exactly zero, so the duals and per-column pricing are skipped:
+		// every sign-eligible column ties at ratio 0 and the stability
+		// tie-break picks among them.
+		s.inv.btranUnit(r, rho)
+		var y []float64
+		yZero := true
+		if !s.sf.objZero {
+			y, yZero = s.dualsFor(true)
+		}
+		e, dirE := -1, 1.0
+		bestRatio, bestAbs := math.Inf(1), 0.0
+		for c := 0; c < s.sf.n; c++ {
+			st := s.status[c]
+			if st == basic || s.sf.ub[c] == 0 {
+				continue
+			}
+			alpha := s.sf.dotColumn(c, rho)
+			if alpha > -pivTol && alpha < pivTol {
+				continue
+			}
+			dirC := 1.0
+			if st == atUpper {
+				dirC = -1
+			}
+			eff := alpha * dirC
+			// xB[r] must move toward the violated bound: up when below
+			// the lower bound, down when above the upper.
+			if below {
+				if eff >= 0 {
+					continue
+				}
+			} else if eff <= 0 {
+				continue
+			}
+			ratio := 0.0
+			if !s.sf.objZero {
+				d := s.reducedCost(c, y, yZero, true)
+				ratio = math.Abs(d) / math.Abs(alpha)
+			}
+			take := ratio < bestRatio-dualTol
+			if !take && ratio < bestRatio+dualTol {
+				take = math.Abs(alpha) > bestAbs // stability tie-break
+			}
+			if take {
+				e, dirE, bestRatio, bestAbs = c, dirC, ratio, math.Abs(alpha)
+			}
+		}
+		if e < 0 {
+			// No column can push row r back inside its bounds while keeping
+			// dual feasibility: the LP is infeasible (dual unbounded).
+			return Infeasible, nil
+		}
+		w := s.ftranColumn(e)
+		if math.Abs(w[r]) < pivTol {
+			return 0, fmt.Errorf("lp: dual pivot element vanished (row %d, col %d)", r, e)
+		}
+		target, leaveAt := 0.0, atLower
+		if !below {
+			target, leaveAt = s.sf.ub[s.basis[r]], atUpper
+		}
+		t := (s.xB[r] - target) / (w[r] * dirE)
+		if t < 0 {
+			if t < -feasTol {
+				return 0, fmt.Errorf("lp: negative dual step %g", t)
+			}
+			t = 0
+		}
+		// Deliberately no dual bound-flip here: when t exceeds the entering
+		// column's own span, the pivot brings it into the basis above its
+		// bound and later iterations repair that manufactured violation.
+		// Measured on the rounding guess trajectory this converges several
+		// times faster than the textbook flip (which pays a full pricing
+		// iteration to absorb only |alpha|·u of violation), and a search
+		// that churns anyway is best abandoned to the stall guard above —
+		// the caller's cold re-solve is cheaper than grinding out flips.
+		s.applyPivot(e, dirE, w, r, leaveAt, t)
+	}
+}
+
+// --- solution extraction -----------------------------------------------------
+
+func (s *solverState) finish(st Status) *Solution {
+	s.sol = Solution{Status: st, Iterations: s.iters}
+	if st != Optimal {
+		return &s.sol
+	}
+	x := growF(&s.ws.x, s.sf.nv)
+	for j := 0; j < s.sf.nv; j++ {
+		if s.status[j] == atUpper {
+			x[j] = s.sf.ub[j]
+		} else {
+			x[j] = 0
+		}
+	}
+	for r := 0; r < s.sf.m; r++ {
+		if b := s.basis[r]; b < s.sf.nv {
+			v := s.xB[r]
+			if v < 0 && v > -infeasTol {
+				v = 0
+			}
+			x[b] = v
+		}
+	}
+	obj := 0.0
+	for j, c := range s.sf.obj {
+		obj += c * x[j]
+	}
+	s.sol.X = x
+	s.sol.Objective = obj
+	return &s.sol
+}

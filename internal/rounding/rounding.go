@@ -24,6 +24,7 @@ import (
 	"fmt"
 	"math"
 	"math/rand"
+	"sync"
 
 	"repro/internal/baseline"
 	"repro/internal/core"
@@ -48,6 +49,10 @@ type Options struct {
 	// LP-infeasible guesses as certified lower bounds, and the binary
 	// search skips guesses at or above the live incumbent.
 	Bounds core.BoundBus
+	// LPBackend names the lp.Backend the per-guess feasibility LPs run on:
+	// "sparse" (revised simplex, the default), "dense", or "" for the
+	// default. Unknown names are a configuration error.
+	LPBackend string
 }
 
 func (o Options) normalize() Options {
@@ -71,103 +76,384 @@ type Fractional struct {
 	X [][]float64
 	// Y[i][k] is the fractional setup of class k on machine i.
 	Y [][]float64
+
+	xFlat, yFlat []float64 // backing storage for the row slices
+	pooled       bool      // eligible for fracPool recycling via Release
+}
+
+// fracPool recycles the O(M·(N+K)) matrix storage of Fractional values
+// between SolveLP calls, so the cold path stops allocating it per guess.
+var fracPool sync.Pool
+
+// makeFractional builds a Fractional with flat backing storage.
+func makeFractional(m, n, k int, pooled bool) *Fractional {
+	f := &Fractional{
+		X: make([][]float64, m), Y: make([][]float64, m),
+		xFlat: make([]float64, m*n), yFlat: make([]float64, m*k),
+		pooled: pooled,
+	}
+	for i := 0; i < m; i++ {
+		f.X[i] = f.xFlat[i*n : (i+1)*n]
+		f.Y[i] = f.yFlat[i*k : (i+1)*k]
+	}
+	return f
+}
+
+// newFractional returns a zeroed Fractional for the given shape, reusing
+// pooled storage when a released value of the same shape is available.
+func newFractional(m, n, k int) *Fractional {
+	if v := fracPool.Get(); v != nil {
+		f := v.(*Fractional)
+		if len(f.X) == m && len(f.xFlat) == m*n && len(f.yFlat) == m*k {
+			for i := range f.xFlat {
+				f.xFlat[i] = 0
+			}
+			for i := range f.yFlat {
+				f.yFlat[i] = 0
+			}
+			f.T = 0
+			f.pooled = true // re-arm Release (cleared when it was released)
+			return f
+		}
+		// Wrong shape (a different instance): let it be collected.
+	}
+	return makeFractional(m, n, k, true)
+}
+
+// Release returns the Fractional's matrix storage to an internal pool for
+// reuse by a later SolveLP call. Callers that are done with a fractional
+// solution (after rounding it) should release it; using f after Release is
+// a use-after-free-style bug. Release is a no-op for values that do not
+// own poolable storage (e.g. the reused buffer a Relaxation returns).
+func (f *Fractional) Release() {
+	if f == nil || !f.pooled {
+		return
+	}
+	// Disarm before pooling so a double Release cannot put the same value
+	// twice (two Gets would then share one backing array).
+	f.pooled = false
+	fracPool.Put(f)
 }
 
 // SolveLP solves the LP relaxation of ILP-UM for guess T. It returns
 // (nil, nil) when the relaxation is infeasible — a certificate that no
 // schedule with makespan ≤ T exists.
 func SolveLP(in *core.Instance, T float64) (*Fractional, error) {
-	p := &lp.Problem{}
-	// Variable indices; -1 marks pairs fixed to zero by constraint (5) or
-	// by infinite times.
-	xIdx := make([][]int, in.M)
-	yIdx := make([][]int, in.M)
-	for i := 0; i < in.M; i++ {
-		xIdx[i] = make([]int, in.N)
-		yIdx[i] = make([]int, in.K)
-		for j := 0; j < in.N; j++ {
-			if core.IsFinite(in.P[i][j]) && in.P[i][j] <= T+core.Eps && core.IsFinite(in.S[i][in.Class[j]]) {
-				xIdx[i][j] = p.AddVar(0, 1)
-			} else {
-				xIdx[i][j] = -1
-			}
-		}
-		for k := 0; k < in.K; k++ {
-			if core.IsFinite(in.S[i][k]) {
-				yIdx[i][k] = p.AddVar(0, 1)
-			} else {
-				yIdx[i][k] = -1
-			}
-		}
+	mdl := buildILPModel(in, T)
+	if mdl.infeasible {
+		return nil, nil // some job cannot run anywhere under T
 	}
-	// (1) machine load.
-	for i := 0; i < in.M; i++ {
-		terms := []lp.Term{}
-		for j := 0; j < in.N; j++ {
-			if xIdx[i][j] >= 0 && in.P[i][j] > 0 {
-				terms = append(terms, lp.Term{Var: xIdx[i][j], Coef: in.P[i][j]})
-			}
-		}
-		for k := 0; k < in.K; k++ {
-			if yIdx[i][k] >= 0 && in.S[i][k] > 0 {
-				terms = append(terms, lp.Term{Var: yIdx[i][k], Coef: in.S[i][k]})
-			}
-		}
-		if len(terms) > 0 {
-			p.AddConstraint(lp.LE, T, terms...)
-		}
-	}
-	// (2) full assignment.
-	for j := 0; j < in.N; j++ {
-		terms := []lp.Term{}
-		for i := 0; i < in.M; i++ {
-			if xIdx[i][j] >= 0 {
-				terms = append(terms, lp.Term{Var: xIdx[i][j], Coef: 1})
-			}
-		}
-		if len(terms) == 0 {
-			return nil, nil // job cannot run anywhere under T: infeasible
-		}
-		p.AddConstraint(lp.EQ, 1, terms...)
-	}
-	// (4) setup dominates assignment.
-	for i := 0; i < in.M; i++ {
-		for j := 0; j < in.N; j++ {
-			if xIdx[i][j] < 0 {
-				continue
-			}
-			k := in.Class[j]
-			if yIdx[i][k] < 0 {
-				return nil, nil // assignable job but un-setup-able class
-			}
-			p.AddConstraint(lp.LE, 0,
-				lp.Term{Var: xIdx[i][j], Coef: 1},
-				lp.Term{Var: yIdx[i][k], Coef: -1})
-		}
-	}
-	sol, err := p.Solve()
+	sol, err := mdl.prob.Solve()
 	if err != nil {
 		return nil, fmt.Errorf("rounding: LP solve for T=%g: %w", T, err)
 	}
 	if sol.Status != lp.Optimal {
 		return nil, nil
 	}
-	f := &Fractional{T: T, X: make([][]float64, in.M), Y: make([][]float64, in.M)}
+	f := newFractional(in.M, in.N, in.K)
+	f.T = T
+	fillFractional(f, in, mdl.xIdx, mdl.yIdx, sol.X)
+	return f, nil
+}
+
+// ilpModel is the LP relaxation of ILP-UM — rows (1), (2), (4) —
+// materialized at an envelope T: a variable exists for every (machine,
+// job) pair assignable at T and the load RHS is T. It is the one model
+// builder shared by the cold path (SolveLP solves it as-is) and the warm
+// path (Relaxation mutates the variable bounds and RHS in place for
+// smaller guesses), so the two can never drift apart.
+type ilpModel struct {
+	prob    *lp.Problem
+	xIdx    [][]int // variable per (machine, job); -1 excluded
+	yIdx    [][]int // variable per (machine, class); -1 excluded
+	loadRow []int   // constraint row of machine i's load; -1 none
+	xv      []relaxVar
+	// infeasible marks a job with no eligible machine at the envelope:
+	// the relaxation (and the ILP) is infeasible at T and every T' ≤ T.
+	infeasible bool
+}
+
+// relaxVar identifies one x_ij variable for constraint-(5) bound clamping.
+type relaxVar struct {
+	v int     // LP variable index
+	j int     // job
+	p float64 // p_ij, the clamp threshold
+}
+
+func buildILPModel(in *core.Instance, T float64) *ilpModel {
+	mdl := &ilpModel{
+		prob:    &lp.Problem{},
+		xIdx:    make([][]int, in.M),
+		yIdx:    make([][]int, in.M),
+		loadRow: make([]int, in.M),
+	}
+	p := mdl.prob
+	// Variable gating: x_ij exists iff the pair is assignable at T
+	// (finite p ≤ T, finite class setup); y_ik iff the setup is finite.
 	for i := 0; i < in.M; i++ {
-		f.X[i] = make([]float64, in.N)
-		f.Y[i] = make([]float64, in.K)
+		mdl.xIdx[i] = make([]int, in.N)
+		mdl.yIdx[i] = make([]int, in.K)
 		for j := 0; j < in.N; j++ {
-			if xIdx[i][j] >= 0 {
-				f.X[i][j] = sol.Value(xIdx[i][j])
+			if core.IsFinite(in.P[i][j]) && in.P[i][j] <= T+core.Eps && core.IsFinite(in.S[i][in.Class[j]]) {
+				v := p.AddVar(0, 1)
+				mdl.xIdx[i][j] = v
+				mdl.xv = append(mdl.xv, relaxVar{v: v, j: j, p: in.P[i][j]})
+			} else {
+				mdl.xIdx[i][j] = -1
 			}
 		}
 		for k := 0; k < in.K; k++ {
-			if yIdx[i][k] >= 0 {
-				f.Y[i][k] = sol.Value(yIdx[i][k])
+			if core.IsFinite(in.S[i][k]) {
+				mdl.yIdx[i][k] = p.AddVar(0, 1)
+			} else {
+				mdl.yIdx[i][k] = -1
 			}
 		}
 	}
-	return f, nil
+	// One scratch terms slice, preallocated for the widest row shape (a
+	// load row has up to N assignment plus K setup terms) and reused
+	// across rows: lp.Problem copies the coefficients out on AddConstraint.
+	terms := make([]lp.Term, 0, in.N+in.K)
+	// (1) machine load.
+	for i := 0; i < in.M; i++ {
+		terms = terms[:0]
+		for j := 0; j < in.N; j++ {
+			if mdl.xIdx[i][j] >= 0 && in.P[i][j] > 0 {
+				terms = append(terms, lp.Term{Var: mdl.xIdx[i][j], Coef: in.P[i][j]})
+			}
+		}
+		for k := 0; k < in.K; k++ {
+			if mdl.yIdx[i][k] >= 0 && in.S[i][k] > 0 {
+				terms = append(terms, lp.Term{Var: mdl.yIdx[i][k], Coef: in.S[i][k]})
+			}
+		}
+		if len(terms) > 0 {
+			mdl.loadRow[i] = p.NumRows()
+			p.AddConstraint(lp.LE, T, terms...)
+		} else {
+			mdl.loadRow[i] = -1
+		}
+	}
+	// (2) full assignment.
+	for j := 0; j < in.N; j++ {
+		terms = terms[:0]
+		for i := 0; i < in.M; i++ {
+			if mdl.xIdx[i][j] >= 0 {
+				terms = append(terms, lp.Term{Var: mdl.xIdx[i][j], Coef: 1})
+			}
+		}
+		if len(terms) == 0 {
+			mdl.infeasible = true // job j can run nowhere at T
+			return mdl
+		}
+		p.AddConstraint(lp.EQ, 1, terms...)
+	}
+	// (4) setup dominates assignment (y exists whenever x does: the x
+	// variable required a finite setup time).
+	for i := 0; i < in.M; i++ {
+		for j := 0; j < in.N; j++ {
+			if mdl.xIdx[i][j] < 0 {
+				continue
+			}
+			terms = append(terms[:0],
+				lp.Term{Var: mdl.xIdx[i][j], Coef: 1},
+				lp.Term{Var: mdl.yIdx[i][in.Class[j]], Coef: -1})
+			p.AddConstraint(lp.LE, 0, terms...)
+		}
+	}
+	return mdl
+}
+
+// fillFractional copies the structural LP values into the X/Y matrices;
+// entries whose variable was fixed or excluded stay zero.
+func fillFractional(f *Fractional, in *core.Instance, xIdx, yIdx [][]int, x []float64) {
+	for i := 0; i < in.M; i++ {
+		for j := 0; j < in.N; j++ {
+			if v := xIdx[i][j]; v >= 0 {
+				f.X[i][j] = x[v]
+			}
+		}
+		for k := 0; k < in.K; k++ {
+			if v := yIdx[i][k]; v >= 0 {
+				f.Y[i][k] = x[v]
+			}
+		}
+	}
+}
+
+// RelaxationConfig configures NewRelaxation.
+type RelaxationConfig struct {
+	// Envelope is the makespan value the relaxation is built at: every
+	// x_ij with p_ij ≤ Envelope gets a variable, and ReSolve is exact for
+	// any guess T ≤ Envelope. It should be an achievable makespan (the
+	// greedy bound — then ReSolve is also exact above it); 0 computes the
+	// greedy bound internally.
+	Envelope float64
+	// Backend selects the lp.Backend implementation ("" = lp.DefaultBackend).
+	Backend lp.BackendKind
+}
+
+// Relaxation is the ILP-UM LP relaxation built once at the envelope T=ub
+// and re-solved per guess. Where SolveLP rebuilds O(M·N) variables,
+// O(M·N) constraints and a fresh solver for every binary-search guess,
+// ReSolve applies a guess by mutating the built problem in place —
+// constraint (5) clamps variable upper bounds to 0, the load RHS is
+// updated — and warm-starts the backend from the previous optimal basis
+// (dual simplex), so a dual-approximation search costs one build plus
+// cheap re-solves instead of guesses × full solves.
+//
+// A Relaxation is not safe for concurrent use, and the Fractional returned
+// by ReSolve is a buffer owned by the Relaxation, valid until the next
+// ReSolve call.
+type Relaxation struct {
+	in   *core.Instance
+	kind lp.BackendKind
+	ws   *lp.Workspace
+	mdl  *ilpModel
+	be   lp.Backend
+
+	envelope float64
+	banned   []bool // current clamp state, parallel to mdl.xv
+	avail    []int  // per job: count of unbanned x variables
+
+	frac  *Fractional
+	iters int
+}
+
+// NewRelaxation builds the relaxation once at cfg.Envelope (via the same
+// buildILPModel that SolveLP solves cold). The zero config uses the
+// greedy bound as envelope and the default LP backend.
+func NewRelaxation(in *core.Instance, cfg RelaxationConfig) (*Relaxation, error) {
+	kind, err := lp.ParseBackend(string(cfg.Backend))
+	if err != nil {
+		return nil, fmt.Errorf("rounding: %w", err)
+	}
+	ub := cfg.Envelope
+	if ub <= 0 {
+		g, err := baseline.Greedy(in)
+		if err != nil {
+			return nil, fmt.Errorf("rounding: greedy envelope: %w", err)
+		}
+		ub = g.Makespan(in)
+	}
+	rel := &Relaxation{
+		in: in, kind: kind, ws: lp.NewWorkspace(),
+		mdl:      buildILPModel(in, ub),
+		envelope: ub,
+		avail:    make([]int, in.N),
+		frac:     makeFractional(in.M, in.N, in.K, false),
+	}
+	rel.banned = make([]bool, len(rel.mdl.xv))
+	for _, xv := range rel.mdl.xv {
+		rel.avail[xv.j]++
+	}
+	if rel.mdl.infeasible {
+		return rel, nil // every ReSolve reports infeasible without solving
+	}
+	rel.be, err = lp.NewBackend(kind, rel.mdl.prob, rel.ws)
+	if err != nil {
+		return nil, fmt.Errorf("rounding: %w", err)
+	}
+	return rel, nil
+}
+
+// Backend reports the lp backend kind the relaxation solves on.
+func (rel *Relaxation) Backend() lp.BackendKind { return rel.kind }
+
+// Iterations returns the cumulative simplex pivots across all ReSolve
+// calls so far — the per-backend effort metric behind Detail.LPIterations.
+func (rel *Relaxation) Iterations() int { return rel.iters }
+
+// ReSolve solves the relaxation for guess T, reusing the built problem and
+// warm-starting from the previous guess's basis. Like SolveLP it returns
+// (nil, nil) when the relaxation is infeasible at T. The returned
+// Fractional is owned by the Relaxation and valid until the next ReSolve.
+//
+// Verdicts are exact for T ≤ the build envelope. Above the envelope,
+// variables for p_ij ∈ (envelope, T] were never created; when the envelope
+// is an achievable makespan (the greedy bound, the default) the relaxation
+// is feasible there and hence for every larger T, so verdicts remain
+// correct for all T.
+func (rel *Relaxation) ReSolve(T float64) (*Fractional, error) {
+	if rel.mdl.infeasible {
+		return nil, nil // a job ran nowhere even at the envelope
+	}
+	// Constraint (5): clamp x_ij with p_ij > T to 0 in place; lift clamps
+	// the binary search's upward moves need again.
+	for t, xv := range rel.mdl.xv {
+		now := xv.p > T+core.Eps
+		if now == rel.banned[t] {
+			continue
+		}
+		u := 1.0
+		if now {
+			u = 0
+			rel.avail[xv.j]--
+		} else {
+			rel.avail[xv.j]++
+		}
+		rel.be.SetVarUpper(xv.v, u)
+		rel.banned[t] = now
+	}
+	for _, a := range rel.avail {
+		if a == 0 {
+			return nil, nil // some job cannot run anywhere under T
+		}
+	}
+	for _, r := range rel.mdl.loadRow {
+		if r >= 0 {
+			rel.be.SetRHS(r, T)
+		}
+	}
+	sol, err := rel.be.Solve()
+	if err != nil {
+		// The warm basis went numerically bad: rebuild the backend cold
+		// (same problem, same workspace memory) and retry once.
+		if rerr := rel.rebuild(T); rerr != nil {
+			return nil, fmt.Errorf("rounding: LP rebuild for T=%g after %v: %w", T, err, rerr)
+		}
+		if sol, err = rel.be.Solve(); err != nil {
+			return nil, fmt.Errorf("rounding: LP re-solve for T=%g: %w", T, err)
+		}
+	}
+	rel.iters += sol.Iterations
+	switch sol.Status {
+	case lp.Optimal:
+	case lp.Infeasible:
+		return nil, nil
+	default:
+		return nil, fmt.Errorf("rounding: LP re-solve for T=%g: unexpected status %v", T, sol.Status)
+	}
+	for i := range rel.frac.xFlat {
+		rel.frac.xFlat[i] = 0
+	}
+	for i := range rel.frac.yFlat {
+		rel.frac.yFlat[i] = 0
+	}
+	rel.frac.T = T
+	fillFractional(rel.frac, rel.in, rel.mdl.xIdx, rel.mdl.yIdx, sol.X)
+	return rel.frac, nil
+}
+
+// rebuild replaces the backend with a cold one and replays the current
+// mutation state (clamped variables, load RHS at T).
+func (rel *Relaxation) rebuild(T float64) error {
+	be, err := lp.NewBackend(rel.kind, rel.mdl.prob, rel.ws)
+	if err != nil {
+		return err
+	}
+	for t, b := range rel.banned {
+		if b {
+			be.SetVarUpper(rel.mdl.xv[t].v, 0)
+		}
+	}
+	for _, r := range rel.mdl.loadRow {
+		if r >= 0 {
+			be.SetRHS(r, T)
+		}
+	}
+	rel.be = be
+	return nil
 }
 
 // RoundStats reports diagnostic counters from one rounding run.
@@ -243,6 +529,13 @@ type Detail struct {
 	PureSchedule *core.Schedule
 	// Guesses is the number of LP feasibility tests performed.
 	Guesses int
+	// LPIterations is the total number of simplex pivots across every LP
+	// solved (the build at T=ub plus each warm re-solve) — the effort
+	// metric that makes LP-backend wins visible per run, not only in
+	// microbenchmarks.
+	LPIterations int
+	// LPBackend is the lp backend the run solved on ("dense", "sparse").
+	LPBackend string
 }
 
 // Schedule runs the full algorithm: binary search on the makespan guess T
@@ -272,12 +565,20 @@ func ScheduleDetailed(ctx context.Context, in *core.Instance, opt Options) (core
 		opt.Bounds.PublishUpper(ub) // the greedy schedule is feasible
 		opt.Bounds.PublishLower(vol)
 	}
+	// Build the LP relaxation once at the envelope T = ub; every guess of
+	// the binary search below re-solves it in place (mutated bounds and
+	// RHS, warm-started basis) instead of rebuilding problem and tableau.
+	rel, err := NewRelaxation(in, RelaxationConfig{Envelope: ub, Backend: lp.BackendKind(opt.LPBackend)})
+	if err != nil {
+		return core.Result{}, det, err
+	}
+	det.LPBackend = string(rel.Backend())
 	// Seed the pure-rounding record at T = ub, where the LP is feasible by
 	// construction (the greedy schedule is an integral witness); the binary
 	// search may otherwise reject every interior guess and leave no
 	// rounded schedule at all.
 	if ub > 0 && ctx.Err() == nil {
-		if f, err := SolveLP(in, ub); err == nil && f != nil {
+		if f, err := rel.ReSolve(ub); err == nil && f != nil {
 			sched, _ := Round(ctx, in, f, opt.C, opt.Rng)
 			det.PureMakespan, det.PureSchedule = sched.Makespan(in), sched
 			if opt.Bounds != nil {
@@ -286,9 +587,9 @@ func ScheduleDetailed(ctx context.Context, in *core.Instance, opt Options) (core
 		}
 	}
 	var solveErr error
-	out := dual.SearchWithBounds(ctx, in, 0, ub, opt.Precision, greedy, opt.Bounds, func(T float64) (*core.Schedule, bool) {
+	out := dual.SearchGuesses(ctx, in, 0, ub, opt.Precision, greedy, opt.Bounds, func(g dual.Guess) (*core.Schedule, bool) {
 		det.Guesses++
-		f, err := SolveLP(in, T)
+		f, err := rel.ReSolve(g.T)
 		if err != nil {
 			solveErr = err
 			return nil, true // abort ascent; error reported below
@@ -302,6 +603,7 @@ func ScheduleDetailed(ctx context.Context, in *core.Instance, opt Options) (core
 		}
 		return sched, true
 	})
+	det.LPIterations = rel.Iterations()
 	if solveErr != nil {
 		return core.Result{}, det, solveErr
 	}
@@ -319,5 +621,6 @@ func ScheduleDetailed(ctx context.Context, in *core.Instance, opt Options) (core
 		Makespan:   out.Makespan,
 		LowerBound: lb,
 		Note:       note,
+		LPIters:    int64(det.LPIterations),
 	}, det, nil
 }

@@ -146,6 +146,17 @@ func WithRoundingC(c0 int) SolveOption {
 	return func(c *solveConfig) { c.opt.RoundingC = c0 }
 }
 
+// WithLPBackend selects the LP solver backend for solvers that run LPs
+// (the randomized rounding's per-guess feasibility tests): "sparse" — the
+// warm-started sparse revised simplex, the default — or "dense", the
+// reference dense solver. This is the plug-in seam for future backends
+// (e.g. interior point); unknown names are reported as a solve error.
+// Result.LPIters exposes the per-run simplex effort for comparisons, and
+// `schedbench -engine -lp=dense|sparse` prints comparison rows.
+func WithLPBackend(kind string) SolveOption {
+	return func(c *solveConfig) { c.opt.LPBackend = kind }
+}
+
 // WithLocalSearch toggles the best-improvement descent post-pass on the
 // chosen schedule.
 func WithLocalSearch(on bool) SolveOption {
