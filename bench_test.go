@@ -199,6 +199,16 @@ func BenchmarkLPBackend(b *testing.B) {
 		}
 	}
 	in, ub, _ := roundingGuessSetup(b)
+	// The build phase alone: constructing the ILP-UM model (every AddVar /
+	// AddConstraint call) plus the backend's standard form, no solving. This
+	// is the phase the append-only coefficient-triplet Problem storage
+	// targets (AddConstraint previously built a per-row dedup map).
+	b.Run("build", func(b *testing.B) {
+		run(b, func() error {
+			_, err := rounding.NewRelaxation(in, rounding.RelaxationConfig{Envelope: ub})
+			return err
+		})
+	})
 	b.Run("legacy", func(b *testing.B) {
 		run(b, func() error {
 			f, err := rounding.SolveLP(in, ub)
@@ -219,6 +229,36 @@ func BenchmarkLPBackend(b *testing.B) {
 		})
 	}
 }
+
+// benchDualSearch runs the full randomized-rounding dual search (greedy
+// bootstrap, one relaxation build, warm per-guess LP re-solves, rounding)
+// at the M=10/N=100/K=8 reference shape with the given speculative search
+// parallelism. Seq vs SpecK isolates the pluggable-strategy win: fewer
+// serial search rounds, k concurrent LP re-solves on per-worker relaxation
+// clones. The wall-clock speedup requires spare cores (GOMAXPROCS > 1);
+// on a single-CPU runner speculation degrades to in-batch bisection and
+// should track Seq.
+func benchDualSearch(b *testing.B, workers int) {
+	in, _, _ := roundingGuessSetup(b)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		res, err := rounding.Schedule(context.Background(), in, rounding.Options{
+			Rng:           rand.New(rand.NewSource(1)),
+			SearchWorkers: workers,
+		})
+		if err != nil {
+			b.Fatal(err)
+		}
+		if res.Schedule == nil {
+			b.Fatal("no schedule")
+		}
+	}
+}
+
+func BenchmarkDualSearchSeq(b *testing.B)   { benchDualSearch(b, 1) }
+func BenchmarkDualSearchSpec2(b *testing.B) { benchDualSearch(b, 2) }
+func BenchmarkDualSearchSpec4(b *testing.B) { benchDualSearch(b, 4) }
 
 func BenchmarkRandomizedRoundingFull(b *testing.B) {
 	rng := rand.New(rand.NewSource(1))

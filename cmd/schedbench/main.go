@@ -11,12 +11,15 @@
 //	schedbench -engine            race every registered solver per environment
 //	schedbench -engine -timeout 2s -n 40 -m 6
 //	schedbench -engine -lp dense  pin the LP backend (compare against -lp sparse)
+//	schedbench -engine -search-workers 4   speculative parallel dual search
 //
 // The -engine mode generates one instance per machine environment and runs
 // every applicable registry solver plus the portfolio race on it, printing
 // per-solver makespans, runtimes and LP pivot counts (the lp-iters column;
 // see the -lp flag for backend comparison rows); -timeout bounds each run
-// with a context deadline.
+// with a context deadline; -search-workers evaluates that many makespan
+// guesses concurrently in every dual-approximation search (the sw column
+// shows the effective parallelism per solver).
 package main
 
 import (
@@ -29,6 +32,7 @@ import (
 
 	"repro"
 	"repro/internal/core"
+	"repro/internal/dual"
 	"repro/internal/experiments"
 	"repro/internal/gen"
 	"repro/internal/table"
@@ -48,6 +52,7 @@ func main() {
 		m       = flag.Int("m", 4, "engine mode: number of machines")
 		k       = flag.Int("k", 3, "engine mode: number of setup classes")
 		lpKind  = flag.String("lp", "", "engine mode: LP backend for the randomized rounding's feasibility LPs (dense|sparse; default sparse)")
+		sworker = flag.Int("search-workers", 0, "engine mode: speculative parallelism of dual-approximation searches (guesses evaluated concurrently; <2 = sequential bisection)")
 	)
 	flag.Parse()
 
@@ -58,7 +63,7 @@ func main() {
 			fmt.Printf("%-4s %s\n     claim: %s\n", e.ID, e.Name, e.Claim)
 		}
 	case *engMode:
-		if err := engineBench(*seed, *n, *m, *k, *timeout, *gap, *lpKind); err != nil {
+		if err := engineBench(*seed, *n, *m, *k, *timeout, *gap, *lpKind, *sworker); err != nil {
 			fmt.Fprintln(os.Stderr, "error:", err)
 			os.Exit(1)
 		}
@@ -101,14 +106,22 @@ func run(e experiments.Experiment, cfg experiments.Config) error {
 // registry, reporting makespans, lower-bound ratios, runtimes and — for the
 // portfolio — the time-to-incumbent: how far into the race the winning
 // makespan was published to the shared bound bus.
-func engineBench(seed int64, n, m, k int, timeout time.Duration, gap float64, lpKind string) error {
+func engineBench(seed int64, n, m, k int, timeout time.Duration, gap float64, lpKind string, sworkers int) error {
 	// Every row solves cold (WithoutWarmStart): the rows compare the
 	// algorithms, so a warm start from an earlier row's cached bounds would
 	// contaminate the measurement. The -lp flag pins the LP backend of the
 	// randomized-rounding solver (other solvers run no backend-selectable
 	// LPs); the lp-iters column makes backend wins visible in the table
-	// (pivot counts per run), not just in microbenchmarks.
-	eng, err := sched.New()
+	// (pivot counts per run), not just in microbenchmarks. -search-workers
+	// turns on the speculative parallel dual search (the sw column shows
+	// the effective parallelism per solver; "-" for solvers that run no
+	// guess search).
+	if sworkers < 1 {
+		sworkers = 1
+	}
+	// The engine clamps per-call search parallelism to its worker budget,
+	// so size the budget to honor the flag.
+	eng, err := sched.New(sched.WithWorkers(sworkers))
 	if err != nil {
 		return err
 	}
@@ -130,29 +143,31 @@ func engineBench(seed int64, n, m, k int, timeout time.Duration, gap float64, lp
 		if lpKind != "" {
 			title += fmt.Sprintf(" [lp=%s]", lpKind)
 		}
-		tab := table.New(title, "solver", "makespan", "ratio", "time", "lp-iters", "tti")
+		tab := table.New(title, "solver", "makespan", "ratio", "time", "lp-iters", "sw", "tti")
 		for _, name := range eng.Applicable(in) {
 			ctx, cancel := withTimeout(timeout)
 			start := time.Now()
 			res, err := eng.Solve(ctx, in,
-				sched.WithAlgorithm(name), sched.WithoutWarmStart(), sched.WithLPBackend(lpKind))
+				sched.WithAlgorithm(name), sched.WithoutWarmStart(),
+				sched.WithLPBackend(lpKind), sched.WithSearchWorkers(sworkers))
 			elapsed := time.Since(start)
 			cancel()
 			if err != nil {
-				tab.AddRow(name, "error", err.Error(), fmtDur(elapsed), "-", "-")
+				tab.AddRow(name, "error", err.Error(), fmtDur(elapsed), "-", "-", "-")
 				continue
 			}
 			tab.AddRow(name, fmt.Sprintf("%.0f", res.Makespan), fmt.Sprintf("%.3f", res.Ratio()),
-				fmtDur(elapsed), fmtIters(res.LPIters), "-")
+				fmtDur(elapsed), fmtIters(res.LPIters), fmtSearchWorkers(name, sworkers), "-")
 		}
 		ctx, cancel := withTimeout(timeout)
 		start := time.Now()
 		pr, err := eng.Portfolio(ctx, in,
-			sched.WithGap(gap), sched.WithoutWarmStart(), sched.WithLPBackend(lpKind))
+			sched.WithGap(gap), sched.WithoutWarmStart(),
+			sched.WithLPBackend(lpKind), sched.WithSearchWorkers(sworkers))
 		elapsed := time.Since(start)
 		cancel()
 		if err != nil {
-			tab.AddRow("portfolio", "error", err.Error(), fmtDur(elapsed), "-", "-")
+			tab.AddRow("portfolio", "error", err.Error(), fmtDur(elapsed), "-", "-", "-")
 		} else {
 			tti := "-"
 			for _, o := range pr.Outcomes {
@@ -165,7 +180,7 @@ func engineBench(seed int64, n, m, k int, timeout time.Duration, gap float64, lp
 				name += " (gap hit)"
 			}
 			tab.AddRow(name, fmt.Sprintf("%.0f", pr.Best.Makespan), fmt.Sprintf("%.3f", pr.Best.Ratio()),
-				fmtDur(elapsed), fmtIters(pr.Best.LPIters), tti)
+				fmtDur(elapsed), fmtIters(pr.Best.LPIters), fmtSearchWorkers(pr.Winner, sworkers), tti)
 		}
 		fmt.Println(tab.String())
 	}
@@ -189,4 +204,23 @@ func fmtIters(n int64) string {
 		return "-"
 	}
 	return fmt.Sprintf("%d", n)
+}
+
+// dualSearchSolvers names the registry solvers that run a dual-approximation
+// guess search (and therefore honor -search-workers).
+var dualSearchSolvers = map[string]bool{
+	sched.AlgoPTAS:     true,
+	sched.AlgoRounding: true,
+	sched.AlgoRA2:      true,
+	sched.AlgoPT3:      true,
+}
+
+// fmtSearchWorkers renders the effective speculative search parallelism of
+// a solver row — the requested width clamped to what the runtime can
+// overlap — dashing out solvers without a guess search.
+func fmtSearchWorkers(solver string, n int) string {
+	if !dualSearchSolvers[solver] {
+		return "-"
+	}
+	return fmt.Sprintf("%d", dual.EffectiveParallelism(n))
 }

@@ -254,6 +254,13 @@ func (e *Engine) begin(ctx context.Context, in *Instance, cfg solveConfig) solve
 		s.base.PublishLower(s.cached.Lower)
 	}
 	s.opt = cfg.opt
+	// The engine's worker budget (WithWorkers) caps the speculative search
+	// parallelism of each individual solve. Concurrent solves multiply: a
+	// portfolio's racing members (and a batch's workers) each get their own
+	// search-worker allowance — see WithSearchWorkers for sizing guidance.
+	if s.opt.SearchWorkers > e.workers {
+		s.opt.SearchWorkers = e.workers
+	}
 	s.opt.Bounds = s.base
 	if tapped {
 		s.opt.Bounds = engine.NewEventBus(s.base, s.fp, func(ev Event) { e.broadcast(ev, cfg.events) })

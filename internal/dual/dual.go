@@ -2,12 +2,18 @@
 // (Section 1.1.1 of the paper): given a decision procedure that, for a
 // makespan guess T, either produces a schedule with makespan at most α·T or
 // correctly reports that no schedule with makespan T exists, a
-// multiplicative binary search over T yields an α(1+δ)-approximation.
+// multiplicative search over T yields an α(1+δ)-approximation.
+//
+// How the search picks guesses is pluggable (Strategy): Bisect is the
+// classic sequential binary search, Speculate(k) evaluates k guesses of the
+// bracket concurrently on a worker pool — speculative parallelism that
+// trades redundant decider work for wall-clock latency. Search,
+// SearchWithBounds and SearchGuesses are thin wrappers over the shared
+// strategy runner (Run).
 package dual
 
 import (
 	"context"
-	"math"
 
 	"repro/internal/core"
 )
@@ -28,12 +34,23 @@ type Decider func(T float64) (*core.Schedule, bool)
 type Guess struct {
 	// T is the makespan guess to decide.
 	T float64
-	// Index is the 0-based ordinal of this decider invocation (guesses
-	// skipped via a shared incumbent do not count).
+	// Index is the 0-based ordinal of this decider invocation across the
+	// whole search (guesses skipped via a shared incumbent do not count).
+	// Under a parallel strategy ordinals are assigned in launch order, so
+	// concurrent invocations carry distinct indices but may complete out
+	// of order.
 	Index int
-	// Lo and Hi are the current search bracket: every remaining guess lies
-	// in [Lo, Hi], and T itself is their geometric mean.
+	// Lo and Hi are the search bracket the guess was proposed from: every
+	// remaining guess lies in [Lo, Hi]. Under Bisect, T is their geometric
+	// mean; parallel strategies propose several interior points per round.
 	Lo, Hi float64
+	// Ctx is the evaluation's context. It is cancelled when the guess
+	// becomes irrelevant — a concurrently evaluated guess already moved
+	// the bracket past it — or when the whole search is stopped, so
+	// deciders that loop internally should observe it instead of the
+	// search-level context. A rejection returned after Ctx was cancelled
+	// is treated as interrupted (not a certificate) and discarded.
+	Ctx context.Context
 }
 
 // GuessDecider is a Decider that receives the full Guess handle instead of
@@ -92,10 +109,11 @@ func Search(ctx context.Context, in *core.Instance, lb, ub, precision float64, f
 //     already a witness that a schedule with that makespan exists
 //     (Outcome.Skipped counts these);
 //   - the search floor is raised to the bus's certified lower bound before
-//     every guess, so refutations by concurrent racers narrow this search;
-//   - every rejected guess is published as a certified lower bound, and the
-//     makespan of every schedule a guess produces is published as an
-//     incumbent the moment it appears, not only at return.
+//     every round, so refutations by concurrent racers narrow this search;
+//   - every committed rejected guess is published as a certified lower
+//     bound, and the makespan of every schedule a guess produces is
+//     published as an incumbent the moment its round commits, not only at
+//     return.
 //
 // Deciders whose rejections are not certificates (e.g. a node-capped
 // dynamic program) must wrap the bus to suppress PublishLower for those
@@ -112,65 +130,22 @@ func SearchWithBounds(ctx context.Context, in *core.Instance, lb, ub, precision 
 // once at the envelope and cheaply re-solve it for every subsequent guess
 // (the randomized-rounding LP relaxation does exactly this).
 func SearchGuesses(ctx context.Context, in *core.Instance, lb, ub, precision float64, fallback *core.Schedule, bus core.BoundBus, decide GuessDecider) Outcome {
-	out := Outcome{LowerBound: lb, Makespan: math.Inf(1)}
-	if fallback != nil {
-		out.Schedule = fallback
-		out.Makespan = fallback.Makespan(in)
-	}
-	if ub <= 0 {
-		// Zero-makespan instance (all sizes 0): any complete feasible
-		// assignment achieves 0; the fallback already is one.
-		return out
-	}
-	if precision <= 0 {
-		precision = 0.05
-	}
+	return Run(ctx, Config{
+		Instance:  in,
+		Lower:     lb,
+		Upper:     ub,
+		Precision: precision,
+		Fallback:  fallback,
+		Bus:       bus,
+		Deciders:  []GuessDecider{decide},
+	})
+}
+
+// searchFloor raises a lower bracket edge to keep the geometric search
+// well-defined when the caller passes lb = 0 (or absurdly small).
+func searchFloor(lb, ub float64) float64 {
 	if lb < ub*1e-9 || lb <= 0 {
-		lb = ub * 1e-9
+		return ub * 1e-9
 	}
-	lo, hi := lb, ub
-	for hi/lo > 1+precision {
-		if err := ctx.Err(); err != nil {
-			out.Err = err
-			return out
-		}
-		if bus != nil {
-			if l := bus.Lower(); l > lo {
-				lo = l
-				if l > out.LowerBound {
-					out.LowerBound = l
-				}
-				continue
-			}
-		}
-		mid := math.Sqrt(lo * hi)
-		if bus != nil && mid >= bus.Upper() {
-			out.Skipped++
-			hi = mid
-			continue
-		}
-		g := Guess{T: mid, Index: out.Guesses, Lo: lo, Hi: hi}
-		out.Guesses++
-		if sched, ok := decide(g); ok {
-			if sched != nil {
-				ms := sched.Makespan(in)
-				if ms < out.Makespan {
-					out.Schedule, out.Makespan = sched, ms
-				}
-				if bus != nil {
-					bus.PublishUpper(ms)
-				}
-			}
-			hi = mid
-		} else {
-			lo = mid
-			if mid > out.LowerBound {
-				out.LowerBound = mid
-			}
-			if bus != nil {
-				bus.PublishLower(mid)
-			}
-		}
-	}
-	return out
+	return lb
 }

@@ -1,0 +1,434 @@
+package dual
+
+import (
+	"context"
+	"fmt"
+	"math"
+	"runtime"
+	"sync"
+
+	"repro/internal/core"
+)
+
+// Strategy proposes the makespan guesses a dual-approximation search
+// evaluates next, given the live bracket. It owns the search's shape —
+// how many guesses per round and where they sit — while the runner owns
+// the verdict bookkeeping (bracket commits, bound-bus exchange,
+// cancellation of irrelevant in-flight work).
+type Strategy interface {
+	// Name identifies the strategy in diagnostics.
+	Name() string
+	// Parallelism is the number of guesses the strategy wants evaluated
+	// concurrently. The runner caps it at the number of deciders it was
+	// given (and degrades gracefully to sequential evaluation of the
+	// proposed batch when only one decider is available).
+	Parallelism() int
+	// Propose writes the next round of guesses for the open bracket
+	// (lo, hi) into dst (reusing its storage) and returns it. Guesses
+	// must be strictly inside the bracket and ascending.
+	Propose(lo, hi float64, dst []float64) []float64
+}
+
+// Bisect is the sequential multiplicative bisection strategy, the default:
+// one guess per round at the geometric mean of the bracket. It reproduces
+// the classic Hochbaum–Shmoys binary search exactly.
+type Bisect struct{}
+
+// Name implements Strategy.
+func (Bisect) Name() string { return "bisect" }
+
+// Parallelism implements Strategy: bisection is inherently sequential.
+func (Bisect) Parallelism() int { return 1 }
+
+// Propose implements Strategy: the geometric mean of the bracket.
+func (Bisect) Propose(lo, hi float64, dst []float64) []float64 {
+	return append(dst[:0], math.Sqrt(lo*hi))
+}
+
+// Speculate returns the speculative parallel strategy: every round
+// proposes k guesses splitting the bracket into k+1 geometrically equal
+// segments and evaluates them concurrently, one worker per decider. After
+// the round, the lowest accepted guess becomes the new upper edge and the
+// highest rejected guess below it the new lower edge, so each round shrinks
+// the bracket to a (k+1)-th of its (logarithmic) width — fewer serial
+// rounds than bisection at the price of redundant decider work, which is
+// exactly the portfolio-racing trade. Guesses made irrelevant by a
+// concurrent verdict (above an accepted guess, below a rejected one) are
+// cancelled through their Guess.Ctx while still in flight.
+//
+// For a decider whose rejections are certificates (monotone, as the dual
+// approximation framework requires), the committed bracket trajectory is
+// consistent with sequential bisection: the same accept/reject verdict
+// would be reached at every committed edge, and the final makespan agrees
+// within the search precision. Speculate(1) is equivalent to Bisect.
+//
+// The wall-clock win requires spare parallelism: when the process runs on
+// a single P (GOMAXPROCS=1) the runner evaluates each round's batch
+// sequentially in bisection order, dropping guesses implied by earlier
+// verdicts, which costs no more evaluations than Bisect for the same
+// bracket shrink.
+func Speculate(k int) Strategy {
+	if k <= 1 {
+		// One guess per round at the geometric mean IS bisection; returning
+		// Bisect keeps diagnostics honest and lets callers pass a computed
+		// width (e.g. EffectiveParallelism's result) unconditionally.
+		return Bisect{}
+	}
+	return speculate{k: k}
+}
+
+type speculate struct{ k int }
+
+func (s speculate) Name() string     { return fmt.Sprintf("speculate(%d)", s.k) }
+func (s speculate) Parallelism() int { return s.k }
+
+func (s speculate) Propose(lo, hi float64, dst []float64) []float64 {
+	dst = dst[:0]
+	step := math.Pow(hi/lo, 1/float64(s.k+1))
+	t := lo
+	for i := 0; i < s.k; i++ {
+		t *= step
+		if t > lo && t < hi && (len(dst) == 0 || t > dst[len(dst)-1]) {
+			dst = append(dst, t)
+		}
+	}
+	if len(dst) == 0 {
+		// The bracket is too narrow for interior quantiles to separate
+		// numerically; fall back to the geometric mean.
+		if m := math.Sqrt(lo * hi); m > lo && m < hi {
+			dst = append(dst, m)
+		}
+	}
+	return dst
+}
+
+// EffectiveParallelism caps a requested speculative search width at what
+// the runtime can actually overlap (GOMAXPROCS): CPU-bound guess
+// evaluations beyond the P count only time-slice, paying redundant decider
+// work for no latency — and a wider batch at fixed worker count shrinks
+// the bracket less per serial solve than a narrower one, so clamping the
+// width itself (not just the worker pool) is what keeps speculation from
+// ever pessimizing an under-provisioned box. Callers size their per-worker
+// warm-start state (relaxation clones, rng streams) from the result; at 1
+// the search is plain sequential bisection. Callers that want the
+// concurrent machinery on a single CPU (tests, latency-bound deciders)
+// raise GOMAXPROCS first.
+func EffectiveParallelism(k int) int {
+	if p := runtime.GOMAXPROCS(0); k > p {
+		k = p
+	}
+	if k < 1 {
+		k = 1
+	}
+	return k
+}
+
+// Config parameterizes Run, the strategy-driven search runner that Search,
+// SearchWithBounds and SearchGuesses are thin wrappers over.
+type Config struct {
+	// Instance evaluates the makespans of schedules the deciders return.
+	Instance *core.Instance
+	// Lower and Upper bracket the search; see Search for their contract.
+	Lower, Upper float64
+	// Precision is the relative gap at which the search stops (default
+	// 0.05).
+	Precision float64
+	// Fallback seeds the outcome with a known-feasible schedule (may be
+	// nil).
+	Fallback *core.Schedule
+	// Bus connects the search to a live bound exchange (may be nil); see
+	// SearchWithBounds for the exchange semantics.
+	Bus core.BoundBus
+	// Strategy proposes the guesses; nil means Bisect{}.
+	Strategy Strategy
+	// Deciders are the per-worker decision procedures. Worker w only ever
+	// invokes Deciders[w], so each decider needs no internal locking as
+	// long as distinct deciders share no mutable state (warm-start
+	// carriers pass one independent clone per slot; see
+	// rounding.Relaxation.Clone). Passing the same concurrency-safe
+	// decider value in several slots is fine. At least one decider is
+	// required; the effective parallelism is
+	// min(Strategy.Parallelism(), len(Deciders)).
+	Deciders []GuessDecider
+}
+
+// Run executes a dual-approximation search shaped by cfg.Strategy. Every
+// round it proposes a batch of guesses, skips the suffix at or above the
+// live incumbent, evaluates the rest (concurrently when the strategy and
+// decider count allow), and commits the lowest accepted and highest
+// rejected guesses as the new bracket. The loop invariant matches
+// sequential bisection: the bracket's lower edge only ever carries
+// committed rejections (certified lower bounds) and its upper edge only
+// accepted witnesses, so the two strategies agree on the threshold within
+// precision.
+func Run(ctx context.Context, cfg Config) Outcome {
+	in := cfg.Instance
+	out := Outcome{LowerBound: cfg.Lower, Makespan: math.Inf(1)}
+	if cfg.Fallback != nil {
+		out.Schedule = cfg.Fallback
+		out.Makespan = cfg.Fallback.Makespan(in)
+	}
+	if cfg.Upper <= 0 {
+		// Zero-makespan instance (all sizes 0): any complete feasible
+		// assignment achieves 0; the fallback already is one.
+		return out
+	}
+	if len(cfg.Deciders) == 0 {
+		panic("dual: Run needs at least one decider")
+	}
+	precision := cfg.Precision
+	if precision <= 0 {
+		precision = 0.05
+	}
+	strat := cfg.Strategy
+	if strat == nil {
+		strat = Bisect{}
+	}
+	workers := strat.Parallelism()
+	if workers > len(cfg.Deciders) {
+		workers = len(cfg.Deciders)
+	}
+	if workers < 1 {
+		workers = 1
+	}
+	r := &runner{in: in, bus: cfg.Bus, deciders: cfg.Deciders, workers: workers, out: &out}
+	lo := searchFloor(cfg.Lower, cfg.Upper)
+	hi := cfg.Upper
+	var buf []float64
+	for hi/lo > 1+precision {
+		if err := ctx.Err(); err != nil {
+			out.Err = err
+			return out
+		}
+		if r.bus != nil {
+			if l := r.bus.Lower(); l > lo {
+				// A concurrent racer certified a higher floor.
+				lo = l
+				if l > out.LowerBound {
+					out.LowerBound = l
+				}
+				continue
+			}
+		}
+		buf = strat.Propose(lo, hi, buf)
+		guesses := buf
+		if len(guesses) == 0 {
+			return out // bracket numerically exhausted
+		}
+		// Guesses at or above the live incumbent are accepted without
+		// evaluation — the incumbent schedule is already a witness. They
+		// form a suffix of the ascending batch.
+		if r.bus != nil {
+			up := r.bus.Upper()
+			for len(guesses) > 0 && guesses[len(guesses)-1] >= up {
+				out.Skipped++
+				hi = guesses[len(guesses)-1]
+				guesses = guesses[:len(guesses)-1]
+			}
+		}
+		if len(guesses) == 0 {
+			continue
+		}
+		lo, hi = r.round(ctx, guesses, lo, hi)
+	}
+	return out
+}
+
+// runner carries the per-search state shared by the rounds.
+type runner struct {
+	in       *core.Instance
+	bus      core.BoundBus
+	deciders []GuessDecider
+	workers  int
+	out      *Outcome
+}
+
+// verdict is one guess's recorded outcome within a round. Guesses whose
+// evaluation was skipped (made irrelevant by an earlier verdict) or
+// interrupted stay !done and do not participate in the commit.
+type verdict struct {
+	t     float64
+	sched *core.Schedule
+	ok    bool
+	done  bool
+}
+
+// roundState is the live view of one concurrent round: the bracket edges
+// implied by the verdicts recorded so far, and the cancel handles of the
+// in-flight evaluations, so a verdict can cancel the guesses it obsoletes.
+type roundState struct {
+	mu             sync.Mutex
+	loEdge, hiEdge float64
+	cancels        []context.CancelFunc
+	launched       int
+}
+
+// round evaluates one proposed batch and returns the committed bracket.
+func (r *runner) round(ctx context.Context, guesses []float64, lo, hi float64) (float64, float64) {
+	n := len(guesses)
+	vs := make([]verdict, n)
+	order := bisectOrder(n)
+	st := &roundState{loEdge: lo, hiEdge: hi, cancels: make([]context.CancelFunc, n)}
+	workers := r.workers
+	if workers > n {
+		workers = n
+	}
+	if p := runtime.GOMAXPROCS(0); workers > p {
+		// CPU-bound decider evaluations beyond the P count cannot overlap:
+		// extra goroutines would only time-slice cores, paying for every
+		// guess of the batch. At the single-P extreme the sequential path
+		// below evaluates midpoint-first and drops verdict-implied guesses,
+		// which is never more evaluations than bisection needs for the same
+		// bracket shrink — so a speculative strategy degrades to (at worst)
+		// bisection parity instead of a k-fold slowdown. Callers that need
+		// the concurrent path on one CPU (e.g. deciders that block on
+		// Guess.Ctx) must raise GOMAXPROCS.
+		workers = p
+	}
+	if workers == 1 {
+		// Sequential evaluation of the batch, midpoint-first: each verdict
+		// commits immediately and drops the guesses it obsoletes, so a
+		// degraded (single-decider) Speculate performs an in-batch binary
+		// search rather than a linear scan.
+		for _, i := range order {
+			r.eval(ctx, st, vs, guesses, i, lo, hi, r.deciders[0])
+			if ctx.Err() != nil {
+				break
+			}
+		}
+	} else {
+		queue := make(chan int)
+		var wg sync.WaitGroup
+		for w := 0; w < workers; w++ {
+			wg.Add(1)
+			go func(decide GuessDecider) {
+				defer wg.Done()
+				for i := range queue {
+					r.eval(ctx, st, vs, guesses, i, lo, hi, decide)
+				}
+			}(r.deciders[w])
+		}
+		for _, i := range order {
+			queue <- i
+		}
+		close(queue)
+		wg.Wait()
+	}
+	r.out.Guesses += st.launched
+	return r.commit(vs, lo, hi)
+}
+
+// eval runs one guess through a decider, records its verdict and cancels
+// the in-flight guesses the verdict obsoletes. Guesses already outside the
+// live edges are skipped without invoking the decider; rejections returned
+// after the guess's context was cancelled are discarded as interrupted
+// (they are suspicions, not certificates).
+func (r *runner) eval(ctx context.Context, st *roundState, vs []verdict, guesses []float64, i int, lo, hi float64, decide GuessDecider) {
+	t := guesses[i]
+	st.mu.Lock()
+	if t <= st.loEdge || t >= st.hiEdge || ctx.Err() != nil {
+		st.mu.Unlock()
+		return
+	}
+	gctx, cancel := context.WithCancel(ctx)
+	st.cancels[i] = cancel
+	g := Guess{T: t, Index: r.out.Guesses + st.launched, Lo: lo, Hi: hi, Ctx: gctx}
+	st.launched++
+	st.mu.Unlock()
+
+	sched, ok := decide(g)
+
+	st.mu.Lock()
+	st.cancels[i] = nil
+	interrupted := gctx.Err() != nil
+	if interrupted && !ok {
+		st.mu.Unlock()
+		cancel()
+		return
+	}
+	vs[i] = verdict{t: t, sched: sched, ok: ok, done: true}
+	if ok {
+		if t < st.hiEdge {
+			st.hiEdge = t
+			for j, c := range st.cancels {
+				if c != nil && guesses[j] >= t {
+					c() // now irrelevant: at or above an accepted guess
+				}
+			}
+		}
+	} else if t > st.loEdge {
+		st.loEdge = t
+		for j, c := range st.cancels {
+			if c != nil && guesses[j] <= t {
+				c() // now irrelevant: at or below a certified rejection
+			}
+		}
+	}
+	st.mu.Unlock()
+	cancel()
+}
+
+// commit folds a round's verdicts into the outcome and returns the new
+// bracket: the lowest accepted guess caps the upper edge, the highest
+// rejected guess below it raises the lower edge. Every accepted schedule
+// is recorded and published (even one above the new upper edge — it is a
+// genuine witness); rejections at or above the new upper edge are
+// discarded unpublished, since an accept below them means the rejection
+// cannot be a sound certificate.
+func (r *runner) commit(vs []verdict, lo, hi float64) (float64, float64) {
+	newLo, newHi := lo, hi
+	for i := range vs {
+		if v := &vs[i]; v.done && v.ok && v.t < newHi {
+			newHi = v.t
+		}
+	}
+	for i := range vs {
+		v := &vs[i]
+		if !v.done {
+			continue
+		}
+		if v.ok {
+			if v.sched != nil {
+				ms := v.sched.Makespan(r.in)
+				if ms < r.out.Makespan {
+					r.out.Schedule, r.out.Makespan = v.sched, ms
+				}
+				if r.bus != nil {
+					r.bus.PublishUpper(ms)
+				}
+			}
+		} else if v.t < newHi {
+			if v.t > newLo {
+				newLo = v.t
+			}
+			if v.t > r.out.LowerBound {
+				r.out.LowerBound = v.t
+			}
+			if r.bus != nil {
+				r.bus.PublishLower(v.t)
+			}
+		}
+	}
+	return newLo, newHi
+}
+
+// bisectOrder returns the indices 0..n-1 midpoint-first (breadth-first
+// binary subdivision), so the most informative guesses of a batch are
+// evaluated or launched first.
+func bisectOrder(n int) []int {
+	order := make([]int, 0, n)
+	type span struct{ a, b int }
+	queue := make([]span, 0, n)
+	queue = append(queue, span{0, n - 1})
+	for len(queue) > 0 {
+		s := queue[0]
+		queue = queue[1:]
+		if s.a > s.b {
+			continue
+		}
+		mid := (s.a + s.b + 1) / 2
+		order = append(order, mid)
+		queue = append(queue, span{s.a, mid - 1}, span{mid + 1, s.b})
+	}
+	return order
+}

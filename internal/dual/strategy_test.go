@@ -1,0 +1,383 @@
+package dual
+
+import (
+	"context"
+	"math"
+	"math/rand"
+	"sync"
+	"sync/atomic"
+	"testing"
+
+	"repro/internal/boundtest"
+	"repro/internal/core"
+	"repro/internal/testutil"
+)
+
+// thresholdDecider builds the canonical monotone decision procedure: accept
+// exactly at or above theta, returning the given witness schedule.
+func thresholdDecider(theta float64, witness *core.Schedule) GuessDecider {
+	return func(g Guess) (*core.Schedule, bool) {
+		if g.T >= theta {
+			return witness, true
+		}
+		return nil, false
+	}
+}
+
+// runStrategy searches [lb, ub] with the given strategy and k copies of a
+// concurrency-safe decider.
+func runStrategy(t *testing.T, in *core.Instance, strat Strategy, k int, lb, ub, prec float64, decide GuessDecider) Outcome {
+	t.Helper()
+	deciders := make([]GuessDecider, k)
+	for i := range deciders {
+		deciders[i] = decide
+	}
+	return Run(context.Background(), Config{
+		Instance:  in,
+		Lower:     lb,
+		Upper:     ub,
+		Precision: prec,
+		Strategy:  strat,
+		Deciders:  deciders,
+	})
+}
+
+// TestSpeculateMatchesBisectOnRandomThresholds is the differential core of
+// the verdict-equivalence contract: over a corpus of random monotone
+// threshold deciders, Speculate(k) must locate the same threshold as
+// sequential Bisect — the accepted makespan and the certified lower bound of
+// both searches must straddle theta within the search precision.
+func TestSpeculateMatchesBisectOnRandomThresholds(t *testing.T) {
+	testutil.ForceParallel(t)
+	in, err := core.NewIdentical([]float64{4, 4}, []int{0, 1}, []float64{1, 1}, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	witness := &core.Schedule{Assign: []int{0, 1}} // makespan 5 under in
+	rng := rand.New(rand.NewSource(7))
+	const prec = 0.01
+	for trial := 0; trial < 60; trial++ {
+		ub := 10 + rng.Float64()*1000
+		lb := ub * rng.Float64() * 0.1
+		theta := lb + (ub-lb)*(0.05+0.9*rng.Float64())
+		for _, k := range []int{2, 4, 7} {
+			seq := runStrategy(t, in, Bisect{}, 1, lb, ub, prec, thresholdDecider(theta, witness))
+			spec := runStrategy(t, in, Speculate(k), k, lb, ub, prec, thresholdDecider(theta, witness))
+			for name, out := range map[string]Outcome{"bisect": seq, "speculate": spec} {
+				if out.Err != nil {
+					t.Fatalf("trial %d %s(k=%d): unexpected error %v", trial, name, k, out.Err)
+				}
+				if out.Schedule != witness {
+					t.Fatalf("trial %d %s(k=%d): threshold %g in [%g, %g] not reached (schedule %v)",
+						trial, name, k, theta, lb, ub, out.Schedule)
+				}
+				// The certified lower bound must sit just below theta: a
+				// rejected guess above theta would be an unsound verdict,
+				// and a bound further than one precision step below theta
+				// means the search stopped early.
+				if out.LowerBound >= theta {
+					t.Fatalf("trial %d %s(k=%d): lower bound %g at or above threshold %g",
+						trial, name, k, out.LowerBound, theta)
+				}
+			}
+			// Makespan equivalence: both searches return the witness, so
+			// compare their certified brackets instead — they must agree on
+			// theta within the combined precision.
+			if seq.LowerBound > 0 && spec.LowerBound > 0 {
+				ratio := seq.LowerBound / spec.LowerBound
+				if ratio < 1/(1+prec)/(1+prec) || ratio > (1+prec)*(1+prec) {
+					t.Fatalf("trial %d k=%d: bisect lower %g vs speculate lower %g diverge beyond precision",
+						trial, k, seq.LowerBound, spec.LowerBound)
+				}
+			}
+		}
+	}
+}
+
+// TestSpeculateFewerRoundsThanBisect checks the latency model: with k
+// workers each round shrinks the log-bracket by a factor k+1 instead of 2,
+// so the number of serial rounds (batches) drops even though total guesses
+// rise. Rounds are observed via the per-round bracket handle.
+func TestSpeculateFewerRoundsThanBisect(t *testing.T) {
+	testutil.ForceParallel(t)
+	in, err := core.NewIdentical([]float64{4, 4}, []int{0, 1}, []float64{1, 1}, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	witness := &core.Schedule{Assign: []int{0, 1}}
+	countRounds := func(strat Strategy, k int) int {
+		var mu sync.Mutex
+		brackets := map[[2]float64]bool{}
+		decide := func(g Guess) (*core.Schedule, bool) {
+			mu.Lock()
+			brackets[[2]float64{g.Lo, g.Hi}] = true
+			mu.Unlock()
+			if g.T >= 300 {
+				return witness, true
+			}
+			return nil, false
+		}
+		out := runStrategy(t, in, strat, k, 1, 1000, 0.02, decide)
+		if out.Err != nil {
+			t.Fatal(out.Err)
+		}
+		return len(brackets)
+	}
+	seqRounds := countRounds(Bisect{}, 1)
+	specRounds := countRounds(Speculate(4), 4)
+	if specRounds >= seqRounds {
+		t.Errorf("speculate(4) used %d rounds, want fewer than bisect's %d", specRounds, seqRounds)
+	}
+}
+
+// TestSpeculateDegradesWithFewerDeciders: a Speculate(4) with a single
+// decider slot must degrade to sequential evaluation (in-batch bisection
+// order), still terminating with an equivalent verdict.
+func TestSpeculateDegradesWithFewerDeciders(t *testing.T) {
+	in, err := core.NewIdentical([]float64{4, 4}, []int{0, 1}, []float64{1, 1}, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	witness := &core.Schedule{Assign: []int{0, 1}}
+	out := Run(context.Background(), Config{
+		Instance:  in,
+		Lower:     1,
+		Upper:     1000,
+		Precision: 0.01,
+		Strategy:  Speculate(4),
+		Deciders:  []GuessDecider{thresholdDecider(250, witness)},
+	})
+	if out.Err != nil || out.Schedule != witness {
+		t.Fatalf("degraded speculate failed: err=%v schedule=%v", out.Err, out.Schedule)
+	}
+	if out.LowerBound >= 250 || out.LowerBound < 250/1.03 {
+		t.Errorf("lower bound %g, want just below 250", out.LowerBound)
+	}
+}
+
+// TestSpeculateCancelsIrrelevantInFlightGuesses: when a low guess is
+// accepted, the concurrently running higher guesses become irrelevant and
+// must be cancelled through their Guess.Ctx rather than run to completion.
+func TestSpeculateCancelsIrrelevantInFlightGuesses(t *testing.T) {
+	testutil.ForceParallel(t)
+	in, err := core.NewIdentical([]float64{4, 4}, []int{0, 1}, []float64{1, 1}, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	witness := &core.Schedule{Assign: []int{0, 1}}
+	var cancelled atomic.Int64
+	// The first round over [1, 1000] proposes ≈5.6, 31.6, 178: the two high
+	// guesses announce themselves and block until cancelled; the low guess
+	// waits for both to be in flight before accepting, so its verdict must
+	// cancel them (not merely drop them pre-launch).
+	highStarted := make(chan struct{}, 2)
+	decide := func(g Guess) (*core.Schedule, bool) {
+		if g.Index < 3 { // first round only
+			if g.T >= 6 {
+				highStarted <- struct{}{}
+				<-g.Ctx.Done()
+				cancelled.Add(1)
+				return nil, false // interrupted rejection: must be discarded
+			}
+			<-highStarted
+			<-highStarted
+			return witness, true
+		}
+		// Later rounds: plain threshold at 6 (the bracket is below it).
+		if g.T < 6 {
+			return witness, true
+		}
+		return nil, false
+	}
+	deciders := []GuessDecider{decide, decide, decide}
+	out := Run(context.Background(), Config{
+		Instance: in, Lower: 1, Upper: 1000, Precision: 0.5,
+		Strategy: Speculate(3), Deciders: deciders,
+	})
+	if out.Err != nil {
+		t.Fatalf("unexpected error: %v", out.Err)
+	}
+	if out.Schedule != witness {
+		t.Fatal("accepted witness lost")
+	}
+	if cancelled.Load() == 0 {
+		t.Error("no in-flight guess was cancelled despite an accepted lower guess")
+	}
+	// The blocked deciders returned rejections after cancellation; those are
+	// interrupted verdicts and must not have raised the certified bound.
+	if out.LowerBound > 2 {
+		t.Errorf("lower bound %g was raised by an interrupted rejection", out.LowerBound)
+	}
+}
+
+// TestRunMidSearchCancellation: cancelling the search context while a round
+// is in flight stops the search promptly, reports the context error, and
+// keeps the best schedule seen so far.
+func TestRunMidSearchCancellation(t *testing.T) {
+	testutil.ForceParallel(t)
+	in, err := core.NewIdentical([]float64{4, 4}, []int{0, 1}, []float64{1, 1}, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fallback := &core.Schedule{Assign: []int{0, 0}}
+	ctx, cancel := context.WithCancel(context.Background())
+	var calls atomic.Int64
+	decide := func(g Guess) (*core.Schedule, bool) {
+		if calls.Add(1) == 2 {
+			cancel() // kill the search from inside the second evaluation
+		}
+		<-g.Ctx.Done()
+		return nil, false
+	}
+	out := Run(ctx, Config{
+		Instance: in, Lower: 1, Upper: 1000, Precision: 0.01,
+		Fallback: fallback,
+		Strategy: Speculate(2), Deciders: []GuessDecider{decide, decide},
+	})
+	if out.Err == nil {
+		t.Fatal("cancelled search reported no error")
+	}
+	if out.Schedule != fallback {
+		t.Error("fallback schedule lost on cancellation")
+	}
+	// Every rejection was interrupted: the certified bound must still be
+	// the initial floor.
+	if out.LowerBound != 1 {
+		t.Errorf("lower bound %g, want untouched initial 1", out.LowerBound)
+	}
+}
+
+// TestSpeculateSkipsGuessesAboveIncumbent mirrors the sequential incumbent
+// short-circuit: proposed guesses at or above the live incumbent are
+// accepted without evaluation and counted in Skipped.
+func TestSpeculateSkipsGuessesAboveIncumbent(t *testing.T) {
+	testutil.ForceParallel(t)
+	in, err := core.NewIdentical([]float64{4, 4}, []int{0, 1}, []float64{1, 1}, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	bus := boundtest.New()
+	bus.U = 5
+	bus.L = 4.9
+	var evaluated atomic.Int64
+	decide := func(g Guess) (*core.Schedule, bool) {
+		evaluated.Add(1)
+		if g.T >= 5 {
+			t.Errorf("decider invoked at T=%v despite incumbent 5", g.T)
+		}
+		return nil, false
+	}
+	out := Run(context.Background(), Config{
+		Instance: in, Lower: 1, Upper: 100, Precision: 0.01,
+		Bus:      bus,
+		Strategy: Speculate(3), Deciders: []GuessDecider{decide, decide, decide},
+	})
+	if out.Skipped == 0 {
+		t.Error("no guesses skipped against the incumbent")
+	}
+	if out.LowerBound < 4.9 {
+		t.Errorf("foreign lower bound not consumed: %g", out.LowerBound)
+	}
+	if evaluated.Load() > 6 {
+		t.Errorf("%d deciders ran inside [4.9, 5] at precision 0.01, want at most a few", evaluated.Load())
+	}
+}
+
+// TestCommitResolvesNonMonotoneConflict: if a decider accepts a low guess
+// and rejects a higher one within the same round (impossible for certified
+// monotone deciders, possible for capped ones), the accept wins — it is a
+// constructive witness — and the conflicting rejection is discarded without
+// being published.
+func TestCommitResolvesNonMonotoneConflict(t *testing.T) {
+	testutil.ForceParallel(t)
+	in, err := core.NewIdentical([]float64{4, 4}, []int{0, 1}, []float64{1, 1}, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	witness := &core.Schedule{Assign: []int{0, 1}}
+	bus := boundtest.New()
+	var mu sync.Mutex
+	started := make(chan struct{}, 16)
+	release := make(chan struct{})
+	var once sync.Once
+	decide := func(g Guess) (*core.Schedule, bool) {
+		// Hold every evaluation of the first round until both guesses are
+		// in flight, so neither verdict can cancel the other's start.
+		mu.Lock()
+		first := g.Index < 2
+		mu.Unlock()
+		if first {
+			started <- struct{}{}
+			once.Do(func() {
+				<-started
+				<-started
+				close(release)
+			})
+			<-release
+		}
+		// Non-monotone: accept below 10, reject everything above.
+		if g.T < 10 {
+			return witness, true
+		}
+		return nil, false
+	}
+	out := Run(context.Background(), Config{
+		Instance: in, Lower: 5, Upper: 20, Precision: 0.01,
+		Bus:      bus,
+		Strategy: Speculate(2), Deciders: []GuessDecider{decide, decide},
+	})
+	if out.Err != nil {
+		t.Fatalf("unexpected error: %v", out.Err)
+	}
+	if out.Schedule != witness {
+		t.Fatal("constructive witness lost to a conflicting rejection")
+	}
+	// No rejection above an accepted guess may have been published or
+	// committed: every guess below 10 accepted, every rejection at or above
+	// 10 conflicted with a lower accept, so the certified bound must still
+	// be the initial floor.
+	if out.LowerBound != 5 {
+		t.Errorf("lower bound %g, want untouched initial 5 (conflicting rejection committed?)", out.LowerBound)
+	}
+	if bus.L >= 10 {
+		t.Errorf("conflicting rejection published: bus lower %g", bus.L)
+	}
+}
+
+// TestBisectOrderIsPermutation guards the round's evaluation order helper.
+func TestBisectOrderIsPermutation(t *testing.T) {
+	for n := 1; n <= 9; n++ {
+		seen := make([]bool, n)
+		for _, i := range bisectOrder(n) {
+			if i < 0 || i >= n || seen[i] {
+				t.Fatalf("bisectOrder(%d) invalid: %v", n, bisectOrder(n))
+			}
+			seen[i] = true
+		}
+		for i, s := range seen {
+			if !s {
+				t.Fatalf("bisectOrder(%d) misses %d", n, i)
+			}
+		}
+	}
+}
+
+// TestSpeculateProposeShape: k interior geometric quantiles, ascending, with
+// the k=1 case matching the bisection midpoint.
+func TestSpeculateProposeShape(t *testing.T) {
+	var buf []float64
+	got := Speculate(1).Propose(4, 64, buf)
+	if len(got) != 1 || math.Abs(got[0]-16) > 1e-9 {
+		t.Errorf("Speculate(1).Propose(4,64) = %v, want [16] (the geometric mean)", got)
+	}
+	got = Speculate(3).Propose(1, 16, got)
+	want := []float64{2, 4, 8}
+	if len(got) != 3 {
+		t.Fatalf("Speculate(3).Propose(1,16) = %v, want 3 quantiles", got)
+	}
+	for i := range want {
+		if math.Abs(got[i]-want[i]) > 1e-9 {
+			t.Errorf("quantile %d = %g, want %g", i, got[i], want[i])
+		}
+	}
+}

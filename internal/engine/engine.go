@@ -51,6 +51,14 @@ type Options struct {
 	// "sparse" (warm-started revised simplex, the default), or "dense"
 	// (the reference dense solver). Unknown names are a solve-time error.
 	LPBackend string
+	// SearchWorkers is the speculative parallelism of dual-approximation
+	// binary searches (dual.Speculate): solvers that search over a
+	// makespan guess (PTAS, randomized rounding, the two class-uniform
+	// special cases) evaluate that many guesses concurrently per round,
+	// each worker on its own warm-start state (the rounding clones its LP
+	// relaxation per worker). 0 or 1 keeps the sequential bisection. The
+	// engine handle clamps this to its WithWorkers budget.
+	SearchWorkers int
 	// LocalSearch post-optimizes the chosen schedule with the
 	// best-improvement descent of internal/improve before returning it.
 	LocalSearch bool

@@ -132,10 +132,11 @@ func newPTASSolver() Solver {
 		Priority:  50,
 	}, func(ctx context.Context, in *core.Instance, opt Options) (core.Result, error) {
 		res, _, err := ptas.Schedule(ctx, in, ptas.Options{
-			Eps:       opt.Eps,
-			NodeCap:   opt.NodeCap,
-			Precision: opt.Precision,
-			Bounds:    opt.Bounds,
+			Eps:           opt.Eps,
+			NodeCap:       opt.NodeCap,
+			Precision:     opt.Precision,
+			Bounds:        opt.Bounds,
+			SearchWorkers: opt.SearchWorkers,
 		})
 		return res, err
 	})
@@ -148,11 +149,12 @@ func newRoundingSolver() Solver {
 		Priority:  20,
 	}, func(ctx context.Context, in *core.Instance, opt Options) (core.Result, error) {
 		return rounding.Schedule(ctx, in, rounding.Options{
-			C:         opt.RoundingC,
-			Rng:       rngFor(opt),
-			Precision: opt.Precision,
-			Bounds:    opt.Bounds,
-			LPBackend: opt.LPBackend,
+			C:             opt.RoundingC,
+			Rng:           rngFor(opt),
+			Precision:     opt.Precision,
+			Bounds:        opt.Bounds,
+			LPBackend:     opt.LPBackend,
+			SearchWorkers: opt.SearchWorkers,
 		})
 	})
 }
@@ -164,7 +166,7 @@ func newRA2Solver() Solver {
 		Guarantee:           "2-approximation (Theorem 3.10)",
 		Priority:            40,
 	}, func(ctx context.Context, in *core.Instance, opt Options) (core.Result, error) {
-		return special.ScheduleClassUniformRA(ctx, in, special.Options{Precision: opt.Precision, Bounds: opt.Bounds})
+		return special.ScheduleClassUniformRA(ctx, in, special.Options{Precision: opt.Precision, Bounds: opt.Bounds, SearchWorkers: opt.SearchWorkers})
 	})
 }
 
@@ -175,7 +177,7 @@ func newPT3Solver() Solver {
 		Guarantee:           "3-approximation (Theorem 3.11)",
 		Priority:            30,
 	}, func(ctx context.Context, in *core.Instance, opt Options) (core.Result, error) {
-		return special.ScheduleClassUniformPT(ctx, in, special.Options{Precision: opt.Precision, Bounds: opt.Bounds})
+		return special.ScheduleClassUniformPT(ctx, in, special.Options{Precision: opt.Precision, Bounds: opt.Bounds, SearchWorkers: opt.SearchWorkers})
 	})
 }
 

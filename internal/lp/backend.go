@@ -85,6 +85,16 @@ type Backend interface {
 	// to the same problem), refactorizing as needed. The next Solve starts
 	// from it.
 	Warm(*Basis) error
+	// Clone returns an independent backend with the same problem data,
+	// mutation state (RHS, variable bounds) and basis/factorization, backed
+	// by its own private Workspace: mutating or solving the clone never
+	// perturbs the parent and vice versa, so clones can solve concurrently
+	// on separate goroutines (one goroutine per backend — a single Backend
+	// remains non-thread-safe). Clone must not be called concurrently with
+	// a Solve or mutation on the receiver. This is the substrate of the
+	// speculative parallel dual search: each search worker re-solves on its
+	// own clone, keeping the locality of its warm basis.
+	Clone() Backend
 }
 
 // NewBackend builds a backend of the given kind bound to p. The problem's

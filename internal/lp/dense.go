@@ -98,3 +98,11 @@ func (d *denseInverse) update(r int, w []float64) {
 
 func (d *denseInverse) shouldRefactor() bool { return false }
 func (d *denseInverse) markRefactored()      {}
+
+func (d *denseInverse) clone() basisRep {
+	return &denseInverse{
+		m:    d.m,
+		binv: append([]float64(nil), d.binv...),
+		tmp:  make([]float64, d.m),
+	}
+}

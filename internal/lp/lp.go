@@ -69,14 +69,29 @@ type Term struct {
 
 // Problem is a linear program under construction. The zero value is an empty
 // problem ready for AddVar/AddConstraint.
+//
+// Coefficients are stored as append-only (row, var, coef) triplets in three
+// flat parallel slices rather than per-row term maps: AddConstraint is pure
+// appends (amortized zero allocations per row), and accumulation of repeated
+// variables is deferred to the consumers, all of which build additively — the
+// dense tableau adds coefficients into cells, and the backends' CSC form
+// tolerates duplicate (row, var) entries because every access is a scatter or
+// a dot product.
 type Problem struct {
 	obj  []float64
 	ub   []float64
-	rows []rowData
+	rows []rowMeta
+
+	// Coefficient triplets, in AddConstraint order: entry t is the
+	// coefficient tCoef[t] of variable tVar[t] in row tRow[t].
+	tRow  []int32
+	tVar  []int32
+	tCoef []float64
 }
 
-type rowData struct {
-	terms []Term
+// rowMeta is the per-constraint metadata (the coefficients live in the
+// problem-wide triplet slices).
+type rowMeta struct {
 	sense Sense
 	rhs   float64
 }
@@ -100,13 +115,15 @@ func (p *Problem) AddVar(obj, upper float64) int {
 }
 
 // AddConstraint appends the constraint Σ terms {≤,=,≥} rhs. Terms may repeat
-// a variable; coefficients are accumulated. Referencing a variable that has
-// not been added panics (a construction bug, not an input condition).
+// a variable; coefficients are accumulated (additively, by the consumers of
+// the triplet storage). Referencing a variable that has not been added panics
+// (a construction bug, not an input condition).
 func (p *Problem) AddConstraint(sense Sense, rhs float64, terms ...Term) {
 	if math.IsNaN(rhs) || math.IsInf(rhs, 0) {
 		panic(fmt.Sprintf("lp: invalid rhs %v", rhs))
 	}
-	acc := map[int]float64{}
+	r := int32(len(p.rows))
+	p.rows = append(p.rows, rowMeta{sense: sense, rhs: rhs})
 	for _, t := range terms {
 		if t.Var < 0 || t.Var >= len(p.obj) {
 			panic(fmt.Sprintf("lp: constraint references unknown variable %d", t.Var))
@@ -114,15 +131,13 @@ func (p *Problem) AddConstraint(sense Sense, rhs float64, terms ...Term) {
 		if math.IsNaN(t.Coef) || math.IsInf(t.Coef, 0) {
 			panic(fmt.Sprintf("lp: invalid coefficient %v", t.Coef))
 		}
-		acc[t.Var] += t.Coef
-	}
-	row := rowData{sense: sense, rhs: rhs}
-	for v, c := range acc {
-		if c != 0 {
-			row.terms = append(row.terms, Term{Var: v, Coef: c})
+		if t.Coef == 0 {
+			continue
 		}
+		p.tRow = append(p.tRow, r)
+		p.tVar = append(p.tVar, int32(t.Var))
+		p.tCoef = append(p.tCoef, t.Coef)
 	}
-	p.rows = append(p.rows, row)
 }
 
 // Solution is the result of Solve.

@@ -12,23 +12,23 @@ import (
 // check when used as below: we verify (a) the simplex solution is feasible,
 // and (b) no sampled feasible point beats it. This avoids reimplementing a
 // second exact solver while still catching wrong-optimum bugs.
-func feasible(rows []rowData, x []float64) bool {
-	for _, r := range rows {
-		lhs := 0.0
-		for _, tm := range r.terms {
-			lhs += tm.Coef * x[tm.Var]
-		}
+func feasible(p *Problem, x []float64) bool {
+	lhs := make([]float64, len(p.rows))
+	for k, r := range p.tRow {
+		lhs[r] += p.tCoef[k] * x[p.tVar[k]]
+	}
+	for i, r := range p.rows {
 		switch r.sense {
 		case LE:
-			if lhs > r.rhs+1e-7 {
+			if lhs[i] > r.rhs+1e-7 {
 				return false
 			}
 		case GE:
-			if lhs < r.rhs-1e-7 {
+			if lhs[i] < r.rhs-1e-7 {
 				return false
 			}
 		case EQ:
-			if math.Abs(lhs-r.rhs) > 1e-7 {
+			if math.Abs(lhs[i]-r.rhs) > 1e-7 {
 				return false
 			}
 		}
@@ -64,7 +64,7 @@ func TestRandomLPsSimplexNotBeatenBySampling(t *testing.T) {
 			return false
 		}
 		// (a) feasibility of the simplex answer.
-		if !feasible(p.rows, sol.X) {
+		if !feasible(p, sol.X) {
 			return false
 		}
 		for j := 0; j < d; j++ {
@@ -85,7 +85,7 @@ func TestRandomLPsSimplexNotBeatenBySampling(t *testing.T) {
 					x[j] = rng.Float64() * ubs[j]
 				}
 			}
-			if !feasible(p.rows, x) {
+			if !feasible(p, x) {
 				continue
 			}
 			obj := 0.0
@@ -137,7 +137,7 @@ func TestRandomEqualityLPsFeasibilityAgreement(t *testing.T) {
 		if sol.Status == Infeasible {
 			return false // feasible by construction
 		}
-		if sol.Status == Optimal && !feasible(p.rows, sol.X) {
+		if sol.Status == Optimal && !feasible(p, sol.X) {
 			return false
 		}
 		return true

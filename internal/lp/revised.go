@@ -86,6 +86,15 @@ func (s *solverState) SetVarUpper(v int, upper float64) {
 	}
 }
 
+func (s *solverState) Clone() Backend {
+	c := &solverState{ws: NewWorkspace(), dualOK: s.dualOK}
+	c.sf.copyFrom(&s.sf, c.ws)
+	c.basis = append([]int(nil), s.basis...)
+	c.status = append([]varStatus(nil), s.status...)
+	c.inv = s.inv.clone()
+	return c
+}
+
 func (s *solverState) Basis() *Basis {
 	b := &Basis{
 		Cols:   make([]int, s.sf.m),

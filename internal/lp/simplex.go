@@ -148,12 +148,14 @@ func newTableau(p *Problem) *tableau {
 	for j := nStruct; j < n; j++ {
 		t.ub[j] = math.Inf(1) // slacks and artificials are unbounded above
 	}
-	for r, row := range p.rows {
+	for r := range p.rows {
 		t.a[r] = make([]float64, n)
+	}
+	for k, r := range p.tRow {
+		t.a[r][p.tVar[k]] += plans[r].sign * p.tCoef[k]
+	}
+	for r, row := range p.rows {
 		pl := plans[r]
-		for _, term := range row.terms {
-			t.a[r][term.Var] += pl.sign * term.Coef
-		}
 		rhs := pl.sign * row.rhs
 		if pl.slackCol >= 0 {
 			t.a[r][pl.slackCol] = pl.slackCoe

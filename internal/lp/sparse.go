@@ -49,17 +49,17 @@ func (sf *standardForm) build(p *Problem, ws *Workspace) {
 	sf.rhs = growF(&ws.sfRHS, m)
 	sf.rowSign = growF(&ws.sfSign, m)
 
-	// Column counts first, then prefix sums, then fill.
+	// Column counts first, then prefix sums, then fill. The problem stores
+	// coefficients as append-only triplets; a variable repeated within one
+	// row simply yields duplicate (row, col) CSC entries, which is harmless
+	// because every access path (scatterColumn, dotColumn) accumulates.
 	cnt := growI32(&ws.sfCnt, nv+1)
 	for i := range cnt {
 		cnt[i] = 0
 	}
-	nnz := 0
-	for _, row := range p.rows {
-		nnz += len(row.terms)
-		for _, t := range row.terms {
-			cnt[t.Var+1]++
-		}
+	nnz := len(p.tRow)
+	for _, v := range p.tVar {
+		cnt[v+1]++
 	}
 	sf.colPtr = growI32(&ws.sfPtr, nv+1)
 	sf.colPtr[0] = 0
@@ -83,13 +83,34 @@ func (sf *standardForm) build(p *Problem, ws *Workspace) {
 		default:
 			sf.ub[nv+r] = math.Inf(1)
 		}
-		for _, t := range row.terms {
-			k := next[t.Var]
-			sf.colRow[k] = int32(r)
-			sf.colVal[k] = sign * t.Coef
-			next[t.Var] = k + 1
-		}
 	}
+	for t, r := range p.tRow {
+		v := p.tVar[t]
+		k := next[v]
+		sf.colRow[k] = r
+		sf.colVal[k] = sf.rowSign[r] * p.tCoef[t]
+		next[v] = k + 1
+	}
+}
+
+// copyFrom deep-copies src into sf using ws-backed storage, so the copy
+// shares no mutable state with the source (Backend.Clone's substrate).
+func (sf *standardForm) copyFrom(src *standardForm, ws *Workspace) {
+	sf.m, sf.nv, sf.n, sf.objZero = src.m, src.nv, src.n, src.objZero
+	sf.obj = growF(&ws.sfObj, len(src.obj))
+	copy(sf.obj, src.obj)
+	sf.ub = growF(&ws.sfUB, len(src.ub))
+	copy(sf.ub, src.ub)
+	sf.rhs = growF(&ws.sfRHS, len(src.rhs))
+	copy(sf.rhs, src.rhs)
+	sf.rowSign = growF(&ws.sfSign, len(src.rowSign))
+	copy(sf.rowSign, src.rowSign)
+	sf.colPtr = growI32(&ws.sfPtr, len(src.colPtr))
+	copy(sf.colPtr, src.colPtr)
+	sf.colRow = growI32(&ws.sfRow, len(src.colRow))
+	copy(sf.colRow, src.colRow)
+	sf.colVal = growF(&ws.sfVal, len(src.colVal))
+	copy(sf.colVal, src.colVal)
 }
 
 // scatterColumn adds scale·(column j) into the dense vector v.
@@ -153,6 +174,9 @@ type basisRep interface {
 	// since the last reset constitute a fresh factorization (so its size
 	// is the new staleness baseline, not accumulated churn).
 	markRefactored()
+	// clone returns an independent deep copy: applying updates to either
+	// copy never perturbs the other (Backend.Clone's substrate).
+	clone() basisRep
 }
 
 // etaDropTol drops negligible eta entries; values this small are far below
@@ -257,4 +281,17 @@ func (e *etaFile) shouldRefactor() bool {
 func (e *etaFile) markRefactored() {
 	e.baseNNZ = e.nnz
 	e.baseEtas = len(e.pivRow)
+}
+
+func (e *etaFile) clone() basisRep {
+	return &etaFile{
+		m:        e.m,
+		pivRow:   append([]int32(nil), e.pivRow...),
+		start:    append([]int32(nil), e.start...),
+		idx:      append([]int32(nil), e.idx...),
+		val:      append([]float64(nil), e.val...),
+		nnz:      e.nnz,
+		baseNNZ:  e.baseNNZ,
+		baseEtas: e.baseEtas,
+	}
 }

@@ -33,6 +33,7 @@ import (
 	"context"
 	"fmt"
 	"math"
+	"sync"
 
 	"repro/internal/baseline"
 	"repro/internal/core"
@@ -60,6 +61,12 @@ type Options struct {
 	// rejections are never published — they are suspicions, not
 	// certificates.
 	Bounds core.BoundBus
+	// SearchWorkers is the speculative parallelism of the binary search on
+	// T (dual.Speculate): that many guesses are simplified and DP-solved
+	// concurrently. The decision procedure is stateless per guess
+	// (simplify + fresh DP arena), so workers share nothing but the
+	// instance. 0 or 1 keeps the sequential bisection.
+	SearchWorkers int
 }
 
 func (o Options) normalize() Options {
@@ -113,28 +120,56 @@ func Schedule(ctx context.Context, in *core.Instance, opt Options) (core.Result,
 	if v := exact.VolumeLowerBound(in); v > lb {
 		lb = v
 	}
-	// lastSound marks whether the most recent guess's rejection is a
-	// certificate: a capped or cancelled DP run only suspects infeasibility
-	// and must not be published as a lower bound.
-	lastSound := true
+	// The guard marks guesses whose rejection is not a certificate: a
+	// capped or cancelled DP run only suspects infeasibility and must not
+	// be published as a lower bound. It is keyed by the guess value, so it
+	// stays sound when several guesses are decided concurrently.
+	var guard *guardedBus
 	var bus core.BoundBus
 	if opt.Bounds != nil {
 		opt.Bounds.PublishUpper(ub) // the LPT schedule is feasible
 		opt.Bounds.PublishLower(lb) // Lemma 2.1 ratio and volume bound are certified
-		bus = guardedBus{BoundBus: opt.Bounds, sound: &lastSound}
+		guard = &guardedBus{BoundBus: opt.Bounds}
+		bus = guard
 	}
-	out := dual.SearchWithBounds(ctx, in, lb, ub, opt.Precision, lptSched, bus, func(T float64) (*core.Schedule, bool) {
-		sched, st := decide(ctx, in, T, opt)
+	workers := dual.EffectiveParallelism(opt.SearchWorkers)
+	// The decision procedure is stateless per guess; shared stats are the
+	// only mutable cross-worker state, so one concurrency-safe decider
+	// serves every worker slot.
+	var mu sync.Mutex
+	decider := func(g dual.Guess) (*core.Schedule, bool) {
+		sched, st := decide(g.Ctx, in, g.T, opt)
+		mu.Lock()
 		stats.Nodes += st.Nodes
 		if st.Capped {
 			stats.Capped = true
 		}
-		if st.Cancelled {
-			stats.Cancelled = true
-		}
-		lastSound = !st.Capped && !st.Cancelled
 		stats.Guesses++
+		mu.Unlock()
+		// A guess cancelled mid-DP is not marked in Stats.Cancelled here:
+		// under a speculative strategy per-guess cancellation is routine
+		// (the guess became irrelevant) and the runner discards the
+		// interrupted rejection, so nothing unsound is committed. A
+		// search-level cancellation surfaces as Outcome.Err below. The
+		// guard still suppresses the rejection's publication either way.
+		if guard != nil && (st.Capped || st.Cancelled) {
+			guard.markUnsound(g.T)
+		}
 		return sched, sched != nil
+	}
+	deciders := make([]dual.GuessDecider, workers)
+	for w := range deciders {
+		deciders[w] = decider
+	}
+	out := dual.Run(ctx, dual.Config{
+		Instance:  in,
+		Lower:     lb,
+		Upper:     ub,
+		Precision: opt.Precision,
+		Fallback:  lptSched,
+		Bus:       bus,
+		Strategy:  dual.Speculate(workers),
+		Deciders:  deciders,
 	})
 	if out.Err != nil {
 		stats.Cancelled = true
@@ -165,18 +200,34 @@ func Schedule(ctx context.Context, in *core.Instance, opt Options) (core.Result,
 	}, stats, nil
 }
 
-// guardedBus filters PublishLower through a soundness flag set by the
-// decider: rejections caused by the node cap or a cancelled context are not
+// guardedBus filters PublishLower through a set of unsound guess values:
+// rejections caused by the node cap or a cancelled context are not
 // infeasibility certificates, and publishing them would poison the shared
-// bound bus for every racer. The flag is read and written on the single
-// goroutine running the binary search, so no synchronization is needed.
+// bound bus for every racer. The decider marks such guesses by their exact
+// value before returning, and the search runner publishes a committed
+// rejection with that same value, so the filter matches exactly. Keying by
+// value (rather than a "last guess" flag) keeps the guard sound when a
+// parallel strategy decides several guesses concurrently.
 type guardedBus struct {
 	core.BoundBus
-	sound *bool
+	mu      sync.Mutex
+	unsound map[float64]bool
 }
 
-func (g guardedBus) PublishLower(v float64) bool {
-	if !*g.sound {
+func (g *guardedBus) markUnsound(t float64) {
+	g.mu.Lock()
+	if g.unsound == nil {
+		g.unsound = make(map[float64]bool)
+	}
+	g.unsound[t] = true
+	g.mu.Unlock()
+}
+
+func (g *guardedBus) PublishLower(v float64) bool {
+	g.mu.Lock()
+	bad := g.unsound[v]
+	g.mu.Unlock()
+	if bad {
 		return false
 	}
 	return g.BoundBus.PublishLower(v)

@@ -1,0 +1,82 @@
+package ptas
+
+import (
+	"context"
+	"math"
+	"math/rand"
+	"testing"
+
+	"repro/internal/boundtest"
+	"repro/internal/gen"
+	"repro/internal/testutil"
+)
+
+// TestSpeculativeSearchMatchesSequential: the PTAS decision procedure is
+// deterministic and monotone (a relaxed schedule at T exists at every
+// T' ≥ T), so the speculative parallel search must return the same makespan
+// as sequential bisection within the search precision. Run under -race this
+// also audits the decider's concurrency safety (fresh simplify + DP arena
+// per guess, stats behind a mutex).
+func TestSpeculativeSearchMatchesSequential(t *testing.T) {
+	testutil.ForceParallel(t)
+	for seed := int64(1); seed <= 4; seed++ {
+		rng := rand.New(rand.NewSource(seed))
+		in := gen.Uniform(rng, gen.Params{N: 12, M: 4, K: 2, SpeedMax: 6})
+		seq, _, err := Schedule(context.Background(), in, Options{Eps: 0.5})
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, workers := range []int{2, 4} {
+			spec, _, err := Schedule(context.Background(), in, Options{Eps: 0.5, SearchWorkers: workers})
+			if err != nil {
+				t.Fatal(err)
+			}
+			if err := spec.Schedule.Validate(in); err != nil {
+				t.Fatalf("seed %d workers=%d: invalid schedule: %v", seed, workers, err)
+			}
+			// Both makespans bracket the same DP threshold: they agree
+			// within the squared search precision (ε/4 each side).
+			prec := 0.5 / 4
+			ratio := seq.Makespan / spec.Makespan
+			if ratio < 1/(1+prec)/(1+prec) || ratio > (1+prec)*(1+prec) {
+				t.Errorf("seed %d workers=%d: sequential makespan %g vs speculative %g beyond precision",
+					seed, workers, seq.Makespan, spec.Makespan)
+			}
+			if spec.LowerBound > spec.Makespan+1e-9 {
+				t.Errorf("seed %d workers=%d: lower bound %g above makespan %g",
+					seed, workers, spec.LowerBound, spec.Makespan)
+			}
+		}
+	}
+}
+
+// TestSpeculativeGuardSuppressesCappedRejections: with a starvation-level
+// node cap every rejection is a suspicion, and none of them may reach the
+// shared bus as a certified lower bound even when guesses are decided
+// concurrently.
+func TestSpeculativeGuardSuppressesCappedRejections(t *testing.T) {
+	testutil.ForceParallel(t)
+	rng := rand.New(rand.NewSource(2))
+	in := gen.Uniform(rng, gen.Params{N: 16, M: 4, K: 3, SpeedMax: 5})
+	bus := boundtest.New()
+	res, stats, err := Schedule(context.Background(), in, Options{
+		Eps:           0.5,
+		NodeCap:       1, // every DP run caps immediately
+		SearchWorkers: 3,
+		Bounds:        bus,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !stats.Capped {
+		t.Fatal("node cap of 1 did not cap")
+	}
+	// The only lower bound on the bus is the sound bootstrap one published
+	// before the search; no capped rejection may have raised it.
+	if bus.L > res.LowerBound+1e-9 {
+		t.Errorf("bus lower %g exceeds the sound lower bound %g: a capped rejection leaked", bus.L, res.LowerBound)
+	}
+	if math.IsInf(res.Makespan, 0) || res.Schedule == nil {
+		t.Error("capped run lost the LPT fallback schedule")
+	}
+}

@@ -53,6 +53,13 @@ type Options struct {
 	// "sparse" (revised simplex, the default), "dense", or "" for the
 	// default. Unknown names are a configuration error.
 	LPBackend string
+	// SearchWorkers is the speculative parallelism of the binary search on
+	// T (dual.Speculate): that many makespan guesses are evaluated
+	// concurrently, each on its own Relaxation clone, shrinking the search
+	// to fewer serial rounds. 0 or 1 keeps the sequential bisection.
+	// Memory scales with workers (one LP backend per worker); verdicts are
+	// equivalent to the sequential search within precision.
+	SearchWorkers int
 }
 
 func (o Options) normalize() Options {
@@ -357,6 +364,29 @@ func NewRelaxation(in *core.Instance, cfg RelaxationConfig) (*Relaxation, error)
 	return rel, nil
 }
 
+// Clone returns an independent Relaxation for speculative parallel dual
+// searches: it shares the immutable built model (variables, rows, index
+// maps) with the parent but owns its own LP backend (basis, factorization,
+// workspace), clamp state and result buffer, so clones and parent can
+// ReSolve concurrently on separate goroutines without perturbing each
+// other's warm bases. The clone inherits the parent's current basis, which
+// stays useful because consecutive guesses in a worker's sub-bracket differ
+// only in RHS and bound clamps. Clone must not be called concurrently with
+// ReSolve on the receiver. Iterations are counted per clone.
+func (rel *Relaxation) Clone() *Relaxation {
+	c := &Relaxation{
+		in: rel.in, kind: rel.kind, ws: lp.NewWorkspace(), mdl: rel.mdl,
+		envelope: rel.envelope,
+		banned:   append([]bool(nil), rel.banned...),
+		avail:    append([]int(nil), rel.avail...),
+		frac:     makeFractional(rel.in.M, rel.in.N, rel.in.K, false),
+	}
+	if rel.be != nil {
+		c.be = rel.be.Clone()
+	}
+	return c
+}
+
 // Backend reports the lp backend kind the relaxation solves on.
 func (rel *Relaxation) Backend() lp.BackendKind { return rel.kind }
 
@@ -586,24 +616,70 @@ func ScheduleDetailed(ctx context.Context, in *core.Instance, opt Options) (core
 			}
 		}
 	}
+	// One decider per search worker: worker 0 re-solves the primary
+	// relaxation, every further worker an independent clone (own backend,
+	// own warm basis), and each worker draws from its own rng stream, so
+	// the speculative search runs race-free without locking the LP layer.
+	// The shared diagnostics (guess count, pure-rounding record) and the
+	// abort-on-error channel are the only cross-worker state, guarded by mu.
+	workers := dual.EffectiveParallelism(opt.SearchWorkers)
+	if ub <= 0 {
+		// A zero-makespan instance: the search below returns without
+		// evaluating a guess, so per-worker relaxation clones would be
+		// pure waste.
+		workers = 1
+	}
+	var mu sync.Mutex
 	var solveErr error
-	out := dual.SearchGuesses(ctx, in, 0, ub, opt.Precision, greedy, opt.Bounds, func(g dual.Guess) (*core.Schedule, bool) {
-		det.Guesses++
-		f, err := rel.ReSolve(g.T)
-		if err != nil {
-			solveErr = err
-			return nil, true // abort ascent; error reported below
+	rels := make([]*Relaxation, workers)
+	deciders := make([]dual.GuessDecider, workers)
+	rels[0] = rel
+	for w := 1; w < workers; w++ {
+		rels[w] = rel.Clone()
+	}
+	for w := 0; w < workers; w++ {
+		r, rng := rels[w], opt.Rng
+		if w > 0 {
+			rng = rand.New(rand.NewSource(opt.Rng.Int63()))
 		}
-		if f == nil {
-			return nil, false
+		deciders[w] = func(g dual.Guess) (*core.Schedule, bool) {
+			mu.Lock()
+			det.Guesses++
+			mu.Unlock()
+			f, err := r.ReSolve(g.T)
+			if err != nil {
+				mu.Lock()
+				if solveErr == nil {
+					solveErr = err
+				}
+				mu.Unlock()
+				return nil, true // abort ascent; error reported below
+			}
+			if f == nil {
+				return nil, false
+			}
+			sched, _ := Round(g.Ctx, in, f, opt.C, rng)
+			mu.Lock()
+			if ms := sched.Makespan(in); ms < det.PureMakespan {
+				det.PureMakespan, det.PureSchedule = ms, sched
+			}
+			mu.Unlock()
+			return sched, true
 		}
-		sched, _ := Round(ctx, in, f, opt.C, opt.Rng)
-		if ms := sched.Makespan(in); ms < det.PureMakespan {
-			det.PureMakespan, det.PureSchedule = ms, sched
-		}
-		return sched, true
+	}
+	out := dual.Run(ctx, dual.Config{
+		Instance:  in,
+		Lower:     0,
+		Upper:     ub,
+		Precision: opt.Precision,
+		Fallback:  greedy,
+		Bus:       opt.Bounds,
+		Strategy:  dual.Speculate(workers),
+		Deciders:  deciders,
 	})
-	det.LPIterations = rel.Iterations()
+	for _, r := range rels {
+		det.LPIterations += r.Iterations()
+	}
 	if solveErr != nil {
 		return core.Result{}, det, solveErr
 	}

@@ -1,0 +1,237 @@
+package rounding
+
+import (
+	"context"
+	"math"
+	"math/rand"
+	"testing"
+	"time"
+
+	"repro/internal/baseline"
+	"repro/internal/core"
+	"repro/internal/dual"
+	"repro/internal/gen"
+	"repro/internal/lp"
+	"repro/internal/testutil"
+)
+
+// probeThreshold runs a pure LP-feasibility dual search (no rounding, no
+// randomness) over the relaxation with the given strategy and per-worker
+// relaxation set, returning the final certified bracket. This is the
+// deterministic core the speculative differential compares on.
+func probeThreshold(t *testing.T, in *core.Instance, kind lp.BackendKind, workers int, ub float64) dual.Outcome {
+	t.Helper()
+	rel, err := NewRelaxation(in, RelaxationConfig{Envelope: ub, Backend: kind})
+	if err != nil {
+		t.Fatalf("NewRelaxation: %v", err)
+	}
+	if _, err := rel.ReSolve(ub); err != nil {
+		t.Fatalf("seed ReSolve: %v", err)
+	}
+	rels := make([]*Relaxation, workers)
+	rels[0] = rel
+	for w := 1; w < workers; w++ {
+		rels[w] = rel.Clone()
+	}
+	deciders := make([]dual.GuessDecider, workers)
+	for w := range deciders {
+		r := rels[w]
+		deciders[w] = func(g dual.Guess) (*core.Schedule, bool) {
+			f, err := r.ReSolve(g.T)
+			if err != nil {
+				t.Errorf("ReSolve(%g): %v", g.T, err)
+				return nil, true
+			}
+			return nil, f != nil
+		}
+	}
+	return dual.Run(context.Background(), dual.Config{
+		Instance: in, Lower: 0, Upper: ub, Precision: 0.02,
+		Strategy: dual.Speculate(workers), Deciders: deciders,
+	})
+}
+
+// TestSpeculativeSearchMatchesBisectOnCorpus is the rounding-level
+// differential of the verdict-equivalence contract: over random unrelated
+// instances and both LP backends, the speculative parallel search must
+// certify the same LP-feasibility threshold as sequential bisection within
+// the combined precision. Run under -race this also exercises the
+// clone-per-worker concurrency.
+func TestSpeculativeSearchMatchesBisectOnCorpus(t *testing.T) {
+	testutil.ForceParallel(t)
+	for _, kind := range []lp.BackendKind{lp.Dense, lp.Sparse} {
+		kind := kind
+		t.Run(string(kind), func(t *testing.T) {
+			for seed := int64(1); seed <= 5; seed++ {
+				rng := rand.New(rand.NewSource(seed))
+				in := gen.Unrelated(rng, gen.Params{N: 20, M: 4, K: 3})
+				g, err := baseline.Greedy(in)
+				if err != nil {
+					t.Fatal(err)
+				}
+				ub := g.Makespan(in)
+				seq := probeThreshold(t, in, kind, 1, ub)
+				for _, workers := range []int{2, 4} {
+					spec := probeThreshold(t, in, kind, workers, ub)
+					if seq.Err != nil || spec.Err != nil {
+						t.Fatalf("seed %d: unexpected errors %v / %v", seed, seq.Err, spec.Err)
+					}
+					// Both searches certify a bracket around the same LP
+					// threshold: their lower bounds agree within the
+					// squared precision.
+					const prec = 0.02
+					lo1, lo2 := seq.LowerBound, spec.LowerBound
+					if lo1 > 0 && lo2 > 0 {
+						ratio := lo1 / lo2
+						if ratio < 1/(1+prec)/(1+prec) || ratio > (1+prec)*(1+prec) {
+							t.Errorf("seed %d workers=%d: bisect lower %g vs speculate lower %g beyond precision",
+								seed, workers, lo1, lo2)
+						}
+					}
+				}
+			}
+		})
+	}
+}
+
+// TestRelaxationCloneIndependence drives a clone through its own guess
+// trajectory and verifies the parent's subsequent verdicts and fractional
+// solutions are byte-identical to an untouched control relaxation.
+func TestRelaxationCloneIndependence(t *testing.T) {
+	for _, kind := range []lp.BackendKind{lp.Dense, lp.Sparse} {
+		kind := kind
+		t.Run(string(kind), func(t *testing.T) {
+			rng := rand.New(rand.NewSource(3))
+			in := gen.Unrelated(rng, gen.Params{N: 18, M: 4, K: 3})
+			g, err := baseline.Greedy(in)
+			if err != nil {
+				t.Fatal(err)
+			}
+			ub := g.Makespan(in)
+			cfg := RelaxationConfig{Envelope: ub, Backend: kind}
+			subject, err := NewRelaxation(in, cfg)
+			if err != nil {
+				t.Fatal(err)
+			}
+			control, err := NewRelaxation(in, cfg)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if _, err := subject.ReSolve(ub); err != nil {
+				t.Fatal(err)
+			}
+			if _, err := control.ReSolve(ub); err != nil {
+				t.Fatal(err)
+			}
+			clone := subject.Clone()
+			// Drive the clone hard: descending and re-ascending guesses
+			// mutate its clamp state and warm basis repeatedly.
+			for _, f := range []float64{0.8, 0.4, 0.1, 0.6, 0.25, 0.9} {
+				if _, err := clone.ReSolve(ub * f); err != nil {
+					t.Fatalf("clone ReSolve(%g·ub): %v", f, err)
+				}
+			}
+			// The parent's trajectory must now match the control's exactly.
+			for _, f := range []float64{0.9, 0.5, 0.2, 0.7} {
+				T := ub * f
+				fs, errS := subject.ReSolve(T)
+				fc, errC := control.ReSolve(T)
+				if (errS == nil) != (errC == nil) {
+					t.Fatalf("T=%g: subject err %v, control err %v", T, errS, errC)
+				}
+				if (fs == nil) != (fc == nil) {
+					t.Fatalf("T=%g: subject feasibility %v, control %v (clone perturbed parent)", T, fs != nil, fc != nil)
+				}
+				if fs == nil {
+					continue
+				}
+				for i := range fs.xFlat {
+					if fs.xFlat[i] != fc.xFlat[i] {
+						t.Fatalf("T=%g: subject x[%d]=%v differs from control %v (clone perturbed parent basis)",
+							T, i, fs.xFlat[i], fc.xFlat[i])
+					}
+				}
+			}
+		})
+	}
+}
+
+// TestScheduleDetailedSpeculativeRace runs the full randomized-rounding
+// pipeline with speculative search workers (run under -race): the schedule
+// must be valid and the result internally consistent, and the LP effort of
+// every worker must be accounted.
+func TestScheduleDetailedSpeculativeRace(t *testing.T) {
+	testutil.ForceParallel(t)
+	rng := rand.New(rand.NewSource(5))
+	in := gen.Unrelated(rng, gen.Params{N: 24, M: 4, K: 3})
+	res, det, err := ScheduleDetailed(context.Background(), in, Options{
+		Rng:           rand.New(rand.NewSource(1)),
+		SearchWorkers: 4,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := res.Schedule.Validate(in); err != nil {
+		t.Fatalf("invalid schedule: %v", err)
+	}
+	if res.LowerBound > res.Makespan+core.Eps {
+		t.Errorf("lower bound %g above makespan %g", res.LowerBound, res.Makespan)
+	}
+	g, err := baseline.Greedy(in)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Makespan > g.Makespan(in)+core.Eps {
+		t.Errorf("speculative result %g worse than the greedy bootstrap %g", res.Makespan, g.Makespan(in))
+	}
+	if det.LPIterations <= 0 {
+		t.Error("no LP iterations accounted across workers")
+	}
+	// The sequential run on the same instance must land within the combined
+	// search precision of the speculative one in terms of certified bounds.
+	seqRes, _, err := ScheduleDetailed(context.Background(), in, Options{
+		Rng: rand.New(rand.NewSource(1)),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if seqRes.LowerBound > 0 && res.LowerBound > 0 {
+		ratio := seqRes.LowerBound / res.LowerBound
+		const prec = 0.05
+		if ratio < 1/(1+prec)/(1+prec) || ratio > (1+prec)*(1+prec) {
+			t.Errorf("sequential lower bound %g vs speculative %g beyond precision", seqRes.LowerBound, res.LowerBound)
+		}
+	}
+}
+
+// TestScheduleDetailedSpeculativeCancellation: a deadline mid-search stops
+// the speculative workers promptly and still returns a feasible best-so-far
+// schedule.
+func TestScheduleDetailedSpeculativeCancellation(t *testing.T) {
+	testutil.ForceParallel(t)
+	rng := rand.New(rand.NewSource(9))
+	in := gen.Unrelated(rng, gen.Params{N: 60, M: 8, K: 6})
+	ctx, cancel := context.WithTimeout(context.Background(), 30*time.Millisecond)
+	defer cancel()
+	start := time.Now()
+	res, _, err := ScheduleDetailed(ctx, in, Options{
+		Rng:           rand.New(rand.NewSource(1)),
+		SearchWorkers: 4,
+	})
+	elapsed := time.Since(start)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Schedule == nil {
+		t.Fatal("no schedule despite greedy fallback")
+	}
+	if err := res.Schedule.Validate(in); err != nil {
+		t.Fatalf("invalid schedule after cancellation: %v", err)
+	}
+	if elapsed > 5*time.Second {
+		t.Errorf("cancellation took %v, want prompt stop", elapsed)
+	}
+	if math.IsInf(res.Makespan, 0) {
+		t.Error("no finite makespan after cancellation")
+	}
+}

@@ -3,6 +3,7 @@ package special
 import (
 	"context"
 	"fmt"
+	"sync"
 
 	"repro/internal/core"
 	"repro/internal/dual"
@@ -18,6 +19,7 @@ func ScheduleClassUniformPT(ctx context.Context, in *core.Instance, opt Options)
 		return core.Result{}, err
 	}
 	classTime := classTimes(in)
+	var mu sync.Mutex
 	var solveErr error
 	decide := func(T float64) (*core.Schedule, bool) {
 		// Constraint (16): a pair (i,k) is admitted only if one job plus
@@ -36,7 +38,11 @@ func ScheduleClassUniformPT(ctx context.Context, in *core.Instance, opt Options)
 		}
 		r, err := solveRelaxed(in, T, admit)
 		if err != nil {
-			solveErr = err
+			mu.Lock()
+			if solveErr == nil {
+				solveErr = err
+			}
+			mu.Unlock()
 			return nil, true
 		}
 		if r == nil {

@@ -4,6 +4,7 @@ import (
 	"context"
 	"fmt"
 	"sort"
+	"sync"
 
 	"repro/internal/core"
 	"repro/internal/dual"
@@ -18,6 +19,7 @@ func ScheduleClassUniformRA(ctx context.Context, in *core.Instance, opt Options)
 	if err := CheckClassUniformRA(in); err != nil {
 		return core.Result{}, err
 	}
+	var mu sync.Mutex
 	var solveErr error
 	decide := func(T float64) (*core.Schedule, bool) {
 		// Any schedule with makespan ≤ T pays p_j + s_{k_j} ≤ T for every
@@ -30,7 +32,11 @@ func ScheduleClassUniformRA(ctx context.Context, in *core.Instance, opt Options)
 		}
 		r, err := solveRelaxed(in, T, func(i, k int) bool { return true })
 		if err != nil {
-			solveErr = err
+			mu.Lock()
+			if solveErr == nil {
+				solveErr = err
+			}
+			mu.Unlock()
 			return nil, true
 		}
 		if r == nil {

@@ -54,6 +54,13 @@ type Options struct {
 	// LP-RelaxedRA-infeasible guesses as certified lower bounds, and the
 	// binary search skips guesses at or above the live incumbent.
 	Bounds core.BoundBus
+	// SearchWorkers is the speculative parallelism of the binary search on
+	// T (dual.Speculate): that many guesses are LP-solved and rounded
+	// concurrently. The per-guess procedure builds a fresh LP-RelaxedRA
+	// problem and support graph each call and reads only the immutable
+	// instance, so workers share no mutable state. 0 or 1 keeps the
+	// sequential bisection.
+	SearchWorkers int
 }
 
 func (o Options) normalize() Options {
@@ -166,7 +173,10 @@ func solveRelaxed(in *core.Instance, T float64, admit func(i, k int) bool) (*rel
 }
 
 // schedule runs the shared dual approximation loop with the given decider
-// and packages the outcome. The context is checked between guesses.
+// and packages the outcome. The context is checked between guesses. The
+// decider must be safe for concurrent calls when opt.SearchWorkers > 1
+// (both Theorem 3.10/3.11 deciders are: they build a fresh LP and support
+// graph per guess over the read-only instance).
 func schedule(ctx context.Context, in *core.Instance, name string, opt Options, decide dual.Decider) (core.Result, error) {
 	opt = opt.normalize()
 	greedy, err := baseline.Greedy(in)
@@ -179,7 +189,21 @@ func schedule(ctx context.Context, in *core.Instance, name string, opt Options, 
 		opt.Bounds.PublishUpper(ub) // the greedy schedule is feasible
 		opt.Bounds.PublishLower(lb)
 	}
-	out := dual.SearchWithBounds(ctx, in, lb, ub, opt.Precision, greedy, opt.Bounds, decide)
+	workers := dual.EffectiveParallelism(opt.SearchWorkers)
+	deciders := make([]dual.GuessDecider, workers)
+	for w := range deciders {
+		deciders[w] = func(g dual.Guess) (*core.Schedule, bool) { return decide(g.T) }
+	}
+	out := dual.Run(ctx, dual.Config{
+		Instance:  in,
+		Lower:     lb,
+		Upper:     ub,
+		Precision: opt.Precision,
+		Fallback:  greedy,
+		Bus:       opt.Bounds,
+		Strategy:  dual.Speculate(workers),
+		Deciders:  deciders,
+	})
 	low := out.LowerBound
 	if lb > low {
 		low = lb

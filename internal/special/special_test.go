@@ -9,6 +9,7 @@ import (
 	"repro/internal/core"
 	"repro/internal/exact"
 	"repro/internal/gen"
+	"repro/internal/testutil"
 )
 
 func TestCheckClassUniformRA(t *testing.T) {
@@ -159,5 +160,53 @@ func TestLowerBoundSound(t *testing.T) {
 		if res.LowerBound > opt+1e-6 {
 			t.Errorf("seed %d: claimed lower bound %v exceeds true optimum %v", seed, res.LowerBound, opt)
 		}
+	}
+}
+
+// TestSpeculativeSearchWorkers: both special-case deciders are stateless
+// per guess, so the speculative parallel search (run under -race) must
+// produce valid schedules whose certified bounds agree with the sequential
+// search within the combined precision.
+func TestSpeculativeSearchWorkers(t *testing.T) {
+	testutil.ForceParallel(t)
+	rng := rand.New(rand.NewSource(4))
+	cases := []struct {
+		name  string
+		in    *core.Instance
+		solve func(*core.Instance, Options) (core.Result, error)
+	}{
+		{"ra2", gen.RestrictedClassUniform(rng, gen.Params{N: 24, M: 4, K: 4}),
+			func(in *core.Instance, o Options) (core.Result, error) {
+				return ScheduleClassUniformRA(context.Background(), in, o)
+			}},
+		{"pt3", gen.UnrelatedClassUniform(rng, gen.Params{N: 24, M: 4, K: 4}),
+			func(in *core.Instance, o Options) (core.Result, error) {
+				return ScheduleClassUniformPT(context.Background(), in, o)
+			}},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			seq, err := tc.solve(tc.in, Options{})
+			if err != nil {
+				t.Fatal(err)
+			}
+			spec, err := tc.solve(tc.in, Options{SearchWorkers: 3})
+			if err != nil {
+				t.Fatal(err)
+			}
+			if spec.Schedule == nil || spec.Schedule.Validate(tc.in) != nil {
+				t.Fatal("speculative search produced an invalid schedule")
+			}
+			// The LP-feasibility threshold is deterministic; both searches
+			// certify lower bounds within one precision step below it.
+			const prec = 0.02
+			if seq.LowerBound > 0 && spec.LowerBound > 0 {
+				ratio := seq.LowerBound / spec.LowerBound
+				if ratio < 1/(1+prec)/(1+prec) || ratio > (1+prec)*(1+prec) {
+					t.Errorf("sequential lower bound %g vs speculative %g beyond precision",
+						seq.LowerBound, spec.LowerBound)
+				}
+			}
+		})
 	}
 }

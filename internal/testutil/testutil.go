@@ -1,0 +1,21 @@
+// Package testutil holds small cross-package test helpers (a test-support
+// package like internal/boundtest; it is only imported from _test files).
+package testutil
+
+import (
+	"runtime"
+	"testing"
+)
+
+// ForceParallel raises GOMAXPROCS so a speculative dual search takes its
+// concurrent round path even on a single-CPU test machine (the dual runner
+// otherwise clamps speculation to the P count, which would leave the
+// concurrency untested there; tests whose deciders block on Guess.Ctx
+// additionally depend on true concurrency to make progress).
+func ForceParallel(t *testing.T) {
+	t.Helper()
+	if old := runtime.GOMAXPROCS(0); old < 4 {
+		runtime.GOMAXPROCS(4)
+		t.Cleanup(func() { runtime.GOMAXPROCS(old) })
+	}
+}

@@ -157,6 +157,27 @@ func WithLPBackend(kind string) SolveOption {
 	return func(c *solveConfig) { c.opt.LPBackend = kind }
 }
 
+// WithSearchWorkers sets the speculative parallelism of dual-approximation
+// binary searches: solvers that search over a makespan guess (the PTAS,
+// the randomized rounding, the class-uniform special cases) evaluate n
+// guesses concurrently per round (dual.Speculate), each worker on its own
+// warm-start state — the rounding clones its LP relaxation (backend, basis,
+// workspace) per worker, so warm bases never race. Verdicts are equivalent
+// to the sequential bisection within the search precision; wall-clock
+// improves when spare cores exist, at the cost of redundant guess work.
+// Values < 2 keep the sequential bisection; any value is further capped at
+// GOMAXPROCS, so speculation never pays redundant work it cannot overlap.
+//
+// The engine clamps n to its WithWorkers budget per solve. The clamp is
+// per search, not global: a Portfolio races its members concurrently and a
+// SolveBatch runs WithWorkers solves at once, so each racing member / batch
+// worker may spawn up to n search workers of its own. Size n with that
+// multiplication in mind (or leave it at 1 for portfolio/batch traffic and
+// reserve speculation for latency-critical single solves).
+func WithSearchWorkers(n int) SolveOption {
+	return func(c *solveConfig) { c.opt.SearchWorkers = n }
+}
+
 // WithLocalSearch toggles the best-improvement descent post-pass on the
 // chosen schedule.
 func WithLocalSearch(on bool) SolveOption {
