@@ -371,6 +371,46 @@ func BenchmarkSolveBatch(b *testing.B) {
 	}
 }
 
+// BenchmarkGovernedBatchPortfolio measures the governor under the
+// multiplicative load it was built for — a batch of portfolio solves, each
+// member running a wide speculative search — against the WithUngoverned
+// baseline, whose layers each size themselves independently. The governed
+// variant holds concurrent LP solves at the token budget; the ungoverned
+// one oversubscribes (see `schedbench -oversub` for the CLI form).
+func BenchmarkGovernedBatchPortfolio(b *testing.B) {
+	rng := rand.New(rand.NewSource(3))
+	ins := make([]*Instance, 8)
+	for i := range ins {
+		ins[i] = gen.Unrelated(rng, gen.Params{N: 24, M: 4, K: 3})
+	}
+	for _, mode := range []struct {
+		name string
+		opts []EngineOption
+	}{
+		{"governed", nil},
+		{"ungoverned", []EngineOption{WithUngoverned()}},
+	} {
+		b.Run(mode.name, func(b *testing.B) {
+			eng, err := New(append(mode.opts, WithBoundCache(0))...)
+			if err != nil {
+				b.Fatal(err)
+			}
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				res := eng.SolveBatch(context.Background(), ins,
+					WithPortfolio(), WithSearchWorkers(4),
+					WithSeed(3), WithoutWarmStart())
+				for _, br := range res {
+					if br.Err != nil {
+						b.Fatal(br.Err)
+					}
+				}
+			}
+		})
+	}
+}
+
 // BenchmarkBoundCacheHit measures a fingerprint-cache hit: re-solving an
 // instance the engine has already solved, so the dual search starts
 // narrowed to the cached bounds. Compare against BenchmarkSolveEngine to

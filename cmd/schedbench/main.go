@@ -12,6 +12,7 @@
 //	schedbench -engine -timeout 2s -n 40 -m 6
 //	schedbench -engine -lp dense  pin the LP backend (compare against -lp sparse)
 //	schedbench -engine -search-workers 4   speculative parallel dual search
+//	schedbench -oversub -batch 16 -n 40 -m 5 -k 4    governed vs ungoverned
 //
 // The -engine mode generates one instance per machine environment and runs
 // every applicable registry solver plus the portfolio race on it, printing
@@ -20,6 +21,13 @@
 // with a context deadline; -search-workers evaluates that many makespan
 // guesses concurrently in every dual-approximation search (the sw column
 // shows the effective parallelism per solver).
+//
+// The -oversub mode measures the concurrency governor: it fires the worst
+// multiplicative load the API can express — a SolveBatch of -batch
+// instances, each solved as a portfolio race, each member running a
+// -search-workers-wide speculative search — at a governed engine and at a
+// WithUngoverned one, and prints wall clock, the observed peak of
+// simultaneous LP solves, and the governor's token statistics for each.
 package main
 
 import (
@@ -28,6 +36,7 @@ import (
 	"fmt"
 	"math/rand"
 	"os"
+	"runtime"
 	"time"
 
 	"repro"
@@ -35,6 +44,7 @@ import (
 	"repro/internal/dual"
 	"repro/internal/experiments"
 	"repro/internal/gen"
+	"repro/internal/lp"
 	"repro/internal/table"
 )
 
@@ -53,6 +63,8 @@ func main() {
 		k       = flag.Int("k", 3, "engine mode: number of setup classes")
 		lpKind  = flag.String("lp", "", "engine mode: LP backend for the randomized rounding's feasibility LPs (dense|sparse; default sparse)")
 		sworker = flag.Int("search-workers", 0, "engine mode: speculative parallelism of dual-approximation searches (guesses evaluated concurrently; <2 = sequential bisection)")
+		oversub = flag.Bool("oversub", false, "oversubscription scenario: governed vs ungoverned engine under batch × portfolio × speculative-search load")
+		batch   = flag.Int("batch", 8, "oversub mode: instances per SolveBatch")
 	)
 	flag.Parse()
 
@@ -64,6 +76,11 @@ func main() {
 		}
 	case *engMode:
 		if err := engineBench(*seed, *n, *m, *k, *timeout, *gap, *lpKind, *sworker); err != nil {
+			fmt.Fprintln(os.Stderr, "error:", err)
+			os.Exit(1)
+		}
+	case *oversub:
+		if err := oversubBench(*seed, *n, *m, *k, *batch, *sworker, *timeout); err != nil {
 			fmt.Fprintln(os.Stderr, "error:", err)
 			os.Exit(1)
 		}
@@ -119,8 +136,9 @@ func engineBench(seed int64, n, m, k int, timeout time.Duration, gap float64, lp
 	if sworkers < 1 {
 		sworkers = 1
 	}
-	// The engine clamps per-call search parallelism to its worker budget,
-	// so size the budget to honor the flag.
+	// WithWorkers is the governor's global token budget; size it to the
+	// requested search width so a solo solve can actually be granted that
+	// many concurrent guess evaluations.
 	eng, err := sched.New(sched.WithWorkers(sworkers))
 	if err != nil {
 		return err
@@ -184,6 +202,71 @@ func engineBench(seed int64, n, m, k int, timeout time.Duration, gap float64, lp
 		}
 		fmt.Println(tab.String())
 	}
+	return nil
+}
+
+// oversubBench measures what the governor buys under multiplicative load.
+// One batch of unrelated instances is solved twice — on a governed engine
+// (default budget: GOMAXPROCS) and on a WithUngoverned one — with every
+// parallelism layer engaged: SolveBatch dispatch × portfolio racing ×
+// speculative search width. The lp-peak column is measured at the LP layer
+// itself (the resource the tokens meter), so the governed row demonstrates
+// the budget held while the ungoverned row shows the multiplicative blow-up
+// it replaces; gov-peak/waits/degraded report how the tokens were spent.
+func oversubBench(seed int64, n, m, k, batch, sworkers int, timeout time.Duration) error {
+	if sworkers < 1 {
+		sworkers = 4
+	}
+	if batch < 1 {
+		batch = 8
+	}
+	rng := rand.New(rand.NewSource(seed))
+	ins := make([]*core.Instance, batch)
+	for i := range ins {
+		ins[i] = gen.Unrelated(rng, gen.Params{N: n, M: m, K: k})
+	}
+	rows := []struct {
+		name string
+		opts []sched.EngineOption
+	}{
+		{"governed", nil},
+		{"ungoverned", []sched.EngineOption{sched.WithUngoverned()}},
+	}
+	tab := table.New(
+		fmt.Sprintf("oversubscription — batch=%d × portfolio × speculate(%d), unrelated n=%d m=%d K=%d, budget=%d",
+			batch, sworkers, n, m, k, runtime.GOMAXPROCS(0)),
+		"engine", "wall", "Σ makespan", "lp-peak", "gov-peak", "waits", "degraded")
+	for _, r := range rows {
+		eng, err := sched.New(r.opts...)
+		if err != nil {
+			return err
+		}
+		lp.SolveGauge.Reset()
+		ctx, cancel := withTimeout(timeout)
+		start := time.Now()
+		res := eng.SolveBatch(ctx, ins,
+			sched.WithPortfolio(), sched.WithSearchWorkers(sworkers),
+			sched.WithSeed(seed), sched.WithoutWarmStart())
+		wall := time.Since(start)
+		cancel()
+		sum := 0.0
+		for i, br := range res {
+			if br.Err != nil {
+				return fmt.Errorf("%s: instance %d: %w", r.name, i, br.Err)
+			}
+			sum += br.Result.Makespan
+		}
+		govPeak, waits, degraded := "-", "-", "-"
+		if len(r.opts) == 0 {
+			st := eng.GovernorStats()
+			govPeak = fmt.Sprintf("%d/%d", st.Peak, st.Budget)
+			waits = fmt.Sprintf("%d", st.Waits)
+			degraded = fmt.Sprintf("%d", st.Degradations)
+		}
+		tab.AddRow(r.name, fmtDur(wall), fmt.Sprintf("%.0f", sum),
+			fmt.Sprintf("%d", lp.SolveGauge.Peak()), govPeak, waits, degraded)
+	}
+	fmt.Println(tab.String())
 	return nil
 }
 

@@ -23,13 +23,18 @@ import (
 //   - an event fan-out streaming anytime progress (incumbent improvements,
 //     certified-bound updates) to subscribers.
 //
-// All methods are safe for concurrent use; SolveBatch additionally bounds
-// its own concurrency with the engine's worker budget (WithWorkers). The
+// All methods are safe for concurrent use. Concurrency is bounded
+// engine-wide by the governor, a weighted semaphore holding WithWorkers
+// tokens (default GOMAXPROCS): every solve is admitted with one guaranteed
+// token, and batch dispatch, portfolio member launches and speculative
+// search width draw any extra parallelism from the same pool,
+// acquire-or-degrade (see GovernorStats for the live occupancy). The
 // package-level Solve/Portfolio/PTAS/… functions are thin wrappers over a
 // lazily-built shared engine (DefaultEngine).
 type Engine struct {
 	reg      *engine.Registry
 	cache    *engine.BoundCache
+	gov      *engine.Governor // nil with WithUngoverned
 	workers  int
 	defaults []SolveOption
 
@@ -38,7 +43,7 @@ type Engine struct {
 }
 
 // New builds an Engine. With no options it carries the full paper solver
-// set, a 256-fingerprint bound cache and GOMAXPROCS batch workers.
+// set, a 256-fingerprint bound cache and a GOMAXPROCS-token governor.
 func New(opts ...EngineOption) (*Engine, error) {
 	cfg := engineConfig{workers: defaultWorkers(), cacheSize: engine.DefaultBoundCacheSize}
 	for _, o := range opts {
@@ -71,6 +76,9 @@ func New(opts ...EngineOption) (*Engine, error) {
 		workers:  cfg.workers,
 		defaults: cfg.defaults,
 		subs:     make(map[chan Event]struct{}),
+	}
+	if !cfg.ungoverned {
+		e.gov = engine.NewGovernor(cfg.workers)
 	}
 	if cfg.cacheSize > 0 {
 		e.cache = engine.NewBoundCache(cfg.cacheSize)
@@ -226,13 +234,43 @@ type solveSession struct {
 	cancel context.CancelFunc
 }
 
-// begin opens a solve session: look the fingerprint up in the cache, seed
-// the bound bus, install the event tap and apply the per-request timeout.
-// The fingerprint is only computed when something consumes it (the cache
-// or an event listener), so a cache-less heuristics engine pays no hashing
-// on its hot path. Callers must defer s.cancel().
-func (e *Engine) begin(ctx context.Context, in *Instance, cfg solveConfig) solveSession {
-	s := solveSession{ctx: ctx, cancel: func() {}}
+// begin opens a solve session: admit the solve through the governor (one
+// guaranteed token, blocking until a lane frees or the deadline hits),
+// look the fingerprint up in the cache, seed the bound bus, install the
+// event tap and apply the per-request timeout. The fingerprint is only
+// computed when something consumes it (the cache or an event listener), so
+// a cache-less heuristics engine pays no hashing on its hot path. Callers
+// must defer s.cancel() on success; it releases the admission token.
+func (e *Engine) begin(ctx context.Context, in *Instance, cfg solveConfig) (solveSession, error) {
+	s := solveSession{ctx: ctx}
+	var cancelTimeout context.CancelFunc
+	if cfg.timeout > 0 {
+		// The deadline covers the whole call, admission wait included: a
+		// solve stuck behind a saturated governor times out like any other.
+		s.ctx, cancelTimeout = context.WithTimeout(ctx, cfg.timeout)
+	}
+	release := func() {}
+	if e.gov != nil && !cfg.admitted {
+		// Admission: the solve's one guaranteed compute lane. Everything
+		// wider (portfolio members, search width) is acquire-or-degrade
+		// inside the solve, so holding this token can never deadlock.
+		if err := e.gov.Acquire(s.ctx); err != nil {
+			if cancelTimeout != nil {
+				cancelTimeout()
+			}
+			return solveSession{}, err
+		}
+		release = func() { e.gov.Release(1) }
+	}
+	var once sync.Once
+	s.cancel = func() {
+		once.Do(func() {
+			if cancelTimeout != nil {
+				cancelTimeout()
+			}
+			release()
+		})
+	}
 	tapped := cfg.events != nil || e.hasSubscribers()
 	if e.cache != nil || tapped {
 		s.fp = in.Fingerprint()
@@ -254,21 +292,22 @@ func (e *Engine) begin(ctx context.Context, in *Instance, cfg solveConfig) solve
 		s.base.PublishLower(s.cached.Lower)
 	}
 	s.opt = cfg.opt
-	// The engine's worker budget (WithWorkers) caps the speculative search
-	// parallelism of each individual solve. Concurrent solves multiply: a
-	// portfolio's racing members (and a batch's workers) each get their own
-	// search-worker allowance — see WithSearchWorkers for sizing guidance.
-	if s.opt.SearchWorkers > e.workers {
+	if e.gov != nil {
+		// The governor is the width authority: the solve's portfolio and
+		// search layers draw extra parallelism from it live, so the static
+		// per-solve SearchWorkers clamp of the ungoverned path is not
+		// needed — concurrent solves share one pool instead of multiplying.
+		s.opt.Budget = e.gov
+	} else if s.opt.SearchWorkers > e.workers {
+		// Ungoverned compatibility: WithWorkers caps each individual
+		// solve's speculative width, and concurrent solves multiply.
 		s.opt.SearchWorkers = e.workers
 	}
 	s.opt.Bounds = s.base
 	if tapped {
 		s.opt.Bounds = engine.NewEventBus(s.base, s.fp, func(ev Event) { e.broadcast(ev, cfg.events) })
 	}
-	if cfg.timeout > 0 {
-		s.ctx, s.cancel = context.WithTimeout(ctx, cfg.timeout)
-	}
-	return s
+	return s, nil
 }
 
 // fail records what a failed session still learned: lower bounds certified
@@ -280,15 +319,23 @@ func (e *Engine) fail(s solveSession) {
 }
 
 // solveOne runs one configured solve: seed the bound bus from the cache,
-// dispatch, then fold the outcome back into the cache.
+// dispatch (strongest-applicable, the named solver, or — with
+// WithPortfolio — the full applicable race), then fold the outcome back
+// into the cache.
 func (e *Engine) solveOne(ctx context.Context, in *Instance, cfg solveConfig) (Result, error) {
-	s := e.begin(ctx, in, cfg)
+	s, err := e.begin(ctx, in, cfg)
+	if err != nil {
+		return Result{}, err
+	}
 	defer s.cancel()
 	var res Result
-	var err error
-	if cfg.algorithm != "" {
+	switch {
+	case cfg.portfolio:
+		pr, perr := e.reg.Portfolio(s.ctx, in, s.opt)
+		res, err = pr.Best, perr
+	case cfg.algorithm != "":
 		res, err = e.reg.SolveNamed(s.ctx, cfg.algorithm, in, s.opt)
-	} else {
+	default:
 		res, err = e.reg.Solve(s.ctx, in, s.opt)
 	}
 	if err != nil {
@@ -349,7 +396,10 @@ func (e *Engine) finish(s solveSession, res Result) (Result, bool) {
 // WithAlgorithm is ignored — a portfolio always races the whole applicable
 // set.
 func (e *Engine) Portfolio(ctx context.Context, in *Instance, opts ...SolveOption) (PortfolioResult, error) {
-	s := e.begin(ctx, in, e.config(opts))
+	s, err := e.begin(ctx, in, e.config(opts))
+	if err != nil {
+		return PortfolioResult{}, err
+	}
 	defer s.cancel()
 	pr, err := e.reg.Portfolio(s.ctx, in, s.opt)
 	if err != nil {
@@ -381,11 +431,15 @@ type BatchResult struct {
 }
 
 // SolveBatch solves many instances through a bounded worker pool — the
-// engine's service mode. Up to WithWorkers instances are in flight at once;
-// each gets its own deadline when WithTimeout is set (per request, from the
-// moment a worker picks it up), shares the engine's fingerprint cache
-// (repeated instances in one batch warm-start each other) and streams
-// progress to event subscribers tagged with its fingerprint.
+// engine's service mode. The pool is sized by the governor's token budget
+// (WithWorkers), and each worker acquires one governor token per instance
+// before solving it, so concurrent batches (and concurrent Solve calls)
+// share the engine-wide budget fairly instead of each claiming a full
+// pool. Every instance gets its own deadline when WithTimeout is set (per
+// request, from the moment a worker picks it up), shares the engine's
+// fingerprint cache (repeated instances in one batch warm-start each
+// other) and streams progress to event subscribers tagged with its
+// fingerprint.
 //
 // The returned slice is index-aligned with ins and always has one entry per
 // instance: cancelling ctx stops the batch early, marking the unsolved
@@ -406,6 +460,13 @@ func (e *Engine) SolveBatch(ctx context.Context, ins []*Instance, opts ...SolveO
 		return out
 	}
 	workers := e.workers
+	if e.gov != nil {
+		workers = e.gov.Cap()
+		// Each batch worker holds the governor token for its current job
+		// (acquired below, per instance); solveOne must not acquire a
+		// second one for the same solve.
+		cfg.admitted = true
+	}
 	if workers > len(ins) {
 		workers = len(ins)
 	}
@@ -427,7 +488,19 @@ func (e *Engine) SolveBatch(ctx context.Context, ins []*Instance, opts ...SolveO
 				case ins[i] == nil:
 					br.Err = fmt.Errorf("sched: batch instance %d is nil", i)
 				default:
-					br.Result, br.Err = e.solveOne(ctx, ins[i], cfg)
+					if e.gov != nil {
+						// Admission per instance, not per worker lifetime:
+						// tokens return to the pool between jobs, so other
+						// engine traffic interleaves with a long batch.
+						if err := e.gov.Acquire(ctx); err != nil {
+							br.Err = err
+							break
+						}
+						br.Result, br.Err = e.solveOne(ctx, ins[i], cfg)
+						e.gov.Release(1)
+					} else {
+						br.Result, br.Err = e.solveOne(ctx, ins[i], cfg)
+					}
 				}
 				br.Elapsed = time.Since(start)
 				out[i] = br
@@ -440,6 +513,23 @@ func (e *Engine) SolveBatch(ctx context.Context, ins []*Instance, opts ...SolveO
 	close(jobs)
 	wg.Wait()
 	return out
+}
+
+// GovernorStats is a snapshot of the engine governor's occupancy counters;
+// see Engine.GovernorStats.
+type GovernorStats = engine.GovernorStats
+
+// GovernorStats reports the governor's live occupancy: the token budget,
+// tokens currently in use, the high-water mark, how many admissions had to
+// wait for a token, and how many acquire-or-degrade requests were granted
+// fewer tokens than asked (each such grant shrank a portfolio launch or a
+// speculative search round). On an ungoverned engine (WithUngoverned) all
+// fields are zero.
+func (e *Engine) GovernorStats() GovernorStats {
+	if e.gov == nil {
+		return GovernorStats{}
+	}
+	return e.gov.Stats()
 }
 
 // --- solver plug-in surface -------------------------------------------------

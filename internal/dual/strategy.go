@@ -123,6 +123,28 @@ func EffectiveParallelism(k int) int {
 	return k
 }
 
+// PlanParallelism sizes the per-worker warm-start state (relaxation
+// clones, rng streams, decider slots) of a speculative search under the
+// given concurrency budget. Ungoverned (nil budget) it is
+// EffectiveParallelism: the GOMAXPROCS clamp. Governed, the budget is the
+// width authority instead — the plan is capped at the budget's total
+// capacity (the most width any round could ever be granted), and the
+// actual per-round width is whatever Config.Budget grants live, so a
+// saturated box shrinks rounds toward bisection without the solver having
+// over-provisioned state for workers that can never run.
+func PlanParallelism(k int, budget core.TokenBudget) int {
+	if budget == nil {
+		return EffectiveParallelism(k)
+	}
+	if c := budget.Cap(); k > c {
+		k = c
+	}
+	if k < 1 {
+		k = 1
+	}
+	return k
+}
+
 // Config parameterizes Run, the strategy-driven search runner that Search,
 // SearchWithBounds and SearchGuesses are thin wrappers over.
 type Config struct {
@@ -141,6 +163,17 @@ type Config struct {
 	Bus core.BoundBus
 	// Strategy proposes the guesses; nil means Bisect{}.
 	Strategy Strategy
+	// Budget, when non-nil, connects the search to the engine's global
+	// concurrency budget: the evaluating goroutine itself rides the solve's
+	// guaranteed token, and every round TryAcquires up to
+	// min(Strategy.Parallelism(), len(guesses))−1 extra tokens for its
+	// concurrent workers, releasing each as its worker drains — so width
+	// grows back the moment other solves free tokens. A short grant runs
+	// the round narrower (at 1 worker: the sequential in-batch bisection),
+	// which is the Speculate→Bisect degradation ladder, never a block. A
+	// nil Budget keeps the ungoverned behavior: width clamped at
+	// GOMAXPROCS.
+	Budget core.TokenBudget
 	// Deciders are the per-worker decision procedures. Worker w only ever
 	// invokes Deciders[w], so each decider needs no internal locking as
 	// long as distinct deciders share no mutable state (warm-start
@@ -191,7 +224,7 @@ func Run(ctx context.Context, cfg Config) Outcome {
 	if workers < 1 {
 		workers = 1
 	}
-	r := &runner{in: in, bus: cfg.Bus, deciders: cfg.Deciders, workers: workers, out: &out}
+	r := &runner{in: in, bus: cfg.Bus, deciders: cfg.Deciders, workers: workers, budget: cfg.Budget, out: &out}
 	lo := searchFloor(cfg.Lower, cfg.Upper)
 	hi := cfg.Upper
 	var buf []float64
@@ -240,6 +273,7 @@ type runner struct {
 	bus      core.BoundBus
 	deciders []GuessDecider
 	workers  int
+	budget   core.TokenBudget // nil = ungoverned (GOMAXPROCS clamp)
 	out      *Outcome
 }
 
@@ -273,12 +307,22 @@ func (r *runner) round(ctx context.Context, guesses []float64, lo, hi float64) (
 	if workers > n {
 		workers = n
 	}
-	if p := runtime.GOMAXPROCS(0); workers > p {
-		// CPU-bound decider evaluations beyond the P count cannot overlap:
-		// extra goroutines would only time-slice cores, paying for every
-		// guess of the batch. At the single-P extreme the sequential path
-		// below evaluates midpoint-first and drops verdict-implied guesses,
-		// which is never more evaluations than bisection needs for the same
+	if r.budget != nil {
+		// Governed: the evaluating goroutine is the solve's guaranteed
+		// compute lane; every further worker needs a token from the global
+		// budget, acquire-or-degrade. A short grant narrows this round (at
+		// the extreme to the sequential in-batch bisection below, which
+		// costs no more evaluations than Bisect for the same bracket
+		// shrink); the next round asks again, so width recovers as soon as
+		// other solves release tokens.
+		workers = 1 + r.budget.TryAcquire(workers-1)
+	} else if p := runtime.GOMAXPROCS(0); workers > p {
+		// Ungoverned: clamp at what the runtime can overlap. CPU-bound
+		// decider evaluations beyond the P count cannot overlap: extra
+		// goroutines would only time-slice cores, paying for every guess of
+		// the batch. At the single-P extreme the sequential path below
+		// evaluates midpoint-first and drops verdict-implied guesses, which
+		// is never more evaluations than bisection needs for the same
 		// bracket shrink — so a speculative strategy degrades to (at worst)
 		// bisection parity instead of a k-fold slowdown. Callers that need
 		// the concurrent path on one CPU (e.g. deciders that block on
@@ -301,12 +345,18 @@ func (r *runner) round(ctx context.Context, guesses []float64, lo, hi float64) (
 		var wg sync.WaitGroup
 		for w := 0; w < workers; w++ {
 			wg.Add(1)
-			go func(decide GuessDecider) {
+			go func(w int, decide GuessDecider) {
 				defer wg.Done()
+				if r.budget != nil && w > 0 {
+					// Return this worker's token the moment its queue share
+					// drains, not at round end: width flows back to the
+					// governor (and to other solves) as evaluations finish.
+					defer r.budget.Release(1)
+				}
 				for i := range queue {
 					r.eval(ctx, st, vs, guesses, i, lo, hi, decide)
 				}
-			}(r.deciders[w])
+			}(w, r.deciders[w])
 		}
 		for _, i := range order {
 			queue <- i

@@ -56,8 +56,10 @@ type Options struct {
 	// makespan guess (PTAS, randomized rounding, the two class-uniform
 	// special cases) evaluate that many guesses concurrently per round,
 	// each worker on its own warm-start state (the rounding clones its LP
-	// relaxation per worker). 0 or 1 keeps the sequential bisection. The
-	// engine handle clamps this to its WithWorkers budget.
+	// relaxation per worker). 0 or 1 keeps the sequential bisection. With
+	// Budget set the width is additionally governed live: each round runs
+	// as wide as the global budget grants, degrading toward sequential
+	// bisection on a saturated box.
 	SearchWorkers int
 	// LocalSearch post-optimizes the chosen schedule with the
 	// best-improvement descent of internal/improve before returning it.
@@ -75,6 +77,15 @@ type Options struct {
 	// caller-provided bus seeds that race and receives its final bounds,
 	// enabling warm restarts across repeated solves.
 	Bounds core.BoundBus
+	// Budget, when non-nil, is the engine's global concurrency budget (the
+	// governor): portfolio member launches and speculative search width
+	// draw their extra parallelism from it, acquire-or-degrade, instead of
+	// clamping independently. The solve itself is assumed to already hold
+	// one guaranteed token (the engine admits solves through the blocking
+	// side of the governor), so solvers only ever use the non-blocking
+	// TryAcquire/Release. Nil means ungoverned: each layer falls back to
+	// its local GOMAXPROCS clamp.
+	Budget core.TokenBudget
 }
 
 // Caps declares what instances a solver can handle and how strong it is.

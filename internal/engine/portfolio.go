@@ -145,6 +145,16 @@ type PortfolioResult struct {
 // streams layered above), and is mirrored the race's final bounds (warm
 // restarts). An error is returned only when no member produced a feasible
 // schedule.
+//
+// With Options.Budget set the member launch is governed: the race runs on
+// the solve's own guaranteed compute lane plus however many extra tokens
+// the budget grants (acquire-or-degrade, never blocking), consuming the
+// member queue strongest-first. At the degraded extreme the race becomes
+// priority-sequential racing on one lane — later members still start
+// primed by the incumbents and certified bounds of earlier ones, and the
+// gap watcher can end the race before the queue drains. Members skipped
+// because the race was already cancelled report the race context's error
+// in their outcome. Each extra token is released as its worker finishes.
 func (r *Registry) Portfolio(ctx context.Context, in *core.Instance, opt Options) (PortfolioResult, error) {
 	solvers := r.Applicable(in, opt)
 	if len(solvers) == 0 {
@@ -163,35 +173,81 @@ func (r *Registry) Portfolio(ctx context.Context, in *core.Instance, opt Options
 
 	outcomes := make([]SolverOutcome, len(solvers))
 	start := time.Now()
-	var wg sync.WaitGroup
-	for idx, s := range solvers {
-		wg.Add(1)
+	// race runs one member to completion, recording its outcome.
+	race := func(idx int, s Solver) {
 		mb := &memberBus{inc: bus, obs: opt.Bounds, start: start}
 		mopt := opt
 		mopt.Bounds = mb
-		go func(idx int, s Solver, mb *memberBus, mopt Options) {
-			defer wg.Done()
-			defer func() {
-				if p := recover(); p != nil {
-					outcomes[idx] = SolverOutcome{
-						Solver:  s.Name(),
-						Err:     fmt.Errorf("engine: solver %s panicked: %v", s.Name(), p),
-						Elapsed: time.Since(start),
-						Bounds:  mb.contribution(),
+		defer func() {
+			if p := recover(); p != nil {
+				outcomes[idx] = SolverOutcome{
+					Solver:  s.Name(),
+					Err:     fmt.Errorf("engine: solver %s panicked: %v", s.Name(), p),
+					Elapsed: time.Since(start),
+					Bounds:  mb.contribution(),
+				}
+			}
+		}()
+		res, err := s.Solve(raceCtx, in, mopt)
+		if err == nil && res.Schedule == nil {
+			err = fmt.Errorf("engine: solver %s returned no schedule", s.Name())
+		}
+		if err == nil {
+			if verr := res.Schedule.Validate(in); verr != nil {
+				err = fmt.Errorf("engine: solver %s produced an infeasible schedule: %w", s.Name(), verr)
+			}
+		}
+		outcomes[idx] = SolverOutcome{Solver: s.Name(), Result: res, Err: err, Elapsed: time.Since(start), Bounds: mb.contribution()}
+	}
+
+	pool := len(solvers)
+	if opt.Budget != nil && pool > 1 {
+		// Governed launch: one lane is the solve's guaranteed token; every
+		// further concurrent member costs an extra token, acquired without
+		// blocking so a saturated box degrades the race instead of
+		// deadlocking it.
+		pool = 1 + opt.Budget.TryAcquire(pool-1)
+	}
+	var wg sync.WaitGroup
+	if pool >= len(solvers) {
+		for idx, s := range solvers {
+			wg.Add(1)
+			go func(idx int, s Solver) {
+				defer wg.Done()
+				if opt.Budget != nil && idx > 0 {
+					defer opt.Budget.Release(1)
+				}
+				race(idx, s)
+			}(idx, s)
+		}
+	} else {
+		// Fewer lanes than members: a worker pool consumes the member queue
+		// in Applicable order (strongest first), so the members most likely
+		// to win run earliest and everything later starts primed by the
+		// shared bus.
+		queue := make(chan int)
+		for w := 0; w < pool; w++ {
+			wg.Add(1)
+			go func(w int) {
+				defer wg.Done()
+				if opt.Budget != nil && w > 0 {
+					defer opt.Budget.Release(1)
+				}
+				for idx := range queue {
+					if err := raceCtx.Err(); err != nil {
+						// The race ended (gap hit or caller cancelled) before
+						// this member started.
+						outcomes[idx] = SolverOutcome{Solver: solvers[idx].Name(), Err: err, Elapsed: time.Since(start)}
+						continue
 					}
+					race(idx, solvers[idx])
 				}
-			}()
-			res, err := s.Solve(raceCtx, in, mopt)
-			if err == nil && res.Schedule == nil {
-				err = fmt.Errorf("engine: solver %s returned no schedule", s.Name())
-			}
-			if err == nil {
-				if verr := res.Schedule.Validate(in); verr != nil {
-					err = fmt.Errorf("engine: solver %s produced an infeasible schedule: %w", s.Name(), verr)
-				}
-			}
-			outcomes[idx] = SolverOutcome{Solver: s.Name(), Result: res, Err: err, Elapsed: time.Since(start), Bounds: mb.contribution()}
-		}(idx, s, mb, mopt)
+			}(w)
+		}
+		for idx := range solvers {
+			queue <- idx
+		}
+		close(queue)
 	}
 	wg.Wait()
 

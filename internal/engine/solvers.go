@@ -137,6 +137,7 @@ func newPTASSolver() Solver {
 			Precision:     opt.Precision,
 			Bounds:        opt.Bounds,
 			SearchWorkers: opt.SearchWorkers,
+			Budget:        opt.Budget,
 		})
 		return res, err
 	})
@@ -155,6 +156,7 @@ func newRoundingSolver() Solver {
 			Bounds:        opt.Bounds,
 			LPBackend:     opt.LPBackend,
 			SearchWorkers: opt.SearchWorkers,
+			Budget:        opt.Budget,
 		})
 	})
 }
@@ -166,7 +168,7 @@ func newRA2Solver() Solver {
 		Guarantee:           "2-approximation (Theorem 3.10)",
 		Priority:            40,
 	}, func(ctx context.Context, in *core.Instance, opt Options) (core.Result, error) {
-		return special.ScheduleClassUniformRA(ctx, in, special.Options{Precision: opt.Precision, Bounds: opt.Bounds, SearchWorkers: opt.SearchWorkers})
+		return special.ScheduleClassUniformRA(ctx, in, special.Options{Precision: opt.Precision, Bounds: opt.Bounds, SearchWorkers: opt.SearchWorkers, Budget: opt.Budget})
 	})
 }
 
@@ -177,7 +179,7 @@ func newPT3Solver() Solver {
 		Guarantee:           "3-approximation (Theorem 3.11)",
 		Priority:            30,
 	}, func(ctx context.Context, in *core.Instance, opt Options) (core.Result, error) {
-		return special.ScheduleClassUniformPT(ctx, in, special.Options{Precision: opt.Precision, Bounds: opt.Bounds, SearchWorkers: opt.SearchWorkers})
+		return special.ScheduleClassUniformPT(ctx, in, special.Options{Precision: opt.Precision, Bounds: opt.Bounds, SearchWorkers: opt.SearchWorkers, Budget: opt.Budget})
 	})
 }
 

@@ -1,0 +1,38 @@
+package lp
+
+import "sync/atomic"
+
+// Gauge tracks how many LP solves run at the same instant, remembering the
+// high-water mark. It exists so concurrency tests can assert, from outside
+// the engine, that the governor's token budget really bounds the number of
+// simultaneous LP solves — the resource the budget is meant to meter —
+// rather than trusting the engine's own bookkeeping.
+//
+// Every solverState.Solve and Problem.Solve increments the package-level
+// SolveGauge for its duration. The gauge is a test observability hook, not
+// a throttle: it never blocks.
+type Gauge struct {
+	cur, peak atomic.Int64
+}
+
+func (g *Gauge) enter() {
+	c := g.cur.Add(1)
+	for {
+		p := g.peak.Load()
+		if c <= p || g.peak.CompareAndSwap(p, c) {
+			return
+		}
+	}
+}
+
+func (g *Gauge) exit() { g.cur.Add(-1) }
+
+// Peak reports the highest simultaneous solve count observed since the last
+// Reset.
+func (g *Gauge) Peak() int { return int(g.peak.Load()) }
+
+// Reset clears the high-water mark (in-flight solves keep counting).
+func (g *Gauge) Reset() { g.peak.Store(g.cur.Load()) }
+
+// SolveGauge meters every LP solve in the process.
+var SolveGauge Gauge

@@ -48,6 +48,8 @@ type tableau struct {
 // It returns an error only for internal failures (iteration explosion),
 // which indicates a solver bug rather than a property of the input.
 func (p *Problem) Solve() (*Solution, error) {
+	SolveGauge.enter()
+	defer SolveGauge.exit()
 	t := newTableau(p)
 	// Phase 1: minimize the sum of artificials.
 	if t.nArt > 0 {

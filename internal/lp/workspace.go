@@ -19,10 +19,14 @@ type Workspace struct {
 	xB, w, y, rho, rhsEff, cB []float64
 	// solution output (nv)
 	x []float64
-	// refactorization scratch
-	marks    []bool
-	newBasis []int
-	order    []int
+	// refactorization scratch: the basic column set, its residual pattern
+	// counts and count-bucket links, the unpivoted-row scan set, and the
+	// row→column CSR of the basic pattern.
+	newBasis                []int
+	cnt, bhead, bnext       []int
+	unrows, rowIdx          []int
+	rc, rowStack            []int
+	rowPtr, rowCol, rowFill []int32
 }
 
 // NewWorkspace returns an empty workspace; buffers grow on first use.
@@ -49,14 +53,6 @@ func growI32(s *[]int32, n int) []int32 {
 func growInt(s *[]int, n int) []int {
 	if cap(*s) < n {
 		*s = make([]int, n)
-	}
-	*s = (*s)[:n]
-	return *s
-}
-
-func growBool(s *[]bool, n int) []bool {
-	if cap(*s) < n {
-		*s = make([]bool, n)
 	}
 	*s = (*s)[:n]
 	return *s

@@ -67,6 +67,11 @@ type Options struct {
 	// (simplify + fresh DP arena), so workers share nothing but the
 	// instance. 0 or 1 keeps the sequential bisection.
 	SearchWorkers int
+	// Budget, when non-nil, governs the search width live (the engine's
+	// global concurrency budget): each round runs as wide as the budget
+	// grants, degrading toward sequential bisection when the box is
+	// saturated. Nil keeps the local GOMAXPROCS clamp.
+	Budget core.TokenBudget
 }
 
 func (o Options) normalize() Options {
@@ -132,7 +137,7 @@ func Schedule(ctx context.Context, in *core.Instance, opt Options) (core.Result,
 		guard = &guardedBus{BoundBus: opt.Bounds}
 		bus = guard
 	}
-	workers := dual.EffectiveParallelism(opt.SearchWorkers)
+	workers := dual.PlanParallelism(opt.SearchWorkers, opt.Budget)
 	// The decision procedure is stateless per guess; shared stats are the
 	// only mutable cross-worker state, so one concurrency-safe decider
 	// serves every worker slot.
@@ -170,6 +175,7 @@ func Schedule(ctx context.Context, in *core.Instance, opt Options) (core.Result,
 		Bus:       bus,
 		Strategy:  dual.Speculate(workers),
 		Deciders:  deciders,
+		Budget:    opt.Budget,
 	})
 	if out.Err != nil {
 		stats.Cancelled = true

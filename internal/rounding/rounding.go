@@ -39,6 +39,9 @@ type Options struct {
 	// iterations (the paper's c). Default 3.
 	C int
 	// Rng supplies randomness; a fixed-seed source is created when nil.
+	// Runs are deterministic per seed under the current seed format (v2,
+	// batched fixed-point draws — see Round); schedules differ from what
+	// the same seed produced under v1.
 	Rng *rand.Rand
 	// Precision is the relative precision of the binary search on T.
 	// Default 0.05.
@@ -60,6 +63,13 @@ type Options struct {
 	// Memory scales with workers (one LP backend per worker); verdicts are
 	// equivalent to the sequential search within precision.
 	SearchWorkers int
+	// Budget, when non-nil, governs the search width live (the engine's
+	// global concurrency budget): per-worker state is provisioned up to
+	// min(SearchWorkers, Budget.Cap()) and each search round runs only as
+	// wide as the budget grants at that moment, degrading toward the
+	// sequential bisection on a saturated box. Nil keeps the local
+	// GOMAXPROCS clamp.
+	Budget core.TokenBudget
 }
 
 func (o Options) normalize() Options {
@@ -486,6 +496,64 @@ func (rel *Relaxation) rebuild(T float64) error {
 	return nil
 }
 
+// bernScale is the fixed-point one: a batched Bernoulli draw with
+// threshold t succeeds with probability t/bernScale.
+const bernScale = 1 << 32
+
+// bernThresh converts a probability to its 32-bit fixed-point draw
+// threshold. p ≤ 0 maps to 0 (never succeeds, and callers skip the draw
+// entirely), p ≥ 1 to bernScale (always succeeds: every 32-bit lane value
+// is below it).
+func bernThresh(p float64) uint64 {
+	switch {
+	case p <= 0:
+		return 0
+	case p >= 1:
+		return bernScale
+	default:
+		return uint64(p * bernScale)
+	}
+}
+
+// bern batches Bernoulli draws over the rng: one rng.Uint64() refill feeds
+// two independent 32-bit lanes, each compared against a fixed-point
+// threshold, so the rounding's innermost loops cost one rng call per two
+// draws instead of one float conversion per draw. 32-bit resolution
+// (granularity 2⁻³²) is far below the LP solver's own tolerance.
+type bern struct {
+	rng   *rand.Rand
+	bits  uint64
+	lanes int
+}
+
+// draw reports success with probability t/bernScale, consuming one lane.
+func (b *bern) draw(t uint64) bool {
+	if b.lanes == 0 {
+		b.bits = b.rng.Uint64()
+		b.lanes = 2
+	}
+	v := uint64(uint32(b.bits))
+	b.bits >>= 32
+	b.lanes--
+	return v < t
+}
+
+// threshPool recycles the O(M·(N+K)) fixed-point threshold buffer between
+// Round calls (one buffer per call, M·K open thresholds followed by M·N
+// claim thresholds).
+var threshPool sync.Pool
+
+func getThresh(n int) []uint64 {
+	if v := threshPool.Get(); v != nil {
+		if s := *v.(*[]uint64); cap(s) >= n {
+			return s[:n]
+		}
+	}
+	return make([]uint64, n)
+}
+
+func putThresh(s []uint64) { threshPool.Put(&s) }
+
 // RoundStats reports diagnostic counters from one rounding run.
 type RoundStats struct {
 	// Iterations is the number of rounding iterations performed.
@@ -502,6 +570,14 @@ type RoundStats struct {
 // jobs. The context is polled between iterations; cancellation skips the
 // remaining iterations and completes the schedule via the fallback, so the
 // result is always feasible.
+//
+// Draws are batched (seed format v2): the open and claim probabilities are
+// converted to fixed-point thresholds once per call, each rng.Uint64()
+// feeds two Bernoulli draws, and fully-assigned classes stop consuming
+// draws. A given rng seed therefore yields a different schedule than
+// earlier (v1, per-draw Float64) releases produced — still deterministic
+// per seed, and distributionally equivalent up to the 2⁻³² threshold
+// granularity.
 func Round(ctx context.Context, in *core.Instance, f *Fractional, c int, rng *rand.Rand) (*core.Schedule, RoundStats) {
 	iters := c * int(math.Ceil(math.Log2(float64(in.N)+1)))
 	if iters < 1 {
@@ -511,11 +587,41 @@ func Round(ctx context.Context, in *core.Instance, f *Fractional, c int, rng *ra
 	byClass := in.JobsOfClass()
 	assigned := 0
 	stats := RoundStats{Iterations: iters}
+	// Hoist the probability arithmetic out of the iteration loop: the open
+	// threshold per (machine, class), the claim threshold x_ij/y_ik per
+	// (machine, job). A zero threshold means "never" and is skipped without
+	// consuming a draw.
+	buf := getThresh(in.M*in.K + in.M*in.N)
+	open := buf[:in.M*in.K]
+	claim := buf[in.M*in.K:]
+	for i := 0; i < in.M; i++ {
+		ob, cb := open[i*in.K:], claim[i*in.N:]
+		for k := 0; k < in.K; k++ {
+			ob[k] = bernThresh(f.Y[i][k])
+		}
+		for j := 0; j < in.N; j++ {
+			if x := f.X[i][j]; x > 0 {
+				cb[j] = bernThresh(x / f.Y[i][in.Class[j]])
+			} else {
+				cb[j] = 0
+			}
+		}
+	}
+	// classLeft tracks unassigned jobs per class so exhausted classes stop
+	// paying the open draw and the claim scan.
+	classLeft := make([]int, in.K)
+	for k, jobs := range byClass {
+		classLeft[k] = len(jobs)
+	}
+	d := bern{rng: rng}
 	for h := 0; h < iters && assigned < in.N && ctx.Err() == nil; h++ {
 		for i := 0; i < in.M; i++ {
+			ob, cb := open[i*in.K:], claim[i*in.N:]
 			for k := 0; k < in.K; k++ {
-				y := f.Y[i][k]
-				if y <= 0 || rng.Float64() >= y {
+				if classLeft[k] == 0 {
+					continue // every job of the class is placed already
+				}
+				if t := ob[k]; t == 0 || !d.draw(t) {
 					continue
 				}
 				// Machine i opens class k this iteration.
@@ -523,14 +629,16 @@ func Round(ctx context.Context, in *core.Instance, f *Fractional, c int, rng *ra
 					if sched.Assign[j] >= 0 {
 						continue // duplicate-removal: keep first assignment
 					}
-					if x := f.X[i][j]; x > 0 && rng.Float64() < x/y {
+					if t := cb[j]; t != 0 && d.draw(t) {
 						sched.Assign[j] = i
 						assigned++
+						classLeft[k]--
 					}
 				}
 			}
 		}
 	}
+	putThresh(buf)
 	for j := 0; j < in.N; j++ {
 		if sched.Assign[j] >= 0 {
 			continue
@@ -622,7 +730,7 @@ func ScheduleDetailed(ctx context.Context, in *core.Instance, opt Options) (core
 	// the speculative search runs race-free without locking the LP layer.
 	// The shared diagnostics (guess count, pure-rounding record) and the
 	// abort-on-error channel are the only cross-worker state, guarded by mu.
-	workers := dual.EffectiveParallelism(opt.SearchWorkers)
+	workers := dual.PlanParallelism(opt.SearchWorkers, opt.Budget)
 	if ub <= 0 {
 		// A zero-makespan instance: the search below returns without
 		// evaluating a guess, so per-worker relaxation clones would be
@@ -676,6 +784,7 @@ func ScheduleDetailed(ctx context.Context, in *core.Instance, opt Options) (core
 		Bus:       opt.Bounds,
 		Strategy:  dual.Speculate(workers),
 		Deciders:  deciders,
+		Budget:    opt.Budget,
 	})
 	for _, r := range rels {
 		det.LPIterations += r.Iterations()

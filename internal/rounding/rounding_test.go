@@ -229,3 +229,86 @@ func TestOptionsDefaults(t *testing.T) {
 		t.Errorf("defaults not applied: %+v", o)
 	}
 }
+
+func TestBernThresh(t *testing.T) {
+	cases := []struct {
+		p    float64
+		want uint64
+	}{
+		{-0.5, 0}, {0, 0}, {1, bernScale}, {2, bernScale},
+		{0.5, bernScale / 2},
+	}
+	for _, c := range cases {
+		if got := bernThresh(c.p); got != c.want {
+			t.Errorf("bernThresh(%v) = %d, want %d", c.p, got, c.want)
+		}
+	}
+	// A threshold of bernScale must succeed for every possible lane value
+	// (probability-1 draws can never fail), 0 must always fail.
+	d := bern{rng: rand.New(rand.NewSource(7))}
+	for i := 0; i < 1000; i++ {
+		if !d.draw(bernScale) {
+			t.Fatal("draw(bernScale) failed; p=1 draws must always succeed")
+		}
+		if d.draw(0) {
+			t.Fatal("draw(0) succeeded; p=0 draws must never succeed")
+		}
+	}
+}
+
+func TestBernDrawFrequency(t *testing.T) {
+	// The batched drawer must still be a Bernoulli(p) sampler: over many
+	// draws the success frequency concentrates near p.
+	for _, p := range []float64{0.1, 0.5, 0.9} {
+		d := bern{rng: rand.New(rand.NewSource(int64(p * 100)))}
+		th := bernThresh(p)
+		const n = 200000
+		hits := 0
+		for i := 0; i < n; i++ {
+			if d.draw(th) {
+				hits++
+			}
+		}
+		got := float64(hits) / n
+		if math.Abs(got-p) > 0.01 {
+			t.Errorf("draw frequency for p=%v: got %v", p, got)
+		}
+	}
+}
+
+func TestRoundDeterministicPerSeed(t *testing.T) {
+	// Seed-format v2 regression: the batched-draw rounding must stay
+	// deterministic — the same seed yields byte-identical assignments.
+	rng := rand.New(rand.NewSource(99))
+	for trial := 0; trial < 20; trial++ {
+		p := gen.Params{N: 2 + rng.Intn(14), M: 1 + rng.Intn(4), K: 1 + rng.Intn(3)}
+		in := gen.Unrelated(rng, p)
+		T := 0.0
+		for j := 0; j < in.N; j++ {
+			worstBest := math.Inf(1)
+			for i := 0; i < in.M; i++ {
+				if v := in.P[i][j] + in.S[i][in.Class[j]]; v < worstBest {
+					worstBest = v
+				}
+			}
+			T += worstBest
+		}
+		if T == 0 {
+			T = 1
+		}
+		frac, err := SolveLP(in, T)
+		if err != nil || frac == nil {
+			t.Fatalf("trial %d: SolveLP: f=%v err=%v", trial, frac, err)
+		}
+		seed := rng.Int63()
+		a, _ := Round(context.Background(), in, frac, 3, rand.New(rand.NewSource(seed)))
+		b, _ := Round(context.Background(), in, frac, 3, rand.New(rand.NewSource(seed)))
+		for j := range a.Assign {
+			if a.Assign[j] != b.Assign[j] {
+				t.Fatalf("trial %d seed %d: assignments diverge at job %d: %d vs %d",
+					trial, seed, j, a.Assign[j], b.Assign[j])
+			}
+		}
+		frac.Release()
+	}
+}

@@ -61,6 +61,11 @@ type Options struct {
 	// instance, so workers share no mutable state. 0 or 1 keeps the
 	// sequential bisection.
 	SearchWorkers int
+	// Budget, when non-nil, governs the search width live (the engine's
+	// global concurrency budget): each round runs as wide as the budget
+	// grants, degrading toward sequential bisection when the box is
+	// saturated. Nil keeps the local GOMAXPROCS clamp.
+	Budget core.TokenBudget
 }
 
 func (o Options) normalize() Options {
@@ -189,7 +194,7 @@ func schedule(ctx context.Context, in *core.Instance, name string, opt Options, 
 		opt.Bounds.PublishUpper(ub) // the greedy schedule is feasible
 		opt.Bounds.PublishLower(lb)
 	}
-	workers := dual.EffectiveParallelism(opt.SearchWorkers)
+	workers := dual.PlanParallelism(opt.SearchWorkers, opt.Budget)
 	deciders := make([]dual.GuessDecider, workers)
 	for w := range deciders {
 		deciders[w] = func(g dual.Guess) (*core.Schedule, bool) { return decide(g.T) }
@@ -203,6 +208,7 @@ func schedule(ctx context.Context, in *core.Instance, name string, opt Options, 
 		Bus:       opt.Bounds,
 		Strategy:  dual.Speculate(workers),
 		Deciders:  deciders,
+		Budget:    opt.Budget,
 	})
 	low := out.LowerBound
 	if lb > low {

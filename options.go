@@ -12,11 +12,12 @@ import (
 
 // engineConfig accumulates EngineOptions inside New.
 type engineConfig struct {
-	registry  *engine.Registry
-	solvers   []string
-	workers   int
-	cacheSize int
-	defaults  []SolveOption
+	registry   *engine.Registry
+	solvers    []string
+	workers    int
+	cacheSize  int
+	defaults   []SolveOption
+	ungoverned bool
 }
 
 // EngineOption configures an Engine at construction (sched.New).
@@ -54,14 +55,41 @@ func WithRegistry(reg *Registry) EngineOption {
 	}
 }
 
-// WithWorkers bounds the number of instances SolveBatch solves
-// concurrently. The default is runtime.GOMAXPROCS(0).
+// WithWorkers sets the engine's global concurrency budget — the token
+// count of its governor. The default is runtime.GOMAXPROCS(0).
+//
+// Every unit of parallelism the engine spends draws from this one budget:
+// SolveBatch admits at most n instances at a time, a portfolio race's
+// extra members each cost a token, and a speculative dual search
+// (WithSearchWorkers) widens only as far as the remaining tokens allow.
+// The layers compose cooperatively — each admitted solve owns one
+// guaranteed token, and everything beyond it is acquire-or-degrade — so
+// batch × portfolio × speculation traffic never runs more than n LP
+// solves at once and never deadlocks, even at n = 1. See
+// Engine.GovernorStats for observed utilization, and WithUngoverned for
+// the pre-governor clamping behavior.
 func WithWorkers(n int) EngineOption {
 	return func(c *engineConfig) error {
 		if n < 1 {
 			return fmt.Errorf("sched: WithWorkers(%d): need at least one worker", n)
 		}
 		c.workers = n
+		return nil
+	}
+}
+
+// WithUngoverned disables the engine's concurrency governor, restoring
+// the independent local clamps: SolveBatch runs a WithWorkers-sized
+// worker pool, each solve clamps its own SearchWorkers to the worker
+// budget, and portfolio races launch every member on its own goroutine
+// regardless of load. Layered traffic can then oversubscribe the box
+// multiplicatively (batch × portfolio × speculation); the option exists
+// as the baseline row for oversubscription comparisons (see `schedbench
+// -oversub`) and as an escape hatch should governed admission interact
+// badly with an embedding application's own scheduler.
+func WithUngoverned() EngineOption {
+	return func(c *engineConfig) error {
+		c.ungoverned = true
 		return nil
 	}
 }
@@ -98,6 +126,11 @@ type solveConfig struct {
 	timeout   time.Duration
 	events    chan<- Event
 	cold      bool
+	portfolio bool
+	// admitted marks a solve whose governor token was already acquired by
+	// the caller (SolveBatch workers acquire per job), so begin must not
+	// acquire a second one.
+	admitted bool
 }
 
 // SolveOption tunes one engine call (Engine.Solve, Engine.Portfolio,
@@ -119,6 +152,9 @@ func WithPrecision(p float64) SolveOption {
 
 // WithSeed seeds randomized solvers (the LP rounding); 0 keeps the fixed
 // default stream, so runs are deterministic unless a seed is chosen.
+// Determinism is per seed format: the rounding's draw consumption changed
+// in v2 (batched fixed-point Bernoulli draws), so a seed reproduces runs
+// within this release line but not schedules recorded under v1.
 func WithSeed(seed int64) SolveOption {
 	return func(c *solveConfig) { c.opt.Seed = seed }
 }
@@ -159,21 +195,23 @@ func WithLPBackend(kind string) SolveOption {
 
 // WithSearchWorkers sets the speculative parallelism of dual-approximation
 // binary searches: solvers that search over a makespan guess (the PTAS,
-// the randomized rounding, the class-uniform special cases) evaluate n
-// guesses concurrently per round (dual.Speculate), each worker on its own
-// warm-start state — the rounding clones its LP relaxation (backend, basis,
-// workspace) per worker, so warm bases never race. Verdicts are equivalent
-// to the sequential bisection within the search precision; wall-clock
-// improves when spare cores exist, at the cost of redundant guess work.
-// Values < 2 keep the sequential bisection; any value is further capped at
-// GOMAXPROCS, so speculation never pays redundant work it cannot overlap.
+// the randomized rounding, the class-uniform special cases) evaluate up to
+// n guesses concurrently per round (dual.Speculate), each worker on its
+// own warm-start state — the rounding clones its LP relaxation (backend,
+// basis, workspace) per worker, so warm bases never race. Verdicts are
+// equivalent to the sequential bisection within the search precision;
+// wall-clock improves when spare cores exist, at the cost of redundant
+// guess work. Values < 2 keep the sequential bisection.
 //
-// The engine clamps n to its WithWorkers budget per solve. The clamp is
-// per search, not global: a Portfolio races its members concurrently and a
-// SolveBatch runs WithWorkers solves at once, so each racing member / batch
-// worker may spawn up to n search workers of its own. Size n with that
-// multiplication in mind (or leave it at 1 for portfolio/batch traffic and
-// reserve speculation for latency-critical single solves).
+// On a governed engine (the default), n is a request, not a reservation:
+// each search round runs as wide as the governor's remaining tokens allow
+// at that moment, shrinking toward plain bisection when batch or
+// portfolio traffic holds the budget. There is no multiplicative
+// oversubscription to size around — ask for the width a solo solve should
+// use and let the governor arbitrate contention. Only with WithUngoverned
+// does n act as a hard per-solve clamp (capped at the engine's worker
+// budget and GOMAXPROCS), multiplying across concurrent batch workers and
+// portfolio members.
 func WithSearchWorkers(n int) SolveOption {
 	return func(c *solveConfig) { c.opt.SearchWorkers = n }
 }
@@ -205,10 +243,23 @@ func WithBounds(bus BoundBus) SolveOption {
 }
 
 // WithAlgorithm dispatches to the named registered solver (see Solvers)
-// instead of automatic strongest-applicable selection. Portfolio ignores
-// this option — it always races every applicable solver.
+// instead of automatic strongest-applicable selection. Portfolio races
+// (Engine.Portfolio or WithPortfolio) ignore this option — they always
+// race every applicable solver.
 func WithAlgorithm(name string) SolveOption {
 	return func(c *solveConfig) { c.algorithm = name }
+}
+
+// WithPortfolio makes the solve race every applicable solver instead of
+// dispatching to the strongest one, keeping the best result — the
+// Solve/SolveBatch-shaped counterpart of Engine.Portfolio for callers who
+// want racing without the per-member outcome report. Under the governor
+// the race's extra members are acquire-or-degrade: on a saturated engine
+// the members run priority-sequentially on the solve's own token, still
+// sharing incumbents and certified bounds. WithAlgorithm is ignored when
+// this option is set.
+func WithPortfolio() SolveOption {
+	return func(c *solveConfig) { c.portfolio = true }
 }
 
 // WithTimeout bounds the call with a deadline. In SolveBatch the timeout is
@@ -246,6 +297,6 @@ func WithOptions(opt SolveOptions) SolveOption {
 	return func(c *solveConfig) { c.opt = opt }
 }
 
-// defaultWorkers is the SolveBatch concurrency used when WithWorkers is not
+// defaultWorkers is the governor budget used when WithWorkers is not
 // given.
 func defaultWorkers() int { return runtime.GOMAXPROCS(0) }
