@@ -456,3 +456,77 @@ func BenchmarkPortfolio(b *testing.B) {
 		})
 	}
 }
+
+// --- incremental re-solve benchmarks -----------------------------------------
+
+// onlineBenchInstance is the PR's online-workload anchor shape: M=10 machines,
+// N=100 jobs, K=8 classes, unrelated times, sparse LP backend (the default).
+func onlineBenchInstance(rng *rand.Rand) *Instance {
+	return gen.Unrelated(rng, gen.Params{N: 100, M: 10, K: 8})
+}
+
+// arrivalDelta draws a fresh random job arrival (per-machine times), so no
+// two iterations mutate toward a fingerprint-identical instance.
+func arrivalDelta(rng *rand.Rand, in *Instance) Delta {
+	proc := make([]float64, in.M)
+	for i := range proc {
+		proc[i] = 1 + float64(rng.Intn(99))
+	}
+	return ArriveJobUnrelated(rng.Intn(in.K), proc)
+}
+
+// BenchmarkResolveDelta measures the warm re-solve of a single job arrival:
+// Engine.Resolve entering the dual search with the patched witness, the
+// lifted accept bracket and the in-place-patched LP relaxation. The handle
+// is re-opened outside the timer each iteration (retained state is consumed
+// by its Resolve). Compare against BenchmarkResolveCold for the speedup.
+func BenchmarkResolveDelta(b *testing.B) {
+	rng := rand.New(rand.NewSource(1))
+	in := onlineBenchInstance(rng)
+	// Bound cache off: the measurement is the Resolve pipeline itself, not
+	// the fingerprint cache.
+	eng, err := New(WithBoundCache(0))
+	if err != nil {
+		b.Fatal(err)
+	}
+	ctx := context.Background()
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		b.StopTimer()
+		h, err := eng.Open(ctx, in)
+		if err != nil {
+			b.Fatal(err)
+		}
+		d := arrivalDelta(rng, in)
+		b.StartTimer()
+		if _, err := eng.Resolve(ctx, h, d); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkResolveCold is the baseline for BenchmarkResolveDelta: the same
+// post-arrival instance solved from scratch.
+func BenchmarkResolveCold(b *testing.B) {
+	rng := rand.New(rand.NewSource(1))
+	in := onlineBenchInstance(rng)
+	eng, err := New(WithBoundCache(0))
+	if err != nil {
+		b.Fatal(err)
+	}
+	ctx := context.Background()
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		b.StopTimer()
+		newIn, err := arrivalDelta(rng, in).Apply(in)
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.StartTimer()
+		if _, err := eng.Solve(ctx, newIn, WithoutWarmStart()); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -8,6 +8,8 @@
 //	instgen -kind restricted-cu ...       (class-uniform restrictions)
 //	instgen -kind unrelated-cu ...        (class-uniform processing times)
 //	instgen -kind unrelated -check        solve via the engine, summary on stderr
+//	instgen -kind unrelated -stream 50    instance + 50-event delta sequence
+//	                                      (the `schedbench -online` input)
 package main
 
 import (
@@ -36,6 +38,8 @@ func main() {
 		maxSetup = flag.Int("max-setup", 50, "maximum setup size")
 		check    = flag.Bool("check", false, "solve the generated instance through the engine and print a summary to stderr")
 		timeout  = flag.Duration("timeout", 10*time.Second, "deadline for -check")
+		stream   = flag.Int("stream", 0, "emit a delta-stream document with this many online events instead of a bare instance")
+		arriveW  = flag.Int("arrive-weight", 0, "arrival weight of the -stream event mix (0 = default mix 4:2:2:1:1)")
 	)
 	flag.Parse()
 	rng := rand.New(rand.NewSource(*seed))
@@ -62,7 +66,15 @@ func main() {
 		fmt.Fprintf(os.Stderr, "instgen: unknown kind %q\n", *kind)
 		os.Exit(2)
 	}
-	if err := in.WriteJSON(os.Stdout); err != nil {
+	if *stream > 0 {
+		// Delta-stream mode: one JSON document holding the instance plus a
+		// reproducible online event sequence, every delta valid in order.
+		deltas := gen.DeltaStream(rng, in, gen.StreamParams{Events: *stream, ArriveW: *arriveW})
+		if err := core.WriteDeltaStream(os.Stdout, in, deltas); err != nil {
+			fmt.Fprintln(os.Stderr, "instgen:", err)
+			os.Exit(1)
+		}
+	} else if err := in.WriteJSON(os.Stdout); err != nil {
 		fmt.Fprintln(os.Stderr, "instgen:", err)
 		os.Exit(1)
 	}

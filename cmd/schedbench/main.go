@@ -13,6 +13,8 @@
 //	schedbench -engine -lp dense  pin the LP backend (compare against -lp sparse)
 //	schedbench -engine -search-workers 4   speculative parallel dual search
 //	schedbench -oversub -batch 16 -n 40 -m 5 -k 4    governed vs ungoverned
+//	schedbench -online -events 50 -n 60 -m 6         warm Resolve vs cold re-solve
+//	schedbench -online -stream stream.json           replay an instgen -stream file
 //
 // The -engine mode generates one instance per machine environment and runs
 // every applicable registry solver plus the portfolio race on it, printing
@@ -34,9 +36,11 @@ import (
 	"context"
 	"flag"
 	"fmt"
+	"math"
 	"math/rand"
 	"os"
 	"runtime"
+	"sort"
 	"time"
 
 	"repro"
@@ -65,6 +69,9 @@ func main() {
 		sworker = flag.Int("search-workers", 0, "engine mode: speculative parallelism of dual-approximation searches (guesses evaluated concurrently; <2 = sequential bisection)")
 		oversub = flag.Bool("oversub", false, "oversubscription scenario: governed vs ungoverned engine under batch × portfolio × speculative-search load")
 		batch   = flag.Int("batch", 8, "oversub mode: instances per SolveBatch")
+		online  = flag.Bool("online", false, "online re-optimization scenario: warm Resolve chain vs cold re-solves over a delta stream, per-event latency percentiles")
+		stream  = flag.String("stream", "", "online mode: delta-stream file from `instgen -stream` (empty = generate -events events in memory)")
+		events  = flag.Int("events", 50, "online mode: generated event count when no -stream file is given")
 	)
 	flag.Parse()
 
@@ -81,6 +88,11 @@ func main() {
 		}
 	case *oversub:
 		if err := oversubBench(*seed, *n, *m, *k, *batch, *sworker, *timeout); err != nil {
+			fmt.Fprintln(os.Stderr, "error:", err)
+			os.Exit(1)
+		}
+	case *online:
+		if err := onlineBench(*seed, *n, *m, *k, *events, *stream, *lpKind, *timeout); err != nil {
 			fmt.Fprintln(os.Stderr, "error:", err)
 			os.Exit(1)
 		}
@@ -268,6 +280,135 @@ func oversubBench(seed int64, n, m, k, batch, sworkers int, timeout time.Duratio
 	}
 	fmt.Println(tab.String())
 	return nil
+}
+
+// onlineBench measures the incremental re-solve pipeline on an online
+// workload: a delta stream (from `instgen -stream`, or generated) is served
+// twice — warm, as an Open + Resolve chain carrying patched witnesses,
+// lifted brackets and the retained LP relaxation across events, and cold,
+// re-solving each post-delta instance from scratch — and the per-event
+// latency distribution of each mode is printed. The latency of an event is
+// the online-serving metric: how long the schedule stayed stale after the
+// event arrived.
+func onlineBench(seed int64, n, m, k, events int, streamFile, lpKind string, timeout time.Duration) error {
+	var in *core.Instance
+	var deltas []core.Delta
+	if streamFile != "" {
+		f, err := os.Open(streamFile)
+		if err != nil {
+			return err
+		}
+		in, deltas, err = core.ReadDeltaStream(f)
+		f.Close()
+		if err != nil {
+			return fmt.Errorf("%s: %w", streamFile, err)
+		}
+	} else {
+		rng := rand.New(rand.NewSource(seed))
+		in = gen.Unrelated(rng, gen.Params{N: n, M: m, K: k})
+		deltas = gen.DeltaStream(rng, in, gen.StreamParams{Events: events})
+	}
+
+	type row struct {
+		name      string
+		latencies []time.Duration
+		total     time.Duration
+		lastMs    float64
+		solved    int
+		waits     string
+	}
+	var rows []row
+
+	// Warm: one engine, one Resolve chain.
+	warmEng, err := sched.New()
+	if err != nil {
+		return err
+	}
+	ctx, cancel := withTimeout(timeout)
+	start := time.Now()
+	h, evs, err := warmEng.Stream(ctx, in, deltas,
+		sched.WithLPBackend(lpKind), sched.WithSeed(seed))
+	wall := time.Since(start)
+	cancel()
+	if err != nil {
+		return fmt.Errorf("warm stream: %w", err)
+	}
+	warm := row{name: "warm (Resolve)", total: wall, lastMs: h.Result().Makespan}
+	for _, ev := range evs {
+		if ev.Err != nil {
+			continue
+		}
+		warm.latencies = append(warm.latencies, ev.Latency)
+		warm.solved++
+	}
+	st := warmEng.GovernorStats()
+	warm.waits = fmt.Sprintf("%d/%s", st.Waits, st.WaitTime.Round(10*time.Microsecond))
+	rows = append(rows, warm)
+
+	// Cold: each post-delta instance solved from scratch, cache off.
+	coldEng, err := sched.New(sched.WithBoundCache(0))
+	if err != nil {
+		return err
+	}
+	cold := row{name: "cold (Solve)", waits: "-"}
+	cur := in
+	ctx, cancel = withTimeout(timeout)
+	start = time.Now()
+	for _, d := range deltas {
+		next, aerr := d.Apply(cur)
+		if aerr != nil {
+			continue // same skip as the warm stream
+		}
+		evStart := time.Now()
+		res, serr := coldEng.Solve(ctx, next,
+			sched.WithoutWarmStart(), sched.WithLPBackend(lpKind), sched.WithSeed(seed))
+		if serr != nil {
+			cancel()
+			return fmt.Errorf("cold solve: %w", serr)
+		}
+		cold.latencies = append(cold.latencies, time.Since(evStart))
+		cold.solved++
+		cold.lastMs = res.Makespan
+		cur = next
+	}
+	cold.total = time.Since(start)
+	cancel()
+	rows = append(rows, cold)
+
+	tab := table.New(
+		fmt.Sprintf("online re-optimization — %s n=%d m=%d K=%d, %d events", in.Kind, in.N, in.M, in.K, len(deltas)),
+		"mode", "events", "p50", "p90", "p99", "max", "wall", "final-ms", "gov-waits")
+	for _, r := range rows {
+		tab.AddRow(r.name, fmt.Sprintf("%d", r.solved),
+			fmtDur(percentile(r.latencies, 0.50)), fmtDur(percentile(r.latencies, 0.90)),
+			fmtDur(percentile(r.latencies, 0.99)), fmtDur(percentile(r.latencies, 1.0)),
+			fmtDur(r.total), fmt.Sprintf("%.0f", r.lastMs), r.waits)
+	}
+	fmt.Println(tab.String())
+	if len(warm.latencies) > 0 && len(cold.latencies) > 0 {
+		fmt.Printf("p50 speedup: %.1fx, wall speedup: %.1fx\n\n",
+			float64(percentile(cold.latencies, 0.50))/float64(percentile(warm.latencies, 0.50)),
+			float64(cold.total)/float64(warm.total))
+	}
+	return nil
+}
+
+// percentile returns the q-quantile (0 < q <= 1) of the latencies by the
+// nearest-rank method; zero for an empty sample.
+func percentile(lat []time.Duration, q float64) time.Duration {
+	if len(lat) == 0 {
+		return 0
+	}
+	sorted := append([]time.Duration(nil), lat...)
+	sort.Slice(sorted, func(a, b int) bool { return sorted[a] < sorted[b] })
+	idx := int(math.Ceil(q*float64(len(sorted)))) - 1
+	if idx < 0 {
+		idx = 0
+	}
+	if idx >= len(sorted) {
+		idx = len(sorted) - 1
+	}
+	return sorted[idx]
 }
 
 func withTimeout(d time.Duration) (context.Context, context.CancelFunc) {

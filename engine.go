@@ -3,6 +3,7 @@ package sched
 import (
 	"context"
 	"fmt"
+	"math"
 	"sync"
 	"time"
 
@@ -34,7 +35,8 @@ import (
 type Engine struct {
 	reg      *engine.Registry
 	cache    *engine.BoundCache
-	gov      *engine.Governor // nil with WithUngoverned
+	states   *engine.StateStore // retained solve states for Resolve
+	gov      *engine.Governor   // nil with WithUngoverned
 	workers  int
 	defaults []SolveOption
 
@@ -83,6 +85,15 @@ func New(opts ...EngineOption) (*Engine, error) {
 	if cfg.cacheSize > 0 {
 		e.cache = engine.NewBoundCache(cfg.cacheSize)
 	}
+	// The retention store for Open/Resolve, sized from the same worker
+	// budget that bounds concurrent solves: each retained state pins a
+	// built LP relaxation, so it scales with how many delta streams the
+	// engine can plausibly serve at once, not with the bound cache.
+	stateCap := 2 * cfg.workers
+	if stateCap < engine.DefaultStateStoreSize {
+		stateCap = engine.DefaultStateStoreSize
+	}
+	e.states = engine.NewStateStore(stateCap)
 	return e, nil
 }
 
@@ -226,6 +237,7 @@ func (e *Engine) Solve(ctx context.Context, in *Instance, opts ...SolveOption) (
 // (possibly deadline-bounded) context.
 type solveSession struct {
 	fp     string
+	in     *Instance
 	base   BoundBus
 	cached engine.CachedBounds
 	hit    bool
@@ -271,12 +283,37 @@ func (e *Engine) begin(ctx context.Context, in *Instance, cfg solveConfig) (solv
 			release()
 		})
 	}
+	s.in = in
 	tapped := cfg.events != nil || e.hasSubscribers()
-	if e.cache != nil || tapped {
+	if e.cache != nil || tapped || cfg.retain {
 		s.fp = in.Fingerprint()
 	}
 	if e.cache != nil && !cfg.cold {
 		s.cached, s.hit = e.cache.Lookup(s.fp)
+		if !s.hit {
+			// Exact-fingerprint miss: probe the similarity index. A hit is a
+			// schedule from a near-identical instance re-priced on this one
+			// (never the stale bound), so its Upper is certified here too.
+			s.cached, s.hit = e.cache.LookupSimilar(in, s.fp)
+		}
+	}
+	if cfg.seed != nil {
+		// Delta-derived knowledge about this exact instance (the patched
+		// witness and lifted bounds) outranks whatever the cache held. It
+		// applies even under WithoutWarmStart: the caller supplied it
+		// explicitly, the option opts out of the cache.
+		if !s.hit {
+			s.cached = engine.CachedBounds{Upper: math.Inf(1)}
+			s.hit = true
+		}
+		if cfg.seed.Schedule != nil && cfg.seed.Upper < s.cached.Upper {
+			s.cached.Upper = cfg.seed.Upper
+			s.cached.Schedule = cfg.seed.Schedule
+			s.cached.Algorithm = cfg.seed.Algorithm
+		}
+		if cfg.seed.Lower > s.cached.Lower {
+			s.cached.Lower = cfg.seed.Lower
+		}
 	}
 	s.base = cfg.opt.Bounds
 	if s.base == nil {
@@ -292,6 +329,7 @@ func (e *Engine) begin(ctx context.Context, in *Instance, cfg solveConfig) (solv
 		s.base.PublishLower(s.cached.Lower)
 	}
 	s.opt = cfg.opt
+	s.opt.Warm = cfg.warm
 	if e.gov != nil {
 		// The governor is the width authority: the solve's portfolio and
 		// search layers draw extra parallelism from it live, so the static
@@ -328,6 +366,14 @@ func (e *Engine) solveOne(ctx context.Context, in *Instance, cfg solveConfig) (R
 		return Result{}, err
 	}
 	defer s.cancel()
+	var ret engine.RetainedState
+	if cfg.retain {
+		// Ask the solver for its retainable warm-start state (the rounding
+		// solver hands back its LP relaxation and accepted bracket edge);
+		// combined with the result below it becomes the SolveState a later
+		// Resolve consumes.
+		s.opt.Retain = func(r engine.RetainedState) { ret = r }
+	}
 	var res Result
 	switch {
 	case cfg.portfolio:
@@ -343,6 +389,18 @@ func (e *Engine) solveOne(ctx context.Context, in *Instance, cfg solveConfig) (R
 		return Result{}, err
 	}
 	res, _ = e.finish(s, res)
+	if cfg.retain && res.Schedule != nil {
+		e.states.Put(&engine.SolveState{
+			Fingerprint: s.fp,
+			Instance:    in,
+			Schedule:    res.Schedule.Clone(),
+			Upper:       res.Makespan,
+			Lower:       res.LowerBound,
+			Accepted:    ret.Accepted,
+			Rel:         ret.Rel,
+			Algorithm:   res.Algorithm,
+		})
+	}
 	return res, nil
 }
 
@@ -383,6 +441,7 @@ func (e *Engine) finish(s solveSession, res Result) (Result, bool) {
 			Lower:     res.LowerBound,
 			Schedule:  res.Schedule,
 			Algorithm: res.Algorithm,
+			SimKey:    s.in.SimilarityKey(),
 		})
 	}
 	return res, substituted

@@ -1,0 +1,128 @@
+// Online: incremental re-solving over a live job stream — the online
+// re-optimization workload Engine.Resolve serves.
+//
+// A render farm schedules frames (jobs) grouped by scene (class: switching
+// a node to a new scene loads its assets, the setup). The farm is live:
+// frames arrive and get cancelled, a node drains for maintenance, another
+// joins. Rather than re-solving each mutated instance from scratch, the
+// farm opens a re-solvable handle once and folds each event into it:
+// the previous schedule is patched into a feasible fallback, certified
+// bounds carry across the mutation where the theory allows (a job arrival
+// can only raise the optimum), and the solver's LP relaxation is patched
+// in place and re-enters the simplex from its previous basis.
+//
+// Run with: go run ./examples/online
+package main
+
+import (
+	"context"
+	"fmt"
+	"log"
+	"math/rand"
+	"time"
+
+	"repro"
+)
+
+func main() {
+	rng := rand.New(rand.NewSource(5))
+
+	const (
+		nodes  = 6  // render nodes (unrelated: GPU generations differ per scene)
+		frames = 48 // initial frames queued
+		scenes = 5  // asset groups
+	)
+
+	// Frame cost depends on the node (unrelated machines); loading a scene's
+	// assets onto a node is the setup.
+	class := make([]int, frames)
+	for j := range class {
+		class[j] = rng.Intn(scenes)
+	}
+	p := make([][]float64, nodes)
+	s := make([][]float64, nodes)
+	for i := range p {
+		speed := 0.5 + rng.Float64() // node generation factor
+		p[i] = make([]float64, frames)
+		for j := range p[i] {
+			p[i][j] = (4 + rng.Float64()*12) / speed
+		}
+		s[i] = make([]float64, scenes)
+		for k := range s[i] {
+			s[i][k] = (6 + rng.Float64()*10) / speed
+		}
+	}
+	in, err := sched.NewUnrelated(p, class, s)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	eng, err := sched.New()
+	if err != nil {
+		log.Fatal(err)
+	}
+	ctx := context.Background()
+
+	// Open once: the solve runs normally, and the engine retains the
+	// solver's warm-start state for the handle.
+	start := time.Now()
+	h, err := eng.Open(ctx, in)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("initial plan   %3d frames on %d nodes  makespan %6.1f  (%s, %v)\n",
+		in.N, in.M, h.Result().Makespan, h.Result().Algorithm, time.Since(start).Round(time.Millisecond))
+
+	// The shift's events, folded into the handle one at a time.
+	newFrame := func() []float64 {
+		proc := make([]float64, h.Instance().M)
+		for i := range proc {
+			proc[i] = 4 + rng.Float64()*12
+		}
+		return proc
+	}
+	// Each delta is built against the handle's current instance (an arrival
+	// needs one processing time per currently-live node).
+	events := []struct {
+		what  string
+		delta func() sched.Delta
+	}{
+		{"frame arrives (scene 2)", func() sched.Delta { return sched.ArriveJobUnrelated(2, newFrame()) }},
+		{"frame arrives (scene 0)", func() sched.Delta { return sched.ArriveJobUnrelated(0, newFrame()) }},
+		{"frame 7 cancelled", func() sched.Delta { return sched.DepartJob(7) }},
+		{"node 3 drains", func() sched.Delta { return sched.RemoveMachine(3) }},
+		{"frame arrives (scene 4)", func() sched.Delta { return sched.ArriveJobUnrelated(4, newFrame()) }},
+	}
+	for _, ev := range events {
+		start = time.Now()
+		next, err := eng.Resolve(ctx, h, ev.delta())
+		if err != nil {
+			log.Fatal(err)
+		}
+		h = next
+		res := h.Result()
+		fmt.Printf("%-24s n=%-3d m=%d  makespan %6.1f  lower %6.1f  re-solved in %v\n",
+			ev.what, h.Instance().N, h.Instance().M, res.Makespan, res.LowerBound,
+			time.Since(start).Round(time.Millisecond))
+	}
+
+	// Stream does the same fold in one call, reporting per-event latency —
+	// the online-serving metric (how long the plan stayed stale per event).
+	deltas := []sched.Delta{
+		sched.ArriveJobUnrelated(1, newFrame()),
+		sched.ArriveJobUnrelated(3, newFrame()),
+		sched.DepartJob(2),
+	}
+	final, results, err := eng.Stream(ctx, h.Instance(), deltas)
+	if err != nil {
+		log.Fatal(err)
+	}
+	var worst time.Duration
+	for _, r := range results {
+		if r.Err == nil && r.Latency > worst {
+			worst = r.Latency
+		}
+	}
+	fmt.Printf("stream of %d further events: final makespan %.1f, worst event latency %v\n",
+		len(deltas), final.Result().Makespan, worst.Round(time.Millisecond))
+}

@@ -1,0 +1,582 @@
+package core
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"io"
+)
+
+// DeltaKind enumerates the online-workload mutations an Instance supports.
+type DeltaKind int
+
+const (
+	// DeltaJobArrive adds one job at index N (the end of the job list).
+	DeltaJobArrive DeltaKind = iota
+	// DeltaJobDepart removes job Job; jobs above it shift down by one.
+	DeltaJobDepart
+	// DeltaJobResize changes the processing requirement of job Job.
+	DeltaJobResize
+	// DeltaMachineAdd adds one machine at index M.
+	DeltaMachineAdd
+	// DeltaMachineRemove removes machine Machine (a failure or drain);
+	// machines above it shift down by one.
+	DeltaMachineRemove
+)
+
+var deltaKindNames = [...]string{"arrive", "depart", "resize", "machine-add", "machine-remove"}
+
+// String returns the stream-format name of the kind.
+func (k DeltaKind) String() string {
+	if k < 0 || int(k) >= len(deltaKindNames) {
+		return fmt.Sprintf("DeltaKind(%d)", int(k))
+	}
+	return deltaKindNames[k]
+}
+
+// MarshalJSON encodes the kind by name so delta streams are readable.
+func (k DeltaKind) MarshalJSON() ([]byte, error) {
+	if k < 0 || int(k) >= len(deltaKindNames) {
+		return nil, fmt.Errorf("core: cannot marshal invalid delta kind %d", int(k))
+	}
+	return json.Marshal(deltaKindNames[k])
+}
+
+// UnmarshalJSON decodes a kind name.
+func (k *DeltaKind) UnmarshalJSON(b []byte) error {
+	var s string
+	if err := json.Unmarshal(b, &s); err != nil {
+		return err
+	}
+	for i, name := range deltaKindNames {
+		if name == s {
+			*k = DeltaKind(i)
+			return nil
+		}
+	}
+	return fmt.Errorf("core: unknown delta kind %q", s)
+}
+
+// Delta is one mutation of a scheduling instance: a job arriving or
+// departing, a job changing size, or a machine joining or failing. Deltas
+// are the unit of the online re-optimization workload — Engine.Resolve
+// re-enters a warm dual search after applying one instead of solving the
+// mutated instance cold.
+//
+// Which fields are read depends on Kind and on the machine environment of
+// the instance the delta is applied to:
+//
+//	arrive          Class always; Size (identical/uniform/restricted),
+//	                Proc = per-machine processing times (unrelated, len M),
+//	                Eligible = machine indices (restricted).
+//	depart          Job.
+//	resize          Job; Size or Proc as for arrive.
+//	machine-add     Speed (uniform; 0 means 1), Proc = per-job processing
+//	                times (unrelated, len N), Setup = per-class setup times
+//	                (unrelated, len K), Eligible = job indices that become
+//	                eligible on the new machine (restricted).
+//	machine-remove  Machine.
+//
+// The zero value is a job arrival of class 0 with size 0.
+type Delta struct {
+	Kind     DeltaKind `json:"kind"`
+	Job      int       `json:"job,omitempty"`
+	Machine  int       `json:"machine,omitempty"`
+	Class    int       `json:"class,omitempty"`
+	Size     float64   `json:"size,omitempty"`
+	Speed    float64   `json:"speed,omitempty"`
+	Proc     []float64 `json:"proc,omitempty"`
+	Setup    []float64 `json:"setup,omitempty"`
+	Eligible []int     `json:"eligible,omitempty"`
+}
+
+// ArriveJob builds a job-arrival delta for base-size environments
+// (identical, uniform, restricted). For restricted instances also set
+// Eligible.
+func ArriveJob(class int, size float64) Delta {
+	return Delta{Kind: DeltaJobArrive, Class: class, Size: size}
+}
+
+// ArriveJobUnrelated builds a job-arrival delta with per-machine processing
+// times.
+func ArriveJobUnrelated(class int, proc []float64) Delta {
+	return Delta{Kind: DeltaJobArrive, Class: class, Proc: append([]float64(nil), proc...)}
+}
+
+// DepartJob builds a job-departure delta.
+func DepartJob(job int) Delta { return Delta{Kind: DeltaJobDepart, Job: job} }
+
+// ResizeJob builds a size-change delta for base-size environments.
+func ResizeJob(job int, size float64) Delta {
+	return Delta{Kind: DeltaJobResize, Job: job, Size: size}
+}
+
+// AddMachine builds a machine-addition delta. The fields are read per
+// environment: speed for uniform machines (0 means 1), proc = per-job
+// processing times and setup = per-class setup times for unrelated machines,
+// eligible = job indices that become eligible on the new machine for
+// restricted assignment.
+func AddMachine(speed float64, proc, setup []float64, eligible []int) Delta {
+	return Delta{
+		Kind:     DeltaMachineAdd,
+		Speed:    speed,
+		Proc:     append([]float64(nil), proc...),
+		Setup:    append([]float64(nil), setup...),
+		Eligible: append([]int(nil), eligible...),
+	}
+}
+
+// RemoveMachine builds a machine-failure delta.
+func RemoveMachine(machine int) Delta { return Delta{Kind: DeltaMachineRemove, Machine: machine} }
+
+// String renders the delta for diagnostics.
+func (d Delta) String() string {
+	switch d.Kind {
+	case DeltaJobArrive:
+		return fmt.Sprintf("arrive(class=%d size=%g)", d.Class, d.Size)
+	case DeltaJobDepart:
+		return fmt.Sprintf("depart(job=%d)", d.Job)
+	case DeltaJobResize:
+		return fmt.Sprintf("resize(job=%d size=%g)", d.Job, d.Size)
+	case DeltaMachineAdd:
+		return "machine-add"
+	case DeltaMachineRemove:
+		return fmt.Sprintf("machine-remove(machine=%d)", d.Machine)
+	}
+	return d.Kind.String()
+}
+
+// Apply returns the instance after the delta. The input is not mutated.
+// The result is canonical: it is built through the same constructor as a
+// from-scratch instance, so Delta.Apply(in).Fingerprint() equals the
+// fingerprint of the equivalent rebuilt instance (the property the
+// engine's retention layer keys on). Apply fails when the delta does not
+// fit the instance (bad indices, wrong-length vectors, a removal that
+// leaves a job with no machine, negative or non-finite times).
+func (d Delta) Apply(in *Instance) (*Instance, error) {
+	switch d.Kind {
+	case DeltaJobArrive:
+		return d.applyArrive(in)
+	case DeltaJobDepart:
+		return d.applyDepart(in)
+	case DeltaJobResize:
+		return d.applyResize(in)
+	case DeltaMachineAdd:
+		return d.applyMachineAdd(in)
+	case DeltaMachineRemove:
+		return d.applyMachineRemove(in)
+	}
+	return nil, fmt.Errorf("core: unknown delta kind %d", int(d.Kind))
+}
+
+// rebuild constructs a canonical instance of in.Kind from base data. The
+// eligible lists are only consulted for restricted instances.
+func rebuild(kind Kind, p []float64, class []int, s []float64, m int, speed []float64, eligible [][]int) (*Instance, error) {
+	switch kind {
+	case Identical:
+		return NewIdentical(p, class, s, m)
+	case Uniform:
+		return NewUniform(p, class, s, speed)
+	case RestrictedAssignment:
+		return NewRestricted(p, class, s, m, eligible)
+	}
+	return nil, fmt.Errorf("core: rebuild does not apply to kind %v", kind)
+}
+
+// eligibleLists converts the instance's boolean eligibility rows back into
+// the machine-index lists NewRestricted takes.
+func eligibleLists(in *Instance) [][]int {
+	lists := make([][]int, in.N)
+	for j := 0; j < in.N; j++ {
+		for i := 0; i < in.M; i++ {
+			if in.Eligible[j][i] {
+				lists[j] = append(lists[j], i)
+			}
+		}
+	}
+	return lists
+}
+
+func (d Delta) applyArrive(in *Instance) (*Instance, error) {
+	if d.Class < 0 || d.Class >= in.K {
+		return nil, fmt.Errorf("core: arriving job has class %d, want [0,%d)", d.Class, in.K)
+	}
+	class := append(append([]int(nil), in.Class...), d.Class)
+	if in.Kind == Unrelated {
+		if len(d.Proc) != in.M {
+			return nil, fmt.Errorf("core: arriving job has %d processing times, want %d", len(d.Proc), in.M)
+		}
+		p := make([][]float64, in.M)
+		for i := range p {
+			p[i] = append(append([]float64(nil), in.P[i]...), d.Proc[i])
+		}
+		return NewUnrelated(p, class, in.S)
+	}
+	if d.Size < 0 || !IsFinite(d.Size) {
+		return nil, fmt.Errorf("core: arriving job has size %v, want finite >= 0", d.Size)
+	}
+	p := append(append([]float64(nil), in.JobSize...), d.Size)
+	var elig [][]int
+	if in.Kind == RestrictedAssignment {
+		if len(d.Eligible) == 0 {
+			return nil, fmt.Errorf("core: arriving job has no eligible machines")
+		}
+		elig = append(eligibleLists(in), append([]int(nil), d.Eligible...))
+	}
+	return rebuild(in.Kind, p, class, in.SetupSize, in.M, in.Speed, elig)
+}
+
+func (d Delta) applyDepart(in *Instance) (*Instance, error) {
+	if d.Job < 0 || d.Job >= in.N {
+		return nil, fmt.Errorf("core: departing job %d, want [0,%d)", d.Job, in.N)
+	}
+	if in.N == 1 {
+		return nil, fmt.Errorf("core: cannot depart the last job")
+	}
+	class := dropInt(in.Class, d.Job)
+	if in.Kind == Unrelated {
+		p := make([][]float64, in.M)
+		for i := range p {
+			p[i] = dropFloat(in.P[i], d.Job)
+		}
+		return NewUnrelated(p, class, in.S)
+	}
+	p := dropFloat(in.JobSize, d.Job)
+	var elig [][]int
+	if in.Kind == RestrictedAssignment {
+		lists := eligibleLists(in)
+		elig = append(lists[:d.Job:d.Job], lists[d.Job+1:]...)
+	}
+	return rebuild(in.Kind, p, class, in.SetupSize, in.M, in.Speed, elig)
+}
+
+func (d Delta) applyResize(in *Instance) (*Instance, error) {
+	if d.Job < 0 || d.Job >= in.N {
+		return nil, fmt.Errorf("core: resizing job %d, want [0,%d)", d.Job, in.N)
+	}
+	if in.Kind == Unrelated {
+		if len(d.Proc) != in.M {
+			return nil, fmt.Errorf("core: resized job has %d processing times, want %d", len(d.Proc), in.M)
+		}
+		p := make([][]float64, in.M)
+		for i := range p {
+			p[i] = append([]float64(nil), in.P[i]...)
+			p[i][d.Job] = d.Proc[i]
+		}
+		return NewUnrelated(p, in.Class, in.S)
+	}
+	if d.Size < 0 || !IsFinite(d.Size) {
+		return nil, fmt.Errorf("core: resized job has size %v, want finite >= 0", d.Size)
+	}
+	p := append([]float64(nil), in.JobSize...)
+	p[d.Job] = d.Size
+	var elig [][]int
+	if in.Kind == RestrictedAssignment {
+		elig = eligibleLists(in)
+	}
+	return rebuild(in.Kind, p, in.Class, in.SetupSize, in.M, in.Speed, elig)
+}
+
+func (d Delta) applyMachineAdd(in *Instance) (*Instance, error) {
+	switch in.Kind {
+	case Identical:
+		return NewIdentical(in.JobSize, in.Class, in.SetupSize, in.M+1)
+	case Uniform:
+		v := d.Speed
+		if v == 0 {
+			v = 1
+		}
+		return NewUniform(in.JobSize, in.Class, in.SetupSize, append(append([]float64(nil), in.Speed...), v))
+	case RestrictedAssignment:
+		elig := eligibleLists(in)
+		for _, j := range d.Eligible {
+			if j < 0 || j >= in.N {
+				return nil, fmt.Errorf("core: new machine eligible for job %d, want [0,%d)", j, in.N)
+			}
+			elig[j] = append(elig[j], in.M)
+		}
+		return NewRestricted(in.JobSize, in.Class, in.SetupSize, in.M+1, elig)
+	case Unrelated:
+		if len(d.Proc) != in.N {
+			return nil, fmt.Errorf("core: new machine has %d processing times, want %d", len(d.Proc), in.N)
+		}
+		if len(d.Setup) != in.K {
+			return nil, fmt.Errorf("core: new machine has %d setup times, want %d", len(d.Setup), in.K)
+		}
+		p := append(append([][]float64(nil), in.P...), d.Proc)
+		s := append(append([][]float64(nil), in.S...), d.Setup)
+		return NewUnrelated(p, in.Class, s)
+	}
+	return nil, fmt.Errorf("core: machine-add does not apply to kind %v", in.Kind)
+}
+
+func (d Delta) applyMachineRemove(in *Instance) (*Instance, error) {
+	if d.Machine < 0 || d.Machine >= in.M {
+		return nil, fmt.Errorf("core: removing machine %d, want [0,%d)", d.Machine, in.M)
+	}
+	if in.M == 1 {
+		return nil, fmt.Errorf("core: cannot remove the last machine")
+	}
+	switch in.Kind {
+	case Identical:
+		return NewIdentical(in.JobSize, in.Class, in.SetupSize, in.M-1)
+	case Uniform:
+		return NewUniform(in.JobSize, in.Class, in.SetupSize, dropFloat(in.Speed, d.Machine))
+	case RestrictedAssignment:
+		lists := eligibleLists(in)
+		for j, ms := range lists {
+			out := ms[:0]
+			for _, i := range ms {
+				if i < d.Machine {
+					out = append(out, i)
+				} else if i > d.Machine {
+					out = append(out, i-1)
+				}
+			}
+			if len(out) == 0 {
+				return nil, fmt.Errorf("core: removing machine %d leaves job %d with no eligible machine", d.Machine, j)
+			}
+			lists[j] = out
+		}
+		return NewRestricted(in.JobSize, in.Class, in.SetupSize, in.M-1, lists)
+	case Unrelated:
+		p := make([][]float64, 0, in.M-1)
+		s := make([][]float64, 0, in.M-1)
+		for i := 0; i < in.M; i++ {
+			if i == d.Machine {
+				continue
+			}
+			p = append(p, in.P[i])
+			s = append(s, in.S[i])
+		}
+		return NewUnrelated(p, in.Class, s)
+	}
+	return nil, fmt.Errorf("core: machine-remove does not apply to kind %v", in.Kind)
+}
+
+func dropInt(xs []int, i int) []int {
+	out := make([]int, 0, len(xs)-1)
+	out = append(out, xs[:i]...)
+	return append(out, xs[i+1:]...)
+}
+
+func dropFloat(xs []float64, i int) []float64 {
+	out := make([]float64, 0, len(xs)-1)
+	out = append(out, xs[:i]...)
+	return append(out, xs[i+1:]...)
+}
+
+// RaisesOn reports whether the delta provably cannot decrease the optimal
+// makespan of in: a job arriving, a machine being removed, or a job growing
+// on every machine. Any certified lower bound on the optimum of in then
+// carries over to Apply(in) unchanged — the monotonicity the engine's warm
+// re-solve exploits. False means "no such guarantee", not "it decreases".
+func (d Delta) RaisesOn(in *Instance) bool {
+	switch d.Kind {
+	case DeltaJobArrive, DeltaMachineRemove:
+		return true
+	case DeltaJobResize:
+		if d.Job < 0 || d.Job >= in.N {
+			return false
+		}
+		if in.Kind == Unrelated {
+			if len(d.Proc) != in.M {
+				return false
+			}
+			for i := 0; i < in.M; i++ {
+				if d.Proc[i] < in.P[i][d.Job] {
+					return false
+				}
+			}
+			return true
+		}
+		return d.Size >= in.JobSize[d.Job]
+	}
+	return false
+}
+
+// PatchSchedule transforms a feasible schedule for the pre-delta instance
+// into a feasible schedule for the post-delta instance: an arriving job is
+// placed greedily on the machine minimizing the resulting completion time,
+// a departing job is dropped (indices shifted), a resized job stays put, a
+// new machine starts empty, and the jobs of a removed machine are re-placed
+// greedily. The result is a genuine feasible witness — its makespan on
+// newIn is a certified upper bound on the new optimum — or nil when prev
+// does not fit oldIn or a job cannot be re-placed.
+func (d Delta) PatchSchedule(prev *Schedule, oldIn, newIn *Instance) *Schedule {
+	if prev == nil || len(prev.Assign) != oldIn.N {
+		return nil
+	}
+	switch d.Kind {
+	case DeltaJobArrive:
+		out := &Schedule{Assign: make([]int, newIn.N)}
+		copy(out.Assign, prev.Assign)
+		out.Assign[newIn.N-1] = -1
+		if !placeGreedy(out, newIn, newIn.N-1) {
+			return nil
+		}
+		return out
+	case DeltaJobDepart:
+		out := &Schedule{Assign: dropInt(prev.Assign, d.Job)}
+		return out
+	case DeltaJobResize:
+		return prev.Clone()
+	case DeltaMachineAdd:
+		return prev.Clone()
+	case DeltaMachineRemove:
+		out := &Schedule{Assign: make([]int, newIn.N)}
+		var orphans []int
+		for j, i := range prev.Assign {
+			switch {
+			case i == d.Machine:
+				out.Assign[j] = -1
+				orphans = append(orphans, j)
+			case i > d.Machine:
+				out.Assign[j] = i - 1
+			default:
+				out.Assign[j] = i
+			}
+		}
+		for _, j := range orphans {
+			if !placeGreedy(out, newIn, j) {
+				return nil
+			}
+		}
+		return out
+	}
+	return nil
+}
+
+// placeGreedy assigns job j (currently unassigned) to the machine that
+// minimizes the resulting completion time, accounting for setups already
+// open on each machine. Reports false when no machine can take the job.
+func placeGreedy(s *Schedule, in *Instance, j int) bool {
+	loads := make([]float64, in.M)
+	open := make([]map[int]bool, in.M)
+	for jj, i := range s.Assign {
+		if i < 0 || jj == j {
+			continue
+		}
+		if open[i] == nil {
+			open[i] = make(map[int]bool)
+		}
+		k := in.Class[jj]
+		if !open[i][k] {
+			open[i][k] = true
+			loads[i] += in.S[i][k]
+		}
+		loads[i] += in.P[i][jj]
+	}
+	best, bestLoad := -1, Inf
+	k := in.Class[j]
+	for i := 0; i < in.M; i++ {
+		p, su := in.P[i][j], in.S[i][k]
+		if !IsFinite(p) || !IsFinite(su) {
+			continue
+		}
+		add := p
+		if open[i] == nil || !open[i][k] {
+			add += su
+		}
+		if loads[i]+add < bestLoad {
+			best, bestLoad = i, loads[i]+add
+		}
+	}
+	if best < 0 {
+		return false
+	}
+	s.Assign[j] = best
+	return true
+}
+
+// AcceptedCap lifts a pre-delta accepted makespan guess to a post-delta
+// guess at which the ILP-UM relaxation provably stays feasible, or +Inf
+// when the delta admits no such lift (machine removal). accepted must be a
+// guess the pre-delta decision procedure accepted.
+//
+// The lifts are constructive: the pre-delta fractional solution remains
+// feasible verbatim after a departure or a machine addition; after an
+// arrival it extends by assigning the new job integrally to the machine
+// minimizing p + s (raising that machine's load by at most that minimum);
+// after a resize each machine's load grows by at most the largest per-
+// machine increase.
+func (d Delta) AcceptedCap(accepted float64, oldIn, newIn *Instance) float64 {
+	if !IsFinite(accepted) || accepted <= 0 {
+		return Inf
+	}
+	switch d.Kind {
+	case DeltaJobDepart, DeltaMachineAdd:
+		return accepted
+	case DeltaJobArrive:
+		j := newIn.N - 1
+		place := Inf
+		k := newIn.Class[j]
+		for i := 0; i < newIn.M; i++ {
+			p, su := newIn.P[i][j], newIn.S[i][k]
+			if IsFinite(p) && IsFinite(su) && p+su < place {
+				place = p + su
+			}
+		}
+		return accepted + place
+	case DeltaJobResize:
+		if d.Job < 0 || d.Job >= oldIn.N || oldIn.M != newIn.M {
+			return Inf
+		}
+		grow := 0.0
+		for i := 0; i < oldIn.M; i++ {
+			po, pn := oldIn.P[i][d.Job], newIn.P[i][d.Job]
+			if !IsFinite(po) || !IsFinite(pn) {
+				if IsFinite(po) != IsFinite(pn) {
+					return Inf // eligibility changed; the old fractional may be invalid
+				}
+				continue
+			}
+			if delta := pn - po; delta > grow {
+				grow = delta
+			}
+		}
+		return accepted + grow
+	}
+	return Inf
+}
+
+// deltaStream is the on-disk form of an instance plus a delta sequence (the
+// `instgen -stream` / `schedbench -online` interchange format).
+type deltaStream struct {
+	Instance json.RawMessage `json:"instance"`
+	Deltas   []Delta         `json:"deltas"`
+}
+
+// WriteDeltaStream serializes an instance and a delta sequence as a single
+// JSON document.
+func WriteDeltaStream(w io.Writer, in *Instance, deltas []Delta) error {
+	var buf bytes.Buffer
+	if err := in.WriteJSON(&buf); err != nil {
+		return err
+	}
+	doc := deltaStream{Instance: json.RawMessage(buf.Bytes()), Deltas: deltas}
+	enc := json.NewEncoder(w)
+	return enc.Encode(doc)
+}
+
+// ReadDeltaStream parses a document written by WriteDeltaStream, validating
+// that every delta applies cleanly in sequence.
+func ReadDeltaStream(r io.Reader) (*Instance, []Delta, error) {
+	var doc deltaStream
+	if err := json.NewDecoder(r).Decode(&doc); err != nil {
+		return nil, nil, err
+	}
+	in, err := ReadJSON(bytes.NewReader(doc.Instance))
+	if err != nil {
+		return nil, nil, err
+	}
+	cur := in
+	for i, d := range doc.Deltas {
+		next, err := d.Apply(cur)
+		if err != nil {
+			return nil, nil, fmt.Errorf("core: delta %d (%v) does not apply: %w", i, d, err)
+		}
+		cur = next
+	}
+	return in, doc.Deltas, nil
+}

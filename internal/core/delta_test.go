@@ -1,0 +1,376 @@
+package core
+
+import (
+	"bytes"
+	"math/rand"
+	"testing"
+)
+
+// randInstance builds a random valid instance of the given kind.
+func randInstance(t *testing.T, rng *rand.Rand, kind Kind, n, m, k int) *Instance {
+	t.Helper()
+	p := make([]float64, n)
+	class := make([]int, n)
+	for j := range p {
+		p[j] = 1 + float64(rng.Intn(99))
+		class[j] = rng.Intn(k)
+	}
+	s := make([]float64, k)
+	for c := range s {
+		s[c] = 1 + float64(rng.Intn(49))
+	}
+	switch kind {
+	case Identical:
+		in, err := NewIdentical(p, class, s, m)
+		if err != nil {
+			t.Fatalf("NewIdentical: %v", err)
+		}
+		return in
+	case Uniform:
+		v := make([]float64, m)
+		for i := range v {
+			v[i] = 1 + rng.Float64()*3
+		}
+		in, err := NewUniform(p, class, s, v)
+		if err != nil {
+			t.Fatalf("NewUniform: %v", err)
+		}
+		return in
+	case RestrictedAssignment:
+		elig := make([][]int, n)
+		for j := range elig {
+			for i := 0; i < m; i++ {
+				if rng.Float64() < 0.6 {
+					elig[j] = append(elig[j], i)
+				}
+			}
+			if len(elig[j]) == 0 {
+				elig[j] = []int{rng.Intn(m)}
+			}
+		}
+		in, err := NewRestricted(p, class, s, m, elig)
+		if err != nil {
+			t.Fatalf("NewRestricted: %v", err)
+		}
+		return in
+	case Unrelated:
+		pm := make([][]float64, m)
+		sm := make([][]float64, m)
+		for i := 0; i < m; i++ {
+			pm[i] = make([]float64, n)
+			sm[i] = make([]float64, k)
+			for j := 0; j < n; j++ {
+				pm[i][j] = 1 + float64(rng.Intn(99))
+			}
+			for c := 0; c < k; c++ {
+				sm[i][c] = 1 + float64(rng.Intn(49))
+			}
+		}
+		in, err := NewUnrelated(pm, class, sm)
+		if err != nil {
+			t.Fatalf("NewUnrelated: %v", err)
+		}
+		return in
+	}
+	t.Fatalf("unknown kind %v", kind)
+	return nil
+}
+
+// randDelta draws a delta applicable to in.
+func randDelta(rng *rand.Rand, in *Instance) Delta {
+	for {
+		switch rng.Intn(5) {
+		case 0: // arrive
+			d := Delta{Kind: DeltaJobArrive, Class: rng.Intn(in.K)}
+			if in.Kind == Unrelated {
+				d.Proc = make([]float64, in.M)
+				for i := range d.Proc {
+					d.Proc[i] = 1 + float64(rng.Intn(99))
+				}
+			} else {
+				d.Size = 1 + float64(rng.Intn(99))
+				if in.Kind == RestrictedAssignment {
+					for i := 0; i < in.M; i++ {
+						if rng.Float64() < 0.6 {
+							d.Eligible = append(d.Eligible, i)
+						}
+					}
+					if len(d.Eligible) == 0 {
+						d.Eligible = []int{rng.Intn(in.M)}
+					}
+				}
+			}
+			return d
+		case 1: // depart
+			if in.N > 1 {
+				return DepartJob(rng.Intn(in.N))
+			}
+		case 2: // resize
+			d := Delta{Kind: DeltaJobResize, Job: rng.Intn(in.N)}
+			if in.Kind == Unrelated {
+				d.Proc = make([]float64, in.M)
+				for i := range d.Proc {
+					d.Proc[i] = 1 + float64(rng.Intn(99))
+				}
+			} else {
+				d.Size = 1 + float64(rng.Intn(99))
+			}
+			return d
+		case 3: // machine add
+			d := Delta{Kind: DeltaMachineAdd}
+			switch in.Kind {
+			case Uniform:
+				d.Speed = 1 + rng.Float64()*3
+			case Unrelated:
+				d.Proc = make([]float64, in.N)
+				for j := range d.Proc {
+					d.Proc[j] = 1 + float64(rng.Intn(99))
+				}
+				d.Setup = make([]float64, in.K)
+				for c := range d.Setup {
+					d.Setup[c] = 1 + float64(rng.Intn(49))
+				}
+			case RestrictedAssignment:
+				for j := 0; j < in.N; j++ {
+					if rng.Float64() < 0.5 {
+						d.Eligible = append(d.Eligible, j)
+					}
+				}
+			}
+			return d
+		case 4: // machine remove
+			if in.M > 1 {
+				d := RemoveMachine(rng.Intn(in.M))
+				if _, err := d.Apply(in); err == nil {
+					return d
+				}
+			}
+		}
+	}
+}
+
+// TestDeltaApplyFingerprintCanonical is the property test of the incremental
+// pipeline's keying invariant: applying a delta yields an instance whose
+// fingerprint equals that of the same instance rebuilt from scratch through
+// the public constructors, for every kind × delta mix.
+func TestDeltaApplyFingerprintCanonical(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	kinds := []Kind{Identical, Uniform, RestrictedAssignment, Unrelated}
+	for _, kind := range kinds {
+		in := randInstance(t, rng, kind, 12, 4, 3)
+		cur := in
+		for step := 0; step < 40; step++ {
+			d := randDelta(rng, cur)
+			next, err := d.Apply(cur)
+			if err != nil {
+				t.Fatalf("%v step %d: Apply(%v): %v", kind, step, d, err)
+			}
+			if err := next.Validate(); err != nil {
+				t.Fatalf("%v step %d: Apply(%v) produced invalid instance: %v", kind, step, d, err)
+			}
+			// Rebuild from the post-delta base data via the constructors and
+			// compare fingerprints.
+			var rebuilt *Instance
+			switch kind {
+			case Identical:
+				rebuilt, err = NewIdentical(next.JobSize, next.Class, next.SetupSize, next.M)
+			case Uniform:
+				rebuilt, err = NewUniform(next.JobSize, next.Class, next.SetupSize, next.Speed)
+			case RestrictedAssignment:
+				rebuilt, err = NewRestricted(next.JobSize, next.Class, next.SetupSize, next.M, eligibleLists(next))
+			case Unrelated:
+				rebuilt, err = NewUnrelated(next.P, next.Class, next.S)
+			}
+			if err != nil {
+				t.Fatalf("%v step %d: rebuild: %v", kind, step, err)
+			}
+			if got, want := next.Fingerprint(), rebuilt.Fingerprint(); got != want {
+				t.Fatalf("%v step %d: Apply(%v) fingerprint %s != rebuilt %s", kind, step, d, got, want)
+			}
+			cur = next
+		}
+	}
+}
+
+// TestDeltaPatchSchedule checks that a patched schedule is a feasible
+// witness of the post-delta instance whenever Apply succeeds.
+func TestDeltaPatchSchedule(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	kinds := []Kind{Identical, Uniform, RestrictedAssignment, Unrelated}
+	for _, kind := range kinds {
+		cur := randInstance(t, rng, kind, 10, 3, 2)
+		// Start from a trivially feasible greedy schedule.
+		sched := &Schedule{Assign: make([]int, cur.N)}
+		for j := range sched.Assign {
+			sched.Assign[j] = -1
+			if !placeGreedy(sched, cur, j) {
+				t.Fatalf("%v: cannot place job %d", kind, j)
+			}
+		}
+		for step := 0; step < 30; step++ {
+			d := randDelta(rng, cur)
+			next, err := d.Apply(cur)
+			if err != nil {
+				t.Fatalf("%v step %d: Apply(%v): %v", kind, step, d, err)
+			}
+			patched := d.PatchSchedule(sched, cur, next)
+			if patched == nil {
+				t.Fatalf("%v step %d: PatchSchedule(%v) returned nil", kind, step, d)
+			}
+			if err := patched.Validate(next); err != nil {
+				t.Fatalf("%v step %d: patched schedule invalid after %v: %v", kind, step, d, err)
+			}
+			if ms := patched.Makespan(next); !IsFinite(ms) {
+				t.Fatalf("%v step %d: patched makespan not finite after %v", kind, step, d)
+			}
+			cur, sched = next, patched
+		}
+	}
+}
+
+// TestDeltaAcceptedCap validates the constructive feasibility lifts: for
+// deltas with a finite cap, a schedule witnessing the pre-delta guess lifts
+// to a post-delta schedule within the capped guess.
+func TestDeltaAcceptedCap(t *testing.T) {
+	rng := rand.New(rand.NewSource(13))
+	in := randInstance(t, rng, Unrelated, 10, 3, 2)
+	sched := &Schedule{Assign: make([]int, in.N)}
+	for j := range sched.Assign {
+		sched.Assign[j] = -1
+		if !placeGreedy(sched, in, j) {
+			t.Fatalf("cannot place job %d", j)
+		}
+	}
+	accepted := sched.Makespan(in)
+	for step := 0; step < 50; step++ {
+		d := randDelta(rng, in)
+		next, err := d.Apply(in)
+		if err != nil {
+			t.Fatalf("step %d: Apply(%v): %v", step, d, err)
+		}
+		cap := d.AcceptedCap(accepted, in, next)
+		if d.Kind == DeltaMachineRemove {
+			if IsFinite(cap) {
+				t.Fatalf("step %d: machine-remove cap should be +Inf, got %v", step, cap)
+			}
+			continue
+		}
+		patched := d.PatchSchedule(sched, in, next)
+		if patched == nil {
+			t.Fatalf("step %d: PatchSchedule(%v) returned nil", step, d)
+		}
+		// The constructive witness behind the cap: patched makespan must not
+		// exceed the lifted guess (greedy placement only does better than
+		// the single-machine construction in the proof).
+		if ms := patched.Makespan(next); ms > cap+Eps {
+			t.Fatalf("step %d: %v patched makespan %v exceeds AcceptedCap %v (accepted %v)", step, d, ms, cap, accepted)
+		}
+	}
+}
+
+// TestDeltaRaisesOn spot-checks the monotonicity classification.
+func TestDeltaRaisesOn(t *testing.T) {
+	rng := rand.New(rand.NewSource(17))
+	in := randInstance(t, rng, Identical, 6, 3, 2)
+	cases := []struct {
+		d    Delta
+		want bool
+	}{
+		{ArriveJob(0, 10), true},
+		{RemoveMachine(1), true},
+		{ResizeJob(2, in.JobSize[2]+5), true},
+		{ResizeJob(2, in.JobSize[2]-0.5), false},
+		{DepartJob(0), false},
+		{Delta{Kind: DeltaMachineAdd}, false},
+	}
+	for _, c := range cases {
+		if got := c.d.RaisesOn(in); got != c.want {
+			t.Fatalf("RaisesOn(%v) = %v, want %v", c.d, got, c.want)
+		}
+	}
+}
+
+// TestDeltaStreamRoundTrip exercises the JSON interchange format.
+func TestDeltaStreamRoundTrip(t *testing.T) {
+	rng := rand.New(rand.NewSource(19))
+	in := randInstance(t, rng, Unrelated, 8, 3, 2)
+	var deltas []Delta
+	cur := in
+	for i := 0; i < 10; i++ {
+		d := randDelta(rng, cur)
+		next, err := d.Apply(cur)
+		if err != nil {
+			t.Fatalf("Apply: %v", err)
+		}
+		deltas = append(deltas, d)
+		cur = next
+	}
+	var buf bytes.Buffer
+	if err := WriteDeltaStream(&buf, in, deltas); err != nil {
+		t.Fatalf("WriteDeltaStream: %v", err)
+	}
+	in2, deltas2, err := ReadDeltaStream(&buf)
+	if err != nil {
+		t.Fatalf("ReadDeltaStream: %v", err)
+	}
+	if in2.Fingerprint() != in.Fingerprint() {
+		t.Fatalf("instance fingerprint changed across round trip")
+	}
+	if len(deltas2) != len(deltas) {
+		t.Fatalf("got %d deltas, want %d", len(deltas2), len(deltas))
+	}
+	cur1, cur2 := in, in2
+	for i := range deltas {
+		n1, err1 := deltas[i].Apply(cur1)
+		n2, err2 := deltas2[i].Apply(cur2)
+		if err1 != nil || err2 != nil {
+			t.Fatalf("replay delta %d: %v / %v", i, err1, err2)
+		}
+		if n1.Fingerprint() != n2.Fingerprint() {
+			t.Fatalf("delta %d diverges after round trip", i)
+		}
+		cur1, cur2 = n1, n2
+	}
+}
+
+// TestSimilarityKeyBuckets checks that small perturbations usually collide
+// while structural changes never do.
+func TestSimilarityKeyBuckets(t *testing.T) {
+	p := []float64{40, 42, 38, 41, 39, 40, 43, 37}
+	class := []int{0, 0, 1, 1, 0, 1, 0, 1}
+	s := []float64{5, 7}
+	a, err := NewIdentical(p, class, s, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// A ~2% size tweak well inside the volume bucket keeps the key.
+	p2 := append([]float64(nil), p...)
+	p2[0] = 41
+	b, err := NewIdentical(p2, class, s, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.Fingerprint() == b.Fingerprint() {
+		t.Fatalf("perturbed instance should change the exact fingerprint")
+	}
+	if a.SimilarityKey() != b.SimilarityKey() {
+		t.Fatalf("2%% perturbation changed the similarity key")
+	}
+	// Doubling the machine count changes the machine bucket.
+	c, err := NewIdentical(p, class, s, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.SimilarityKey() == c.SimilarityKey() {
+		t.Fatalf("doubling machines kept the similarity key")
+	}
+	// A different environment never collides.
+	v := []float64{1, 1, 1, 1}
+	d, err := NewUniform(p, class, s, v)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.SimilarityKey() == d.SimilarityKey() {
+		t.Fatalf("different kind kept the similarity key")
+	}
+}

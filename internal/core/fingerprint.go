@@ -52,3 +52,66 @@ func (in *Instance) Fingerprint() string {
 	}
 	return hex.EncodeToString(h.Sum(nil))
 }
+
+// similarityVersion versions the SimilarityKey encoding the way
+// fingerprintVersion versions Fingerprint.
+const similarityVersion = "sched/simkey/v1"
+
+// SimilarityKey returns a coarse bucketed profile of the instance: the
+// machine environment, the class count, a log₂ bucket of the machine
+// count, and per class a log₂ bucket of the job count and a log₁.₂₅
+// bucket of the total processing volume (summed over min-per-machine
+// times). Instances that differ by a few percent of volume or by small
+// job swaps usually collide, while structurally different instances do
+// not.
+//
+// Unlike Fingerprint, equal keys certify nothing: the engine uses them
+// only to locate candidate schedules from similar instances, then
+// re-prices each candidate on the new instance before trusting it (see
+// engine.BoundCache.LookupSimilar). Bucket boundaries make the grouping
+// best-effort — a 95%-similar pair can still land in adjacent buckets.
+func (in *Instance) SimilarityKey() string {
+	h := sha256.New()
+	var buf [8]byte
+	putU := func(u uint64) {
+		binary.LittleEndian.PutUint64(buf[:], u)
+		h.Write(buf[:])
+	}
+	h.Write([]byte(similarityVersion))
+	putU(uint64(in.Kind))
+	putU(uint64(in.K))
+	putU(uint64(logBucket(float64(in.M), 2)))
+
+	count := make([]int, in.K)
+	vol := make([]float64, in.K)
+	for j := 0; j < in.N; j++ {
+		count[in.Class[j]]++
+		best := Inf
+		for i := 0; i < in.M; i++ {
+			if in.P[i][j] < best {
+				best = in.P[i][j]
+			}
+		}
+		if IsFinite(best) {
+			vol[in.Class[j]] += best
+		}
+	}
+	for k := 0; k < in.K; k++ {
+		putU(uint64(logBucket(float64(count[k]), 2)))
+		putU(uint64(logBucket(vol[k], 1.25)))
+	}
+	return hex.EncodeToString(h.Sum(nil))
+}
+
+// logBucket buckets x > 0 as floor(log_base(x)) shifted to stay
+// non-negative; zero and negative values get a dedicated bucket.
+func logBucket(x, base float64) int {
+	if !(x > 0) {
+		return 0
+	}
+	b := int(math.Floor(math.Log(x)/math.Log(base))) + 64
+	if b < 1 {
+		b = 1
+	}
+	return b
+}

@@ -1,0 +1,25 @@
+package core
+
+// WarmStart carries re-solve knowledge from a previous solve of a related
+// instance into a new solve of the current instance. Every field is about
+// the instance being solved — the engine's Resolve path derives them from
+// the pre-delta solve via the Delta monotonicity lemmas (see Delta.RaisesOn
+// and Delta.AcceptedCap) before handing them to a solver.
+type WarmStart struct {
+	// Lower, when > 0, is a certified lower bound on the optimal makespan
+	// of the instance (sound to prune below).
+	Lower float64
+	// Upper, when > 0 and finite, is a makespan guess at which the solver's
+	// decision procedure is guaranteed to accept, so dual-approximation
+	// searches may open their bracket at Upper instead of a cold greedy
+	// bound.
+	Upper float64
+	// Fallback, when non-nil, is a feasible schedule of the instance (a
+	// patched previous schedule). Its makespan backs Upper, and it is the
+	// result of last resort when a search produces nothing better.
+	Fallback *Schedule
+	// State is solver-specific retained state — for the randomized
+	// rounding, the *rounding.Relaxation patched to this instance by
+	// ApplyDelta. Solvers type-assert and ignore states they do not own.
+	State any
+}

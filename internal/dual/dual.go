@@ -69,6 +69,15 @@ type Outcome struct {
 	// bound on the optimal makespan (Opt > LowerBound). It equals the
 	// initial lb if no guess was ever rejected.
 	LowerBound float64
+	// Accepted is the smallest guess value the search holds an acceptance
+	// for when it returns: the final upper bracket edge. Like the initial
+	// upper bound it is accept-backed — either a decider accepted it, or it
+	// is the caller's Upper (assumed accepted by the Search contract), or a
+	// live incumbent witnessed it. The incremental re-solve pipeline
+	// retains it and lifts it through Delta.AcceptedCap to open the next
+	// search's bracket near the threshold. Zero when Upper <= 0 (the
+	// zero-makespan fast path).
+	Accepted float64
 	// Guesses is the number of decision-procedure invocations.
 	Guesses int
 	// Skipped is the number of guesses short-circuited by a shared

@@ -160,3 +160,31 @@ func TestSearchKeepsBestScheduleAcrossGuesses(t *testing.T) {
 		t.Errorf("makespan = %v, want 5 (best across guesses)", out.Makespan)
 	}
 }
+
+func TestRunReportsAccepted(t *testing.T) {
+	in := testInstance(t)
+	perfect := &core.Schedule{Assign: []int{0, 1}} // makespan 5
+	out := Search(context.Background(), in, 1, 100, 0.01, nil, func(T float64) (*core.Schedule, bool) {
+		if T >= 5 {
+			return perfect, true
+		}
+		return nil, false
+	})
+	// Accepted is the final upper bracket edge: an accept-backed guess just
+	// above the threshold, within precision of the lower bound.
+	if out.Accepted < 5 || out.Accepted > 5*1.02 {
+		t.Errorf("Accepted = %v, want in [5, 5.1]", out.Accepted)
+	}
+	if out.Accepted < out.LowerBound {
+		t.Errorf("Accepted %v below LowerBound %v", out.Accepted, out.LowerBound)
+	}
+	// A search whose bracket is already closed keeps the caller's Upper as
+	// the accepted edge without any guesses.
+	out2 := Search(context.Background(), in, 10, 10.05, 0.01, nil, func(T float64) (*core.Schedule, bool) {
+		t.Fatalf("decider invoked on closed bracket")
+		return nil, false
+	})
+	if out2.Accepted != 10.05 {
+		t.Errorf("closed-bracket Accepted = %v, want 10.05", out2.Accepted)
+	}
+}

@@ -231,6 +231,7 @@ func Run(ctx context.Context, cfg Config) Outcome {
 	for hi/lo > 1+precision {
 		if err := ctx.Err(); err != nil {
 			out.Err = err
+			out.Accepted = hi
 			return out
 		}
 		if r.bus != nil {
@@ -246,6 +247,7 @@ func Run(ctx context.Context, cfg Config) Outcome {
 		buf = strat.Propose(lo, hi, buf)
 		guesses := buf
 		if len(guesses) == 0 {
+			out.Accepted = hi
 			return out // bracket numerically exhausted
 		}
 		// Guesses at or above the live incumbent are accepted without
@@ -264,6 +266,7 @@ func Run(ctx context.Context, cfg Config) Outcome {
 		}
 		lo, hi = r.round(ctx, guesses, lo, hi)
 	}
+	out.Accepted = hi
 	return out
 }
 

@@ -25,6 +25,12 @@ type CachedBounds struct {
 	Schedule *core.Schedule
 	// Algorithm names the solver that produced Schedule.
 	Algorithm string
+	// SimKey is the instance's delta-aware similarity key
+	// (core.Instance.SimilarityKey). Updates carrying one index the
+	// fingerprint for LookupSimilar, which serves near-identical instances
+	// (same class-size profile, same machine-count bucket) that miss the
+	// exact fingerprint. Empty means unindexed.
+	SimKey string
 }
 
 // BoundCache is a concurrency-safe, capacity-bounded map from instance
@@ -39,10 +45,17 @@ type BoundCache struct {
 	mu      sync.Mutex
 	cap     int
 	entries map[string]*CachedBounds
-	order   []string // insertion order, for FIFO eviction
+	order   []string            // insertion order, for FIFO eviction
+	sim     map[string][]string // similarity key -> fingerprints, newest last
 	hits    int64
 	misses  int64
 }
+
+// simFanout bounds both the fingerprints indexed per similarity key and the
+// candidates a LookupSimilar re-prices: under a delta stream every event
+// shares one key, and re-evaluating an unbounded history per event would
+// turn the O(1) cache probe into a linear scan.
+const simFanout = 4
 
 // DefaultBoundCacheSize is the entry capacity used when none is chosen.
 const DefaultBoundCacheSize = 256
@@ -53,7 +66,7 @@ func NewBoundCache(capacity int) *BoundCache {
 	if capacity <= 0 {
 		capacity = DefaultBoundCacheSize
 	}
-	return &BoundCache{cap: capacity, entries: make(map[string]*CachedBounds)}
+	return &BoundCache{cap: capacity, entries: make(map[string]*CachedBounds), sim: make(map[string][]string)}
 }
 
 // Lookup returns the cached bounds for the fingerprint. The returned
@@ -107,6 +120,101 @@ func (c *BoundCache) Update(fp string, b CachedBounds) {
 	if core.IsFinite(b.Lower) && b.Lower > e.Lower {
 		e.Lower = b.Lower
 	}
+	if b.SimKey != "" && e.Schedule != nil && e.SimKey != b.SimKey {
+		c.unindexLocked(e.SimKey, fp)
+		e.SimKey = b.SimKey
+		c.indexLocked(b.SimKey, fp)
+	}
+}
+
+// indexLocked records fp as the newest fingerprint under the similarity
+// key, keeping at most simFanout entries per key.
+func (c *BoundCache) indexLocked(key, fp string) {
+	fps := c.sim[key]
+	for _, f := range fps {
+		if f == fp {
+			return
+		}
+	}
+	fps = append(fps, fp)
+	if len(fps) > simFanout {
+		fps = fps[len(fps)-simFanout:]
+	}
+	c.sim[key] = fps
+}
+
+// unindexLocked drops fp from the similarity key's candidate list.
+func (c *BoundCache) unindexLocked(key, fp string) {
+	if key == "" {
+		return
+	}
+	fps := c.sim[key]
+	for i, f := range fps {
+		if f == fp {
+			fps = append(fps[:i], fps[i+1:]...)
+			break
+		}
+	}
+	if len(fps) == 0 {
+		delete(c.sim, key)
+	} else {
+		c.sim[key] = fps
+	}
+}
+
+// LookupSimilar serves an exact-fingerprint miss from the similarity index:
+// it re-prices the cached schedules of up to simFanout fingerprints sharing
+// the instance's similarity key ON the new instance and returns the best
+// finite makespan as a certified upper bound with its witness schedule.
+//
+// Soundness does not rest on the similarity heuristic at all — a cached
+// bound is never trusted across fingerprints. A candidate schedule is used
+// only if it is structurally applicable to in (every job assigned, machine
+// indices in range) and only at the makespan it achieves on in, evaluated
+// here; candidates that price to +Inf (an assignment the new instance
+// forbids) are skipped. Lower bounds never transfer — a delta can
+// legitimately lower the optimum — so Lower is always 0. exceptFp excludes
+// the instance's own fingerprint (an exact hit is Lookup's job, at full
+// trust).
+func (c *BoundCache) LookupSimilar(in *core.Instance, exceptFp string) (CachedBounds, bool) {
+	key := in.SimilarityKey()
+	c.mu.Lock()
+	type cand struct {
+		sched *core.Schedule
+		alg   string
+	}
+	var cands []cand
+	for _, fp := range c.sim[key] {
+		if fp == exceptFp {
+			continue
+		}
+		if e, ok := c.entries[fp]; ok && e.Schedule != nil && len(e.Schedule.Assign) == in.N {
+			cands = append(cands, cand{sched: e.Schedule.Clone(), alg: e.Algorithm})
+		}
+	}
+	c.mu.Unlock()
+	best := CachedBounds{Upper: math.Inf(1)}
+	for _, cd := range cands {
+		ok := true
+		for _, i := range cd.sched.Assign {
+			if i < 0 || i >= in.M {
+				ok = false
+				break
+			}
+		}
+		if !ok {
+			continue
+		}
+		if ms := cd.sched.Makespan(in); ms < best.Upper {
+			best.Upper = ms
+			best.Schedule = cd.sched
+			best.Algorithm = cd.alg + "~sim"
+		}
+	}
+	if best.Schedule == nil {
+		return CachedBounds{Upper: math.Inf(1)}, false
+	}
+	return best, true
 }
 
 // evictLocked drops oldest-inserted fingerprints until the capacity holds.
@@ -114,6 +222,9 @@ func (c *BoundCache) evictLocked() {
 	for len(c.order) > c.cap {
 		victim := c.order[0]
 		c.order = c.order[1:]
+		if e, ok := c.entries[victim]; ok {
+			c.unindexLocked(e.SimKey, victim)
+		}
 		delete(c.entries, victim)
 	}
 }

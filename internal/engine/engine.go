@@ -86,6 +86,21 @@ type Options struct {
 	// TryAcquire/Release. Nil means ungoverned: each layer falls back to
 	// its local GOMAXPROCS clamp.
 	Budget core.TokenBudget
+	// Warm, when non-nil, carries re-solve knowledge from a previous solve
+	// of a related instance (see core.WarmStart): a certified lower bound,
+	// an accept-backed upper bracket edge, a feasible fallback witness, and
+	// optionally solver-specific retained state. Solvers that run dual
+	// searches open their bracket on it instead of bootstrapping cold;
+	// solvers that cannot use it ignore it. Correctness must never depend
+	// on Warm — it is a latency hint with certified components.
+	Warm *core.WarmStart
+	// Retain, when non-nil, asks the solver to hand back its retainable
+	// warm-start state after the solve (called at most once, before Solve
+	// returns). Only solvers with such state call it (the randomized
+	// rounding retains its LP relaxation and the search's accepted bracket
+	// edge); the engine's resolve path combines it with the Result into a
+	// SolveState.
+	Retain func(RetainedState)
 }
 
 // Caps declares what instances a solver can handle and how strong it is.

@@ -4,6 +4,7 @@ import (
 	"context"
 	"runtime"
 	"sync"
+	"time"
 
 	"repro/internal/core"
 )
@@ -22,13 +23,15 @@ import (
 // (the engine admitting a solve), while in-solve layers use the
 // non-blocking TryAcquire and degrade on a short grant.
 type Governor struct {
-	mu      sync.Mutex
-	cap     int
-	inUse   int
-	peak    int
-	waits   int64
-	degrade int64
-	waiters []chan struct{} // FIFO: each is granted one token at hand-off
+	mu       sync.Mutex
+	cap      int
+	inUse    int
+	peak     int
+	waits    int64
+	waitTime time.Duration
+	maxWait  time.Duration
+	degrade  int64
+	waiters  []chan struct{} // FIFO: each is granted one token at hand-off
 }
 
 var _ core.TokenBudget = (*Governor)(nil)
@@ -64,10 +67,22 @@ func (g *Governor) Acquire(ctx context.Context) error {
 	ch := make(chan struct{})
 	g.waiters = append(g.waiters, ch)
 	g.mu.Unlock()
+	start := time.Now()
+	record := func() {
+		wait := time.Since(start)
+		g.mu.Lock()
+		g.waitTime += wait
+		if wait > g.maxWait {
+			g.maxWait = wait
+		}
+		g.mu.Unlock()
+	}
 	select {
 	case <-ch:
+		record()
 		return nil // the releaser transferred its token to us
 	case <-ctx.Done():
+		defer record()
 		g.mu.Lock()
 		for i, w := range g.waiters {
 			if w == ch {
@@ -148,6 +163,14 @@ type GovernorStats struct {
 	// Waits counts solve admissions that had to block for a token (the
 	// batch/portfolio/solve front door queuing under load).
 	Waits int64
+	// WaitTime is the cumulative wall-clock time solve admissions spent
+	// blocked for a token — with Waits, the admission-latency half of the
+	// online workload's end-to-end latency budget (a per-event latency
+	// percentile hides whether time went to solving or to queuing; this
+	// separates them).
+	WaitTime time.Duration
+	// MaxWait is the longest single admission wait observed.
+	MaxWait time.Duration
 	// Degradations counts TryAcquire calls granted fewer tokens than asked:
 	// portfolio races that fell back toward sequential and speculative
 	// search rounds that ran narrower than their configured width.
@@ -163,6 +186,8 @@ func (g *Governor) Stats() GovernorStats {
 		InUse:        g.inUse,
 		Peak:         g.peak,
 		Waits:        g.waits,
+		WaitTime:     g.waitTime,
+		MaxWait:      g.maxWait,
 		Degradations: g.degrade,
 	}
 }

@@ -70,6 +70,67 @@ func TestGovernorAcquireBlocksAndHandsOff(t *testing.T) {
 	if st.Waits != 1 {
 		t.Fatalf("waits = %d, want 1", st.Waits)
 	}
+	// The waiter blocked for at least the 20ms probe above, and that wait
+	// must be visible in both the cumulative and the max counters.
+	if st.WaitTime < 20*time.Millisecond {
+		t.Fatalf("WaitTime = %v, want >= 20ms", st.WaitTime)
+	}
+	if st.MaxWait < 20*time.Millisecond || st.MaxWait > st.WaitTime {
+		t.Fatalf("MaxWait = %v, want in [20ms, WaitTime=%v]", st.MaxWait, st.WaitTime)
+	}
+	g.Release(1)
+}
+
+func TestGovernorWaitTimeAccumulates(t *testing.T) {
+	g := NewGovernor(1)
+	if err := g.Acquire(context.Background()); err != nil {
+		t.Fatal(err)
+	}
+	const waiters = 3
+	done := make(chan error, waiters)
+	for w := 0; w < waiters; w++ {
+		go func() {
+			if err := g.Acquire(context.Background()); err != nil {
+				done <- err
+				return
+			}
+			time.Sleep(5 * time.Millisecond)
+			g.Release(1)
+			done <- nil
+		}()
+	}
+	time.Sleep(10 * time.Millisecond)
+	g.Release(1)
+	for w := 0; w < waiters; w++ {
+		if err := <-done; err != nil {
+			t.Fatal(err)
+		}
+	}
+	st := g.Stats()
+	if st.Waits != waiters {
+		t.Fatalf("waits = %d, want %d", st.Waits, waiters)
+	}
+	// Each waiter's blocked interval is counted in full, so the cumulative
+	// wait exceeds any single max wait under FIFO hand-off chains.
+	if st.WaitTime < st.MaxWait {
+		t.Fatalf("WaitTime %v < MaxWait %v", st.WaitTime, st.MaxWait)
+	}
+	if st.MaxWait <= 0 {
+		t.Fatalf("MaxWait = %v, want > 0", st.MaxWait)
+	}
+	// A cancelled waiter's time-in-queue is recorded too.
+	if err := g.Acquire(context.Background()); err != nil {
+		t.Fatal(err)
+	}
+	before := g.Stats().WaitTime
+	ctx, cancel := context.WithTimeout(context.Background(), 5*time.Millisecond)
+	defer cancel()
+	if err := g.Acquire(ctx); err == nil {
+		t.Fatal("Acquire at saturation with expiring ctx succeeded")
+	}
+	if after := g.Stats().WaitTime; after <= before {
+		t.Fatalf("cancelled wait not recorded: WaitTime %v -> %v", before, after)
+	}
 	g.Release(1)
 }
 

@@ -1,0 +1,128 @@
+package engine
+
+import (
+	"sync"
+
+	"repro/internal/core"
+	"repro/internal/rounding"
+)
+
+// SolveState is the retainable artifact of one finished solve: everything
+// the incremental re-solve pipeline needs to re-enter the search after a
+// core.Delta instead of solving the mutated instance cold. The public
+// sched.Engine.Resolve path stores one per solved fingerprint and consumes
+// it on the next delta.
+type SolveState struct {
+	// Fingerprint is the exact fingerprint of Instance (the store key).
+	Fingerprint string
+	// Instance is the instance the state was solved on.
+	Instance *core.Instance
+	// Schedule is the best schedule of that solve (a private copy).
+	Schedule *core.Schedule
+	// Upper is Schedule's makespan; Lower the certified lower bound.
+	Upper, Lower float64
+	// Accepted is the search's final accept-backed bracket edge
+	// (dual.Outcome.Accepted), the value Delta.AcceptedCap lifts across a
+	// delta. Zero when the solver ran no dual search.
+	Accepted float64
+	// Rel is the rounding solver's LP relaxation with its retained warm
+	// basis, nil for solvers without retainable LP state. Whoever holds the
+	// SolveState owns it exclusively (Relaxations are not safe for
+	// concurrent use) — the store's Take hands each state out at most once.
+	Rel *rounding.Relaxation
+	// Algorithm names the solver that produced the state.
+	Algorithm string
+}
+
+// RetainedState is what a solver hands back through Options.Retain: the
+// solver-specific slice of a SolveState (the rest — schedule, bounds,
+// fingerprint — is already in its Result and filled in by the engine).
+type RetainedState struct {
+	// Accepted is the final accept-backed bracket edge of the solver's
+	// dual search (see SolveState.Accepted).
+	Accepted float64
+	// Rel is the rounding relaxation to retain, nil when the solver keeps
+	// no LP state. Ownership transfers to the receiver.
+	Rel *rounding.Relaxation
+}
+
+// StateStore is a concurrency-safe LRU of SolveStates keyed by instance
+// fingerprint. Unlike the BoundCache — whose entries are immutable facts
+// served by copy, any number of times — a SolveState contains a live,
+// mutable LP backend, so the store hands entries out exclusively: Take
+// removes the state it returns, and a second Take of the same fingerprint
+// misses. Re-solving the same previous handle twice therefore warm-starts
+// from the retained relaxation only the first time; later resolves still
+// get the bound-and-witness warm start, just not the basis.
+type StateStore struct {
+	mu      sync.Mutex
+	cap     int
+	entries map[string]*SolveState
+	order   []string // LRU: oldest first
+}
+
+// DefaultStateStoreSize is the entry capacity used when none is chosen —
+// sized like a handful of concurrent delta streams, not like the bound
+// cache: each entry pins a built LP (O(M·(N+K)) floats plus factorization).
+const DefaultStateStoreSize = 16
+
+// NewStateStore returns an empty store holding at most capacity states
+// (capacity <= 0 selects DefaultStateStoreSize).
+func NewStateStore(capacity int) *StateStore {
+	if capacity <= 0 {
+		capacity = DefaultStateStoreSize
+	}
+	return &StateStore{cap: capacity, entries: make(map[string]*SolveState)}
+}
+
+// Put retains a state, replacing any state already stored for the same
+// fingerprint and evicting the least-recently-stored entry over capacity.
+// States without a fingerprint are ignored.
+func (s *StateStore) Put(st *SolveState) {
+	if st == nil || st.Fingerprint == "" {
+		return
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if _, ok := s.entries[st.Fingerprint]; ok {
+		s.removeOrderLocked(st.Fingerprint)
+	}
+	s.entries[st.Fingerprint] = st
+	s.order = append(s.order, st.Fingerprint)
+	for len(s.order) > s.cap {
+		victim := s.order[0]
+		s.order = s.order[1:]
+		delete(s.entries, victim)
+	}
+}
+
+// Take removes and returns the state for the fingerprint, transferring
+// exclusive ownership (of the contained Relaxation in particular) to the
+// caller. A miss returns nil.
+func (s *StateStore) Take(fp string) *SolveState {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	st, ok := s.entries[fp]
+	if !ok {
+		return nil
+	}
+	delete(s.entries, fp)
+	s.removeOrderLocked(fp)
+	return st
+}
+
+// Len reports the number of retained states.
+func (s *StateStore) Len() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return len(s.entries)
+}
+
+func (s *StateStore) removeOrderLocked(fp string) {
+	for i, f := range s.order {
+		if f == fp {
+			s.order = append(s.order[:i], s.order[i+1:]...)
+			return
+		}
+	}
+}

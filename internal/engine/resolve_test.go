@@ -1,0 +1,186 @@
+package engine
+
+import (
+	"math/rand"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/gen"
+)
+
+func TestStateStoreTakeIsExclusive(t *testing.T) {
+	s := NewStateStore(4)
+	s.Put(&SolveState{Fingerprint: "a", Upper: 10})
+	s.Put(&SolveState{Fingerprint: "b", Upper: 20})
+	if s.Len() != 2 {
+		t.Fatalf("Len = %d, want 2", s.Len())
+	}
+	st := s.Take("a")
+	if st == nil || st.Upper != 10 {
+		t.Fatalf("Take(a) = %+v", st)
+	}
+	if s.Take("a") != nil {
+		t.Fatal("second Take of the same fingerprint hit — states must be consumed")
+	}
+	if s.Len() != 1 {
+		t.Fatalf("Len after Take = %d, want 1", s.Len())
+	}
+	if s.Take("nope") != nil {
+		t.Fatal("Take of unknown fingerprint hit")
+	}
+}
+
+func TestStateStoreReplaceAndEvict(t *testing.T) {
+	s := NewStateStore(2)
+	s.Put(&SolveState{Fingerprint: "a", Upper: 1})
+	s.Put(&SolveState{Fingerprint: "a", Upper: 2}) // replace, no growth
+	if s.Len() != 1 {
+		t.Fatalf("Len after replace = %d, want 1", s.Len())
+	}
+	s.Put(&SolveState{Fingerprint: "b", Upper: 3})
+	s.Put(&SolveState{Fingerprint: "c", Upper: 4}) // evicts a (oldest)
+	if s.Take("a") != nil {
+		t.Fatal("oldest state not evicted at capacity")
+	}
+	if st := s.Take("a"); st != nil {
+		t.Fatalf("evicted state still present: %+v", st)
+	}
+	if s.Take("b") == nil || s.Take("c") == nil {
+		t.Fatal("recent states evicted instead of oldest")
+	}
+	s.Put(nil)
+	s.Put(&SolveState{}) // no fingerprint: ignored
+	if s.Len() != 0 {
+		t.Fatalf("unkeyed Put stored an entry (Len=%d)", s.Len())
+	}
+}
+
+// TestLookupSimilarRepricesOnNewInstance is the similarity-key soundness
+// test: a hit is only ever the cached schedule re-evaluated on the new
+// instance, so the returned Upper is exactly that schedule's makespan there
+// — never the stale bound from the old instance.
+func TestLookupSimilarRepricesOnNewInstance(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	in := gen.Unrelated(rng, gen.Params{N: 12, M: 3, K: 3})
+	// A second instance in the same similarity bucket: same class-size
+	// profile, slightly perturbed times (well under one log1.25 volume
+	// bucket).
+	p2 := make([][]float64, in.M)
+	for i := range p2 {
+		p2[i] = append([]float64(nil), in.P[i]...)
+		for j := range p2[i] {
+			p2[i][j] *= 1.02
+		}
+	}
+	in2, err := core.NewUnrelated(p2, in.Class, in.S)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if in.SimilarityKey() != in2.SimilarityKey() {
+		t.Skip("perturbation crossed a similarity bucket; key test covers bucketing")
+	}
+	if in.Fingerprint() == in2.Fingerprint() {
+		t.Fatal("perturbed instance has identical fingerprint")
+	}
+
+	sched := &core.Schedule{Assign: make([]int, in.N)}
+	for j := range sched.Assign {
+		sched.Assign[j] = j % in.M
+	}
+	msOld := sched.Makespan(in)
+	c := NewBoundCache(8)
+	c.Update(in.Fingerprint(), CachedBounds{
+		Upper: msOld, Lower: msOld / 2, Schedule: sched,
+		Algorithm: "greedy", SimKey: in.SimilarityKey(),
+	})
+
+	got, ok := c.LookupSimilar(in2, in2.Fingerprint())
+	if !ok {
+		t.Fatal("similarity lookup missed")
+	}
+	wantMs := sched.Makespan(in2)
+	if got.Upper != wantMs {
+		t.Fatalf("Upper = %v, want the re-priced makespan %v (old %v)", got.Upper, wantMs, msOld)
+	}
+	if got.Schedule == nil || got.Schedule.Makespan(in2) != got.Upper {
+		t.Fatal("returned schedule does not witness the returned Upper")
+	}
+	if got.Lower != 0 {
+		t.Fatalf("Lower = %v transferred across fingerprints — lower bounds must not transfer", got.Lower)
+	}
+	if got.Algorithm != "greedy~sim" {
+		t.Fatalf("Algorithm = %q, want greedy~sim", got.Algorithm)
+	}
+
+	// The instance's own fingerprint is excluded (exact hits are Lookup's).
+	if _, ok := c.LookupSimilar(in, in.Fingerprint()); ok {
+		t.Fatal("LookupSimilar served the excluded fingerprint")
+	}
+}
+
+// TestLookupSimilarSkipsInapplicableSchedules: candidates whose schedules
+// do not fit the new instance (wrong job count, machine out of range,
+// infinite re-priced makespan) must be skipped, not served.
+func TestLookupSimilarSkipsInapplicableSchedules(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	in := gen.Restricted(rng, gen.Params{N: 10, M: 3, K: 2})
+	key := in.SimilarityKey()
+	c := NewBoundCache(8)
+
+	// Wrong length: a schedule of 9 jobs.
+	c.Update("fpA", CachedBounds{Upper: 5, Schedule: &core.Schedule{Assign: make([]int, in.N-1)}, SimKey: key})
+	// Machine index out of range.
+	bad := &core.Schedule{Assign: make([]int, in.N)}
+	bad.Assign[0] = in.M + 7
+	c.Update("fpB", CachedBounds{Upper: 5, Schedule: bad, SimKey: key})
+	if _, ok := c.LookupSimilar(in, "self"); ok {
+		t.Fatal("inapplicable candidate served")
+	}
+
+	// A schedule violating eligibility re-prices to +Inf and is skipped.
+	inf := &core.Schedule{Assign: make([]int, in.N)}
+	priced := false
+	for j := range inf.Assign {
+		inf.Assign[j] = 0
+		if !core.IsFinite(in.P[0][j]) {
+			priced = true
+		}
+	}
+	if priced && core.IsFinite(inf.Makespan(in)) {
+		t.Fatal("test setup: expected an infinite re-priced makespan")
+	}
+	c.Update("fpC", CachedBounds{Upper: 5, Schedule: inf, SimKey: key})
+	got, ok := c.LookupSimilar(in, "self")
+	if priced {
+		if ok {
+			t.Fatalf("infinitely-priced candidate served: %+v", got)
+		}
+	} else if !ok || !core.IsFinite(got.Upper) {
+		t.Fatalf("finite candidate not served: %+v ok=%v", got, ok)
+	}
+}
+
+// TestLookupSimilarFanoutBounded: the per-key index keeps only the newest
+// simFanout fingerprints, and eviction removes entries from the index.
+func TestLookupSimilarFanoutBounded(t *testing.T) {
+	c := NewBoundCache(4)
+	sched := schedOf(0, 0)
+	for i := 0; i < 6; i++ {
+		c.Update(string(rune('a'+i)), CachedBounds{Upper: float64(10 - i), Schedule: sched, SimKey: "K"})
+	}
+	c.mu.Lock()
+	n := len(c.sim["K"])
+	c.mu.Unlock()
+	if n > simFanout {
+		t.Fatalf("similarity index holds %d fingerprints, cap %d", n, simFanout)
+	}
+	// All indexed fingerprints must still exist (evicted ones unindexed).
+	c.mu.Lock()
+	for _, fp := range c.sim["K"] {
+		if _, ok := c.entries[fp]; !ok {
+			c.mu.Unlock()
+			t.Fatalf("similarity index references evicted fingerprint %q", fp)
+		}
+	}
+	c.mu.Unlock()
+}

@@ -149,7 +149,7 @@ func newRoundingSolver() Solver {
 		Guarantee: "O(log n + log m) (Theorem 3.3)",
 		Priority:  20,
 	}, func(ctx context.Context, in *core.Instance, opt Options) (core.Result, error) {
-		return rounding.Schedule(ctx, in, rounding.Options{
+		res, det, err := rounding.ScheduleDetailed(ctx, in, rounding.Options{
 			C:             opt.RoundingC,
 			Rng:           rngFor(opt),
 			Precision:     opt.Precision,
@@ -157,7 +157,12 @@ func newRoundingSolver() Solver {
 			LPBackend:     opt.LPBackend,
 			SearchWorkers: opt.SearchWorkers,
 			Budget:        opt.Budget,
+			Warm:          opt.Warm,
 		})
+		if err == nil && opt.Retain != nil {
+			opt.Retain(RetainedState{Accepted: det.Accepted, Rel: det.Relaxation})
+		}
+		return res, err
 	})
 }
 

@@ -1,0 +1,153 @@
+package gen
+
+import (
+	"fmt"
+	"math/rand"
+
+	"repro/internal/core"
+)
+
+// StreamParams controls delta-sequence generation (DeltaStream). Zero
+// weights select the default event mix; zero size ranges inherit the
+// Params defaults (jobs in [1,100], setups in [1,50]).
+type StreamParams struct {
+	// Events is the number of deltas to generate.
+	Events int
+	// ArriveW, DepartW, ResizeW, AddW, RemoveW weight the event mix. All
+	// zero selects the default mix 4:2:2:1:1 — arrival-dominated, the
+	// typical online-scheduling workload shape.
+	ArriveW, DepartW, ResizeW, AddW, RemoveW int
+	// MinJob, MaxJob, MinSetup, MaxSetup bound the sizes of arriving or
+	// resized jobs and of new machines' rows. Defaults as Params.
+	MinJob, MaxJob, MinSetup, MaxSetup int
+}
+
+func (p StreamParams) normalize() StreamParams {
+	if p.ArriveW == 0 && p.DepartW == 0 && p.ResizeW == 0 && p.AddW == 0 && p.RemoveW == 0 {
+		p.ArriveW, p.DepartW, p.ResizeW, p.AddW, p.RemoveW = 4, 2, 2, 1, 1
+	}
+	if p.MinJob == 0 && p.MaxJob == 0 {
+		p.MinJob, p.MaxJob = 1, 100
+	}
+	if p.MinSetup == 0 && p.MaxSetup == 0 {
+		p.MinSetup, p.MaxSetup = 1, 50
+	}
+	return p
+}
+
+// DeltaStream generates a reproducible sequence of p.Events deltas, each
+// valid in sequence starting from in (every delta applies cleanly to the
+// instance produced by its predecessors). The input instance is not
+// mutated. Deltas that would leave the instance degenerate — removing the
+// last machine, departing below one job, stranding a job with no eligible
+// machine — are never emitted; when the weighted mix draws an inapplicable
+// kind, the draw is retried, so the mix is a bias, not a guarantee.
+func DeltaStream(rng *rand.Rand, in *core.Instance, p StreamParams) []core.Delta {
+	p = p.normalize()
+	if p.Events < 0 {
+		panic(fmt.Sprintf("gen: DeltaStream with negative Events %d", p.Events))
+	}
+	deltas := make([]core.Delta, 0, p.Events)
+	cur := in
+	total := p.ArriveW + p.DepartW + p.ResizeW + p.AddW + p.RemoveW
+	for len(deltas) < p.Events {
+		d, ok := drawDelta(rng, cur, p, total)
+		if !ok {
+			continue
+		}
+		next, err := d.Apply(cur)
+		if err != nil {
+			// The draw guards cover the common degeneracies; Apply is the
+			// final arbiter (e.g. a removal stranding a restricted job).
+			continue
+		}
+		deltas = append(deltas, d)
+		cur = next
+	}
+	return deltas
+}
+
+func drawDelta(rng *rand.Rand, in *core.Instance, p StreamParams, total int) (core.Delta, bool) {
+	w := rng.Intn(total)
+	switch {
+	case w < p.ArriveW:
+		return drawArrive(rng, in, p), true
+	case w < p.ArriveW+p.DepartW:
+		if in.N <= 1 {
+			return core.Delta{}, false
+		}
+		return core.DepartJob(rng.Intn(in.N)), true
+	case w < p.ArriveW+p.DepartW+p.ResizeW:
+		return drawResize(rng, in, p), true
+	case w < p.ArriveW+p.DepartW+p.ResizeW+p.AddW:
+		return drawMachineAdd(rng, in, p), true
+	default:
+		if in.M <= 1 {
+			return core.Delta{}, false
+		}
+		return core.RemoveMachine(rng.Intn(in.M)), true
+	}
+}
+
+func drawArrive(rng *rand.Rand, in *core.Instance, p StreamParams) core.Delta {
+	class := rng.Intn(in.K)
+	if in.Kind == core.Unrelated {
+		proc := make([]float64, in.M)
+		for i := range proc {
+			proc[i] = intIn(rng, p.MinJob, p.MaxJob)
+		}
+		return core.ArriveJobUnrelated(class, proc)
+	}
+	d := core.ArriveJob(class, intIn(rng, p.MinJob, p.MaxJob))
+	if in.Kind == core.RestrictedAssignment {
+		for i := 0; i < in.M; i++ {
+			if rng.Float64() < 0.6 {
+				d.Eligible = append(d.Eligible, i)
+			}
+		}
+		if len(d.Eligible) == 0 {
+			d.Eligible = []int{rng.Intn(in.M)}
+		}
+	}
+	return d
+}
+
+func drawResize(rng *rand.Rand, in *core.Instance, p StreamParams) core.Delta {
+	j := rng.Intn(in.N)
+	if in.Kind == core.Unrelated {
+		d := core.Delta{Kind: core.DeltaJobResize, Job: j}
+		d.Proc = make([]float64, in.M)
+		for i := range d.Proc {
+			d.Proc[i] = intIn(rng, p.MinJob, p.MaxJob)
+		}
+		return d
+	}
+	return core.ResizeJob(j, intIn(rng, p.MinJob, p.MaxJob))
+}
+
+func drawMachineAdd(rng *rand.Rand, in *core.Instance, p StreamParams) core.Delta {
+	d := core.Delta{Kind: core.DeltaMachineAdd}
+	switch in.Kind {
+	case core.Uniform:
+		d.Speed = intIn(rng, 1, 4)
+	case core.Unrelated:
+		d.Proc = make([]float64, in.N)
+		for j := range d.Proc {
+			d.Proc[j] = intIn(rng, p.MinJob, p.MaxJob)
+		}
+		d.Setup = make([]float64, in.K)
+		for k := range d.Setup {
+			d.Setup[k] = intIn(rng, p.MinSetup, p.MaxSetup)
+		}
+	case core.RestrictedAssignment:
+		for j := 0; j < in.N; j++ {
+			if rng.Float64() < 0.5 {
+				d.Eligible = append(d.Eligible, j)
+			}
+		}
+		if len(d.Eligible) == 0 {
+			d.Eligible = []int{rng.Intn(in.N)}
+		}
+	}
+	return d
+}

@@ -57,6 +57,56 @@ type Basis struct {
 	Status []VarStatus
 }
 
+// ExtendBasis remaps a basis snapshot taken from a backend bound to a
+// Problem with oldVars variables and oldRows rows onto the standard form of
+// the same Problem after it grew (append-only) to newVars variables and
+// newRows rows. Structural columns keep their indices, old slack columns
+// shift from oldVars+r to newVars+r, new structural columns enter nonbasic
+// at their lower bound, and each new row is made basic in its own slack.
+//
+// The result is a valid basis for Warm on a backend built from the grown
+// problem: the basis matrix is block-triangular (old basis over old rows,
+// identity slacks over new rows), hence nonsingular, and for a
+// zero-objective feasibility LP it is dual feasible — a Solve then repairs
+// primal feasibility with a handful of dual-simplex pivots instead of a
+// cold phase-1 run. This is the transplant step of the incremental
+// re-solve pipeline (rounding.Relaxation.ApplyDelta): extend the retained
+// Problem with a delta's rows and columns, rebuild the backend, ExtendBasis
+// the retained snapshot, Warm, Solve.
+func ExtendBasis(b *Basis, oldVars, newVars, oldRows, newRows int) (*Basis, error) {
+	if b == nil || len(b.Cols) != oldRows || len(b.Status) != oldVars+oldRows {
+		return nil, fmt.Errorf("lp: ExtendBasis snapshot has wrong shape (want %d rows, %d columns)", oldRows, oldVars+oldRows)
+	}
+	if newVars < oldVars || newRows < oldRows {
+		return nil, fmt.Errorf("lp: ExtendBasis cannot shrink (%d→%d vars, %d→%d rows)", oldVars, newVars, oldRows, newRows)
+	}
+	out := &Basis{
+		Cols:   make([]int, newRows),
+		Status: make([]VarStatus, newVars+newRows),
+	}
+	remap := func(c int) int {
+		if c >= oldVars {
+			return newVars + (c - oldVars)
+		}
+		return c
+	}
+	for r := 0; r < oldRows; r++ {
+		out.Cols[r] = remap(b.Cols[r])
+	}
+	copy(out.Status[:oldVars], b.Status[:oldVars])
+	for j := oldVars; j < newVars; j++ {
+		out.Status[j] = NonbasicLower
+	}
+	for r := 0; r < oldRows; r++ {
+		out.Status[newVars+r] = b.Status[oldVars+r]
+	}
+	for r := oldRows; r < newRows; r++ {
+		out.Cols[r] = newVars + r
+		out.Status[newVars+r] = BasicVar
+	}
+	return out, nil
+}
+
 // Backend is a mutable LP solver instance bound to one Problem. Unlike
 // Problem.Solve, a Backend persists its basis and factorization between
 // calls: after an optimal Solve, the RHS and variable upper bounds can be

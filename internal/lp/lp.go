@@ -140,6 +140,31 @@ func (p *Problem) AddConstraint(sense Sense, rhs float64, terms ...Term) {
 	}
 }
 
+// AddTerm appends one coefficient triplet to an existing constraint row.
+// Because the triplet storage is additive, a repeated (row, var) pair
+// accumulates onto the earlier coefficient — AddTerm(r, {v, Δ}) is therefore
+// also the in-place idiom for changing an existing coefficient by Δ without
+// rewriting the row. Backends built before the call do not observe it; the
+// incremental re-solve pipeline extends a retained Problem this way and then
+// rebuilds its backend, transplanting the old basis (see ExtendBasis).
+func (p *Problem) AddTerm(row int, t Term) {
+	if row < 0 || row >= len(p.rows) {
+		panic(fmt.Sprintf("lp: AddTerm references unknown row %d", row))
+	}
+	if t.Var < 0 || t.Var >= len(p.obj) {
+		panic(fmt.Sprintf("lp: AddTerm references unknown variable %d", t.Var))
+	}
+	if math.IsNaN(t.Coef) || math.IsInf(t.Coef, 0) {
+		panic(fmt.Sprintf("lp: invalid coefficient %v", t.Coef))
+	}
+	if t.Coef == 0 {
+		return
+	}
+	p.tRow = append(p.tRow, int32(row))
+	p.tVar = append(p.tVar, int32(t.Var))
+	p.tCoef = append(p.tCoef, t.Coef)
+}
+
 // Solution is the result of Solve.
 type Solution struct {
 	// Status is Optimal, Infeasible or Unbounded.

@@ -70,6 +70,16 @@ type Options struct {
 	// sequential bisection on a saturated box. Nil keeps the local
 	// GOMAXPROCS clamp.
 	Budget core.TokenBudget
+	// Warm, when usable (non-nil with a feasible Fallback witness and a
+	// positive finite Upper), switches the run onto the incremental
+	// re-solve path: the greedy bootstrap and the envelope-seed solve are
+	// skipped, the binary search opens on [Warm.Lower, Warm.Upper] instead
+	// of [0, greedy], Warm.Fallback stands in for the greedy witness, and
+	// when Warm.State holds a *Relaxation already patched onto this exact
+	// instance (pointer identity) the LP is re-entered with its retained
+	// warm basis instead of being rebuilt. An unusable Warm value silently
+	// degrades to the cold path — correctness never depends on it.
+	Warm *core.WarmStart
 }
 
 func (o Options) normalize() Options {
@@ -184,6 +194,7 @@ type ilpModel struct {
 	xIdx    [][]int // variable per (machine, job); -1 excluded
 	yIdx    [][]int // variable per (machine, class); -1 excluded
 	loadRow []int   // constraint row of machine i's load; -1 none
+	asgRow  []int   // constraint row of job j's assignment EQ
 	xv      []relaxVar
 	// infeasible marks a job with no eligible machine at the envelope:
 	// the relaxation (and the ILP) is infeasible at T and every T' ≤ T.
@@ -252,6 +263,7 @@ func buildILPModel(in *core.Instance, T float64) *ilpModel {
 		}
 	}
 	// (2) full assignment.
+	mdl.asgRow = make([]int, in.N)
 	for j := 0; j < in.N; j++ {
 		terms = terms[:0]
 		for i := 0; i < in.M; i++ {
@@ -263,6 +275,7 @@ func buildILPModel(in *core.Instance, T float64) *ilpModel {
 			mdl.infeasible = true // job j can run nowhere at T
 			return mdl
 		}
+		mdl.asgRow[j] = p.NumRows()
 		p.AddConstraint(lp.EQ, 1, terms...)
 	}
 	// (4) setup dominates assignment (y exists whenever x does: the x
@@ -333,6 +346,23 @@ type Relaxation struct {
 	banned   []bool // current clamp state, parallel to mdl.xv
 	avail    []int  // per job: count of unbanned x variables
 
+	// Incremental re-solve state (ApplyDelta). dead lists variables
+	// permanently fixed to 0 (a departed job's or removed machine's
+	// columns) and deadRows lists rows whose RHS is permanently pinned to 0
+	// (a departed job's assignment row); both must be replayed on any
+	// backend rebuild. stale marks the backend as out of date with the
+	// (extended) model; the rebuild is deferred to the next ReSolve so a
+	// re-solve whose bracket closes without LP work never pays it. pending,
+	// when non-nil, is a basis already remapped to the grown standard form,
+	// transplanted into the fresh backend during that rebuild. lastT is the
+	// RHS the retained basis was last optimal at, replayed before the
+	// transplant repairs.
+	dead     []int
+	deadRows []int
+	stale    bool
+	pending  *lp.Basis
+	lastT    float64
+
 	frac  *Fractional
 	iters int
 }
@@ -384,11 +414,20 @@ func NewRelaxation(in *core.Instance, cfg RelaxationConfig) (*Relaxation, error)
 // only in RHS and bound clamps. Clone must not be called concurrently with
 // ReSolve on the receiver. Iterations are counted per clone.
 func (rel *Relaxation) Clone() *Relaxation {
+	if rel.stale {
+		// A deferred post-delta rebuild must land in the parent before the
+		// backend can be cloned; a transplant failure falls back to a cold
+		// backend inside materialize, so be is valid either way.
+		rel.materialize()
+	}
 	c := &Relaxation{
 		in: rel.in, kind: rel.kind, ws: lp.NewWorkspace(), mdl: rel.mdl,
 		envelope: rel.envelope,
 		banned:   append([]bool(nil), rel.banned...),
 		avail:    append([]int(nil), rel.avail...),
+		dead:     append([]int(nil), rel.dead...),
+		deadRows: append([]int(nil), rel.deadRows...),
+		lastT:    rel.lastT,
 		frac:     makeFractional(rel.in.M, rel.in.N, rel.in.K, false),
 	}
 	if rel.be != nil {
@@ -417,6 +456,12 @@ func (rel *Relaxation) Iterations() int { return rel.iters }
 func (rel *Relaxation) ReSolve(T float64) (*Fractional, error) {
 	if rel.mdl.infeasible {
 		return nil, nil // a job ran nowhere even at the envelope
+	}
+	if rel.stale {
+		rel.materialize()
+	}
+	if rel.be == nil {
+		return nil, fmt.Errorf("rounding: relaxation has no backend (materialize failed)")
 	}
 	// Constraint (5): clamp x_ij with p_ij > T to 0 in place; lift clamps
 	// the binary search's upward moves need again.
@@ -457,6 +502,7 @@ func (rel *Relaxation) ReSolve(T float64) (*Fractional, error) {
 		}
 	}
 	rel.iters += sol.Iterations
+	rel.lastT = T
 	switch sol.Status {
 	case lp.Optimal:
 	case lp.Infeasible:
@@ -476,11 +522,27 @@ func (rel *Relaxation) ReSolve(T float64) (*Fractional, error) {
 }
 
 // rebuild replaces the backend with a cold one and replays the current
-// mutation state (clamped variables, load RHS at T).
+// mutation state (clamped variables, permanently dead columns and rows,
+// load RHS at T).
 func (rel *Relaxation) rebuild(T float64) error {
 	be, err := lp.NewBackend(rel.kind, rel.mdl.prob, rel.ws)
 	if err != nil {
 		return err
+	}
+	rel.replay(be, T)
+	rel.be = be
+	return nil
+}
+
+// replay pushes the relaxation's current mutation state into a freshly
+// built backend: permanent deletions first, then the per-guess clamps and
+// the load RHS.
+func (rel *Relaxation) replay(be lp.Backend, T float64) {
+	for _, v := range rel.dead {
+		be.SetVarUpper(v, 0)
+	}
+	for _, r := range rel.deadRows {
+		be.SetRHS(r, 0)
 	}
 	for t, b := range rel.banned {
 		if b {
@@ -492,8 +554,32 @@ func (rel *Relaxation) rebuild(T float64) error {
 			be.SetRHS(r, T)
 		}
 	}
+}
+
+// materialize completes a deferred ApplyDelta backend rebuild: it builds a
+// backend over the grown problem, replays the retained mutation state at
+// the basis's last optimal guess, and transplants the remapped basis so the
+// next Solve repairs primal feasibility with dual-simplex pivots instead of
+// a cold phase-1 run. A failed transplant (singular or rejected basis)
+// degrades to the cold backend — correctness never depends on the warm
+// start.
+func (rel *Relaxation) materialize() {
+	ext := rel.pending
+	rel.pending, rel.stale = nil, false
+	be, err := lp.NewBackend(rel.kind, rel.mdl.prob, rel.ws)
+	if err != nil {
+		rel.be = nil // surfaced by ReSolve as an error
+		return
+	}
+	T := rel.lastT
+	if T <= 0 {
+		T = rel.envelope
+	}
+	rel.replay(be, T)
+	if ext != nil {
+		_ = be.Warm(ext) // cold continue on failure
+	}
 	rel.be = be
-	return nil
 }
 
 // bernScale is the fixed-point one: a batched Bernoulli draw with
@@ -674,6 +760,15 @@ type Detail struct {
 	LPIterations int
 	// LPBackend is the lp backend the run solved on ("dense", "sparse").
 	LPBackend string
+	// Accepted is the search's final accept-backed upper bracket edge
+	// (dual.Outcome.Accepted). The re-solve pipeline retains it and lifts
+	// it through Delta.AcceptedCap into the next search's bracket.
+	Accepted float64
+	// Relaxation is the primary (worker-0) relaxation the run solved on,
+	// exposed so the engine can retain it — with its warm basis — for
+	// ApplyDelta on the next delta. Callers that keep it own it: it must
+	// not be used after the instance is re-solved elsewhere.
+	Relaxation *Relaxation
 }
 
 // Schedule runs the full algorithm: binary search on the makespan guess T
@@ -693,29 +788,61 @@ func ScheduleDetailed(ctx context.Context, in *core.Instance, opt Options) (core
 	opt = opt.normalize()
 	var det Detail
 	det.PureMakespan = math.Inf(1)
-	greedy, err := baseline.Greedy(in)
-	if err != nil {
-		return core.Result{}, det, fmt.Errorf("rounding: greedy bootstrap: %w", err)
-	}
-	ub := greedy.Makespan(in)
 	vol := exact.VolumeLowerBound(in)
-	if opt.Bounds != nil {
-		opt.Bounds.PublishUpper(ub) // the greedy schedule is feasible
-		opt.Bounds.PublishLower(vol)
+	var fallback *core.Schedule
+	var rel *Relaxation
+	var ub, lb float64
+	warm := opt.Warm
+	if warm != nil && (warm.Fallback == nil || !(warm.Upper > 0) || !core.IsFinite(warm.Upper)) {
+		warm = nil // unusable warm start: degrade to the cold path
 	}
-	// Build the LP relaxation once at the envelope T = ub; every guess of
-	// the binary search below re-solves it in place (mutated bounds and
-	// RHS, warm-started basis) instead of rebuilding problem and tableau.
-	rel, err := NewRelaxation(in, RelaxationConfig{Envelope: ub, Backend: lp.BackendKind(opt.LPBackend)})
-	if err != nil {
-		return core.Result{}, det, err
+	if warm != nil {
+		// Incremental re-solve path: the caller supplies the witness and
+		// bracket, so the greedy bootstrap is skipped entirely.
+		fallback = warm.Fallback
+		ub = warm.Upper
+		if ms := fallback.Makespan(in); ms < ub {
+			ub = ms
+		}
+		lb = warm.Lower
+		if r, ok := warm.State.(*Relaxation); ok && r != nil && r.Instance() == in && r.Envelope()+core.Eps >= ub {
+			rel = r // retained relaxation, already patched onto in
+		}
+	} else {
+		greedy, err := baseline.Greedy(in)
+		if err != nil {
+			return core.Result{}, det, fmt.Errorf("rounding: greedy bootstrap: %w", err)
+		}
+		fallback = greedy
+		ub = greedy.Makespan(in)
+	}
+	if vol > lb {
+		lb = vol
+	}
+	if opt.Bounds != nil {
+		opt.Bounds.PublishUpper(ub) // the fallback schedule is feasible
+		opt.Bounds.PublishLower(lb)
+	}
+	// Build the LP relaxation once at the envelope T = ub — unless the warm
+	// start already carries one patched onto this instance, whose retained
+	// basis then warm-starts the first guess directly. Every guess of the
+	// binary search below re-solves it in place (mutated bounds and RHS,
+	// warm-started basis) instead of rebuilding problem and tableau.
+	if rel == nil {
+		var err error
+		rel, err = NewRelaxation(in, RelaxationConfig{Envelope: ub, Backend: lp.BackendKind(opt.LPBackend)})
+		if err != nil {
+			return core.Result{}, det, err
+		}
 	}
 	det.LPBackend = string(rel.Backend())
 	// Seed the pure-rounding record at T = ub, where the LP is feasible by
 	// construction (the greedy schedule is an integral witness); the binary
 	// search may otherwise reject every interior guess and leave no
-	// rounded schedule at all.
-	if ub > 0 && ctx.Err() == nil {
+	// rounded schedule at all. The warm path skips this seed solve — its
+	// fallback witness already bounds the bracket, and paying an LP solve
+	// at the bracket's top edge would erase the latency win.
+	if warm == nil && ub > 0 && ctx.Err() == nil {
 		if f, err := rel.ReSolve(ub); err == nil && f != nil {
 			sched, _ := Round(ctx, in, f, opt.C, opt.Rng)
 			det.PureMakespan, det.PureSchedule = sched.Makespan(in), sched
@@ -777,10 +904,10 @@ func ScheduleDetailed(ctx context.Context, in *core.Instance, opt Options) (core
 	}
 	out := dual.Run(ctx, dual.Config{
 		Instance:  in,
-		Lower:     0,
+		Lower:     lb,
 		Upper:     ub,
 		Precision: opt.Precision,
-		Fallback:  greedy,
+		Fallback:  fallback,
 		Bus:       opt.Bounds,
 		Strategy:  dual.Speculate(workers),
 		Deciders:  deciders,
@@ -789,12 +916,13 @@ func ScheduleDetailed(ctx context.Context, in *core.Instance, opt Options) (core
 	for _, r := range rels {
 		det.LPIterations += r.Iterations()
 	}
+	det.Accepted = out.Accepted
+	det.Relaxation = rels[0]
 	if solveErr != nil {
 		return core.Result{}, det, solveErr
 	}
-	lb := out.LowerBound
-	if vol > lb {
-		lb = vol
+	if out.LowerBound > lb {
+		lb = out.LowerBound
 	}
 	note := ""
 	if out.Err != nil {

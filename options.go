@@ -5,6 +5,7 @@ import (
 	"runtime"
 	"time"
 
+	"repro/internal/core"
 	"repro/internal/engine"
 )
 
@@ -131,6 +132,20 @@ type solveConfig struct {
 	// the caller (SolveBatch workers acquire per job), so begin must not
 	// acquire a second one.
 	admitted bool
+	// retain marks a solve whose state should be kept for incremental
+	// re-solving (Open/Resolve): the fingerprint is computed even on a
+	// cache-less engine, the solver is asked to hand back its warm-start
+	// state, and the outcome is stored in the engine's StateStore.
+	retain bool
+	// warm carries the re-solve warm start derived from a previous handle
+	// (bracket, witness, patched relaxation) into the solver.
+	warm *core.WarmStart
+	// seed, when non-nil, is delta-derived certified knowledge about this
+	// exact instance (the patched witness schedule and lifted bounds). It
+	// merges into the session's warm-start seed ahead of the fingerprint
+	// cache — including under WithoutWarmStart, which opts out of the
+	// cache, not of explicitly provided knowledge.
+	seed *engine.CachedBounds
 }
 
 // SolveOption tunes one engine call (Engine.Solve, Engine.Portfolio,
