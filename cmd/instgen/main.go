@@ -3,7 +3,8 @@
 //
 // Usage:
 //
-//	instgen -kind uniform -n 50 -m 8 -k 5 -seed 3 > instance.json
+//	instgen -kind uniform -n 50 -m 8 -k 5 -seed 3 -o instance.json
+//	instgen -kind uniform -n 50 -m 8 -k 5 > instance.json        (stdout default)
 //	instgen -kind unrelated -n 20 -m 4 -k 3
 //	instgen -kind restricted-cu ...       (class-uniform restrictions)
 //	instgen -kind unrelated-cu ...        (class-uniform processing times)
@@ -36,6 +37,7 @@ func main() {
 		maxJob   = flag.Int("max-job", 100, "maximum job size")
 		minSetup = flag.Int("min-setup", 1, "minimum setup size")
 		maxSetup = flag.Int("max-setup", 50, "maximum setup size")
+		outPath  = flag.String("o", "", "write the instance/stream to this file instead of stdout")
 		check    = flag.Bool("check", false, "solve the generated instance through the engine and print a summary to stderr")
 		timeout  = flag.Duration("timeout", 10*time.Second, "deadline for -check")
 		stream   = flag.Int("stream", 0, "emit a delta-stream document with this many online events instead of a bare instance")
@@ -66,15 +68,25 @@ func main() {
 		fmt.Fprintf(os.Stderr, "instgen: unknown kind %q\n", *kind)
 		os.Exit(2)
 	}
+	out := os.Stdout
+	if *outPath != "" {
+		f, err := os.Create(*outPath)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "instgen:", err)
+			os.Exit(1)
+		}
+		defer f.Close()
+		out = f
+	}
 	if *stream > 0 {
 		// Delta-stream mode: one JSON document holding the instance plus a
 		// reproducible online event sequence, every delta valid in order.
 		deltas := gen.DeltaStream(rng, in, gen.StreamParams{Events: *stream, ArriveW: *arriveW})
-		if err := core.WriteDeltaStream(os.Stdout, in, deltas); err != nil {
+		if err := core.WriteDeltaStream(out, in, deltas); err != nil {
 			fmt.Fprintln(os.Stderr, "instgen:", err)
 			os.Exit(1)
 		}
-	} else if err := in.WriteJSON(os.Stdout); err != nil {
+	} else if err := in.WriteJSON(out); err != nil {
 		fmt.Fprintln(os.Stderr, "instgen:", err)
 		os.Exit(1)
 	}

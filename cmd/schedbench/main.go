@@ -15,6 +15,8 @@
 //	schedbench -oversub -batch 16 -n 40 -m 5 -k 4    governed vs ungoverned
 //	schedbench -online -events 50 -n 60 -m 6         warm Resolve vs cold re-solve
 //	schedbench -online -stream stream.json           replay an instgen -stream file
+//	schedbench -serve-load -rps 30 -dur 5s -dup-frac 0.8 -n 100 -m 10 -k 8
+//	schedbench -serve-load -url http://localhost:8080 ...    against a running schedserve
 //
 // The -engine mode generates one instance per machine environment and runs
 // every applicable registry solver plus the portfolio race on it, printing
@@ -23,6 +25,15 @@
 // with a context deadline; -search-workers evaluates that many makespan
 // guesses concurrently in every dual-approximation search (the sw column
 // shows the effective parallelism per solver).
+//
+// The -serve-load mode is an open-loop load generator against the HTTP
+// solver service (internal/serve): Poisson arrivals at -rps for -dur, a
+// -dup-frac share of requests repeating one anchor instance (the traffic
+// request coalescing and the bound cache dedupe), the rest pairwise
+// distinct. It reports completed throughput, latency percentiles, the shed
+// rate (429/503 admission rejections) and the coalesce hit rate, plus one
+// JSON line per run for the BENCH_* artifacts. With no -url it starts an
+// in-process server.
 //
 // The -oversub mode measures the concurrency governor: it fires the worst
 // multiplicative load the API can express — a SolveBatch of -batch
@@ -72,6 +83,13 @@ func main() {
 		online  = flag.Bool("online", false, "online re-optimization scenario: warm Resolve chain vs cold re-solves over a delta stream, per-event latency percentiles")
 		stream  = flag.String("stream", "", "online mode: delta-stream file from `instgen -stream` (empty = generate -events events in memory)")
 		events  = flag.Int("events", 50, "online mode: generated event count when no -stream file is given")
+
+		serveLoad  = flag.Bool("serve-load", false, "solver-service load generator: open-loop Poisson arrivals against the HTTP front end")
+		url        = flag.String("url", "", "serve-load mode: base URL of a running schedserve (empty = start an in-process server)")
+		rps        = flag.Float64("rps", 30, "serve-load mode: mean request arrival rate per second")
+		dur        = flag.Duration("dur", 5*time.Second, "serve-load mode: load duration")
+		dupFrac    = flag.Float64("dup-frac", 0.5, "serve-load mode: fraction of requests repeating the anchor instance (the coalescing/cache traffic)")
+		reqTimeout = flag.Duration("req-timeout", 2*time.Second, "serve-load mode: per-request deadline sent with each solve")
 	)
 	flag.Parse()
 
@@ -93,6 +111,11 @@ func main() {
 		}
 	case *online:
 		if err := onlineBench(*seed, *n, *m, *k, *events, *stream, *lpKind, *timeout); err != nil {
+			fmt.Fprintln(os.Stderr, "error:", err)
+			os.Exit(1)
+		}
+	case *serveLoad:
+		if err := serveLoadBench(*url, *rps, *dur, *dupFrac, *seed, *n, *m, *k, *reqTimeout); err != nil {
 			fmt.Fprintln(os.Stderr, "error:", err)
 			os.Exit(1)
 		}

@@ -1,0 +1,231 @@
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"io"
+	"math/rand"
+	"net"
+	"net/http"
+	"os"
+	"sync"
+	"time"
+
+	"repro"
+	"repro/internal/core"
+	"repro/internal/gen"
+	"repro/internal/serve"
+	"repro/internal/table"
+)
+
+// serveLoadBench is the `-serve-load` mode: an open-loop load generator
+// against the solver service. Arrivals are Poisson at -rps for -dur —
+// open-loop means the arrival process never waits for responses, so a
+// saturated server accumulates queue (and sheds) instead of silently
+// slowing the generator down, which is the regime admission control is for.
+// A -dup-frac fraction of requests repeats one anchor instance (these
+// exercise coalescing and the bound cache); the rest are pairwise-distinct
+// instances. Reported: completed throughput, latency percentiles over
+// completed requests, shed rate (429/503 responses), and the coalesce hit
+// rate (follower fraction of completed solves, from the X-Coalesce
+// header). With -url empty an in-process server over a fresh engine is
+// started; point -url at a running schedserve to measure over real
+// sockets.
+func serveLoadBench(url string, rps float64, dur time.Duration, dupFrac float64, seed int64, n, m, k int, reqTimeout time.Duration) error {
+	if rps <= 0 || dur <= 0 {
+		return fmt.Errorf("serve-load: need -rps > 0 and -dur > 0")
+	}
+	if dupFrac < 0 || dupFrac > 1 {
+		return fmt.Errorf("serve-load: -dup-frac must be in [0,1]")
+	}
+	var shutdown func()
+	if url == "" {
+		var err error
+		url, shutdown, err = startLocalServer()
+		if err != nil {
+			return err
+		}
+		defer shutdown()
+	}
+
+	// Payloads: one anchor instance for the duplicated share of traffic,
+	// and a locked generator handing out pairwise-distinct instances for
+	// the rest. Every payload pins its per-request deadline and seed so the
+	// coalescing digest matches across duplicates.
+	rng := rand.New(rand.NewSource(seed))
+	params := gen.Params{N: n, M: m, K: k}
+	anchor, err := encodeSolveRequest(gen.Unrelated(rng, params), reqTimeout)
+	if err != nil {
+		return err
+	}
+	var genMu sync.Mutex
+	nextDistinct := func() ([]byte, error) {
+		genMu.Lock()
+		defer genMu.Unlock()
+		return encodeSolveRequest(gen.Unrelated(rng, params), reqTimeout)
+	}
+
+	type outcome struct {
+		status   int
+		latency  time.Duration
+		coalesce string
+		err      bool
+	}
+	var (
+		mu       sync.Mutex
+		outs     []outcome
+		wg       sync.WaitGroup
+		client   = &http.Client{Timeout: reqTimeout + 5*time.Second}
+		arrivals = 0
+	)
+	arrRng := rand.New(rand.NewSource(seed + 1))
+	start := time.Now()
+	end := start.Add(dur)
+	for now := start; now.Before(end); now = time.Now() {
+		// Exponential inter-arrival times make the arrival process Poisson.
+		wait := time.Duration(arrRng.ExpFloat64() / rps * float64(time.Second))
+		time.Sleep(wait)
+		if !time.Now().Before(end) {
+			break
+		}
+		payload := anchor
+		if arrRng.Float64() >= dupFrac {
+			if payload, err = nextDistinct(); err != nil {
+				return err
+			}
+		}
+		arrivals++
+		wg.Add(1)
+		go func(body []byte) {
+			defer wg.Done()
+			t0 := time.Now()
+			o := outcome{}
+			resp, err := client.Post(url+"/v1/solve", "application/json", bytes.NewReader(body))
+			o.latency = time.Since(t0)
+			if err != nil {
+				o.err = true
+			} else {
+				io.Copy(io.Discard, resp.Body)
+				resp.Body.Close()
+				o.status = resp.StatusCode
+				o.coalesce = resp.Header.Get("X-Coalesce")
+			}
+			mu.Lock()
+			outs = append(outs, o)
+			mu.Unlock()
+		}(payload)
+	}
+	wg.Wait()
+	wall := time.Since(start)
+
+	var (
+		okLat              []time.Duration
+		ok, shed, failed   int
+		leaders, followers int
+	)
+	for _, o := range outs {
+		switch {
+		case o.err:
+			failed++
+		case o.status == http.StatusOK:
+			ok++
+			okLat = append(okLat, o.latency)
+			switch o.coalesce {
+			case "leader":
+				leaders++
+			case "follower":
+				followers++
+			}
+		case o.status == http.StatusTooManyRequests || o.status == http.StatusServiceUnavailable:
+			shed++
+		default:
+			failed++
+		}
+	}
+	throughput := float64(ok) / wall.Seconds()
+	shedRate := 0.0
+	if len(outs) > 0 {
+		shedRate = float64(shed) / float64(len(outs))
+	}
+	coalesceRate := 0.0
+	if leaders+followers > 0 {
+		coalesceRate = float64(followers) / float64(leaders+followers)
+	}
+
+	tab := table.New(
+		fmt.Sprintf("serve-load — open loop, rps=%g dur=%s dup-frac=%g, unrelated n=%d m=%d K=%d, req-timeout=%s",
+			rps, dur, dupFrac, n, m, k, reqTimeout),
+		"sent", "ok", "shed", "failed", "throughput", "p50", "p90", "p99", "max", "shed-rate", "coalesce-hit")
+	tab.AddRow(
+		fmt.Sprintf("%d", arrivals), fmt.Sprintf("%d", ok), fmt.Sprintf("%d", shed), fmt.Sprintf("%d", failed),
+		fmt.Sprintf("%.1f/s", throughput),
+		fmtDur(percentile(okLat, 0.50)), fmtDur(percentile(okLat, 0.90)),
+		fmtDur(percentile(okLat, 0.99)), fmtDur(percentile(okLat, 1.0)),
+		fmt.Sprintf("%.3f", shedRate), fmt.Sprintf("%.3f", coalesceRate))
+	fmt.Println(tab.String())
+
+	// One machine-readable line per run, for the BENCH_* artifacts.
+	rec := map[string]any{
+		"bench": "serve-load", "rps": rps, "durSec": dur.Seconds(), "dupFrac": dupFrac,
+		"n": n, "m": m, "k": k,
+		"sent": arrivals, "ok": ok, "shed": shed, "failed": failed,
+		"throughputPerSec": round3(throughput),
+		"p50Ms":            latMs(okLat, 0.50), "p90Ms": latMs(okLat, 0.90),
+		"p99Ms": latMs(okLat, 0.99), "maxMs": latMs(okLat, 1.0),
+		"shedRate": round3(shedRate), "coalesceHitRate": round3(coalesceRate),
+		"leaders": leaders, "followers": followers,
+	}
+	line, _ := json.Marshal(rec)
+	fmt.Println(string(line))
+
+	// Server-side counters close the loop on the client-observed numbers.
+	if resp, err := client.Get(url + "/statsz"); err == nil {
+		var pretty bytes.Buffer
+		raw, _ := io.ReadAll(resp.Body)
+		resp.Body.Close()
+		if json.Indent(&pretty, raw, "", " ") == nil {
+			fmt.Printf("statsz: %s\n", pretty.String())
+		}
+	}
+	if ok == 0 {
+		return fmt.Errorf("serve-load: no request completed successfully (%d sent, %d shed, %d failed)", arrivals, shed, failed)
+	}
+	return nil
+}
+
+// encodeSolveRequest wraps an instance in the service's request envelope.
+func encodeSolveRequest(in *core.Instance, timeout time.Duration) ([]byte, error) {
+	var instJSON bytes.Buffer
+	if err := in.WriteJSON(&instJSON); err != nil {
+		return nil, err
+	}
+	req := serve.SolveRequest{
+		Instance: json.RawMessage(instJSON.Bytes()),
+		Options:  serve.SolveOptions{Timeout: serve.Duration(timeout)},
+	}
+	return json.Marshal(req)
+}
+
+// startLocalServer runs an in-process solver service on a loopback port.
+func startLocalServer() (url string, shutdown func(), err error) {
+	eng, err := sched.New()
+	if err != nil {
+		return "", nil, err
+	}
+	srv := serve.New(eng, serve.Config{Linger: 250 * time.Millisecond})
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		return "", nil, err
+	}
+	hs := &http.Server{Handler: srv.Handler()}
+	go hs.Serve(ln)
+	fmt.Fprintf(os.Stderr, "serve-load: started in-process server on %s\n", ln.Addr())
+	return "http://" + ln.Addr().String(), func() { hs.Close() }, nil
+}
+
+func round3(v float64) float64 { return float64(int(v*1000+0.5)) / 1000 }
+
+func latMs(lat []time.Duration, q float64) float64 {
+	return round3(float64(percentile(lat, q)) / float64(time.Millisecond))
+}

@@ -3,6 +3,7 @@ package sched
 import (
 	"context"
 	"fmt"
+	"io"
 	"math"
 	"sync"
 	"time"
@@ -140,6 +141,49 @@ func (e *Engine) CachedFingerprints() int {
 		return 0
 	}
 	return e.cache.Len()
+}
+
+// CacheStats is a snapshot of the warm-start bound cache's effectiveness
+// counters; see Engine.CacheStats.
+type CacheStats struct {
+	// Hits and Misses count exact-fingerprint lookups since the engine was
+	// built (similarity probes are not counted — they only run on a miss).
+	Hits, Misses int64
+	// Entries is the number of distinct fingerprints currently cached.
+	Entries int
+}
+
+// CacheStats reports the bound cache's lookup counters and current size.
+// On a cache-less engine (WithBoundCache(0)) all fields are zero.
+func (e *Engine) CacheStats() CacheStats {
+	if e.cache == nil {
+		return CacheStats{}
+	}
+	hits, misses := e.cache.Stats()
+	return CacheStats{Hits: hits, Misses: misses, Entries: e.cache.Len()}
+}
+
+// SaveBounds serializes the engine's bound cache to w (versioned JSON) so a
+// later process can warm-start from this one's certified bounds; see
+// LoadBounds and the `schedserve -cache-save` flag. On a cache-less engine
+// it writes an empty snapshot.
+func (e *Engine) SaveBounds(w io.Writer) error {
+	if e.cache == nil {
+		return engine.NewBoundCache(1).Snapshot(w)
+	}
+	return e.cache.Snapshot(w)
+}
+
+// LoadBounds merges a SaveBounds snapshot into the engine's bound cache.
+// The merge is monotone — loaded bounds only ever improve what the cache
+// already holds — so loading stale snapshots is always safe. It returns the
+// number of snapshot entries merged; on a cache-less engine it reads and
+// discards the snapshot.
+func (e *Engine) LoadBounds(r io.Reader) (int, error) {
+	if e.cache == nil {
+		return engine.NewBoundCache(1).LoadSnapshot(r)
+	}
+	return e.cache.LoadSnapshot(r)
 }
 
 // Events subscribes to the engine's anytime progress stream: every bound

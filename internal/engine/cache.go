@@ -1,6 +1,9 @@
 package engine
 
 import (
+	"encoding/json"
+	"fmt"
+	"io"
 	"math"
 	"sync"
 
@@ -241,4 +244,90 @@ func (c *BoundCache) Stats() (hits, misses int64) {
 	c.mu.Lock()
 	defer c.mu.Unlock()
 	return c.hits, c.misses
+}
+
+// --- snapshot persistence ---------------------------------------------------
+
+// snapshotVersion is the on-disk format version of cache snapshots. Bumped
+// when the entry layout changes; LoadSnapshot rejects unknown versions
+// rather than merging misread bounds (a wrong certified lower bound is
+// unsound, not just stale).
+const snapshotVersion = 1
+
+// cacheSnapshot is the serialized form of a BoundCache: the entries in FIFO
+// insertion order, so a fresh cache loading the snapshot reproduces the
+// eviction order of the cache that wrote it.
+type cacheSnapshot struct {
+	Version int             `json:"version"`
+	Entries []snapshotEntry `json:"entries"`
+}
+
+// snapshotEntry is one fingerprint's persisted knowledge. An entry with no
+// witness assignment carries only its lower bound (Upper +Inf is encoded by
+// omission: a snapshot never stores non-finite numbers, which JSON cannot
+// represent).
+type snapshotEntry struct {
+	Fingerprint string  `json:"fp"`
+	Upper       float64 `json:"upper,omitempty"`
+	Lower       float64 `json:"lower,omitempty"`
+	Algorithm   string  `json:"algorithm,omitempty"`
+	SimKey      string  `json:"simKey,omitempty"`
+	Assign      []int   `json:"assign,omitempty"`
+}
+
+// Snapshot serializes the cache's current entries to w (JSON, versioned) so
+// certified bounds survive process restarts: the first step of cross-process
+// bound persistence. The snapshot is a consistent point-in-time copy —
+// concurrent updates during the write land in the cache, not the snapshot.
+func (c *BoundCache) Snapshot(w io.Writer) error {
+	c.mu.Lock()
+	snap := cacheSnapshot{Version: snapshotVersion, Entries: make([]snapshotEntry, 0, len(c.order))}
+	for _, fp := range c.order {
+		e, ok := c.entries[fp]
+		if !ok {
+			continue
+		}
+		se := snapshotEntry{Fingerprint: fp, Algorithm: e.Algorithm, SimKey: e.SimKey}
+		if core.IsFinite(e.Upper) && e.Schedule != nil {
+			se.Upper = e.Upper
+			se.Assign = append([]int(nil), e.Schedule.Assign...)
+		}
+		if core.IsFinite(e.Lower) && e.Lower > 0 {
+			se.Lower = e.Lower
+		}
+		snap.Entries = append(snap.Entries, se)
+	}
+	c.mu.Unlock()
+	enc := json.NewEncoder(w)
+	return enc.Encode(snap)
+}
+
+// LoadSnapshot reads a Snapshot-written stream and merges it into the cache
+// monotonically: each entry goes through the same Update path as live solve
+// results, so a loaded upper bound only ever improves the stored one, a
+// loaded lower bound only ever raises it, and loading an older snapshot over
+// a warmer cache can never regress certified knowledge. Returns the number
+// of entries merged.
+func (c *BoundCache) LoadSnapshot(r io.Reader) (int, error) {
+	var snap cacheSnapshot
+	if err := json.NewDecoder(r).Decode(&snap); err != nil {
+		return 0, fmt.Errorf("engine: decoding bound-cache snapshot: %w", err)
+	}
+	if snap.Version != snapshotVersion {
+		return 0, fmt.Errorf("engine: bound-cache snapshot version %d (want %d)", snap.Version, snapshotVersion)
+	}
+	n := 0
+	for _, se := range snap.Entries {
+		if se.Fingerprint == "" {
+			continue
+		}
+		b := CachedBounds{Upper: math.Inf(1), Lower: se.Lower, Algorithm: se.Algorithm, SimKey: se.SimKey}
+		if len(se.Assign) > 0 && core.IsFinite(se.Upper) && se.Upper > 0 {
+			b.Upper = se.Upper
+			b.Schedule = &core.Schedule{Assign: se.Assign}
+		}
+		c.Update(se.Fingerprint, b)
+		n++
+	}
+	return n, nil
 }

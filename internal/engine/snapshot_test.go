@@ -1,0 +1,83 @@
+package engine
+
+import (
+	"bytes"
+	"math"
+	"strings"
+	"testing"
+)
+
+func TestSnapshotRoundTrip(t *testing.T) {
+	c := NewBoundCache(8)
+	c.Update("a", CachedBounds{Upper: 10, Lower: 4, Schedule: schedOf(0, 1), Algorithm: "greedy", SimKey: "k1"})
+	c.Update("b", CachedBounds{Upper: math.Inf(1), Lower: 7}) // lower-only entry
+	c.Update("c", CachedBounds{Upper: 3, Schedule: schedOf(1), Algorithm: "ptas"})
+
+	var buf bytes.Buffer
+	if err := c.Snapshot(&buf); err != nil {
+		t.Fatalf("Snapshot: %v", err)
+	}
+
+	fresh := NewBoundCache(8)
+	n, err := fresh.LoadSnapshot(bytes.NewReader(buf.Bytes()))
+	if err != nil {
+		t.Fatalf("LoadSnapshot: %v", err)
+	}
+	if n != 3 {
+		t.Fatalf("LoadSnapshot merged %d entries, want 3", n)
+	}
+
+	got, ok := fresh.Lookup("a")
+	if !ok || got.Upper != 10 || got.Lower != 4 || got.Algorithm != "greedy" || got.Schedule == nil {
+		t.Errorf("entry a after round trip = %+v ok=%v", got, ok)
+	}
+	if got.Schedule != nil && (len(got.Schedule.Assign) != 2 || got.Schedule.Assign[0] != 0 || got.Schedule.Assign[1] != 1) {
+		t.Errorf("entry a schedule after round trip = %v", got.Schedule.Assign)
+	}
+	got, ok = fresh.Lookup("b")
+	if !ok || !math.IsInf(got.Upper, 1) || got.Lower != 7 || got.Schedule != nil {
+		t.Errorf("lower-only entry b after round trip = %+v ok=%v", got, ok)
+	}
+	if got, ok = fresh.Lookup("c"); !ok || got.Upper != 3 {
+		t.Errorf("entry c after round trip = %+v ok=%v", got, ok)
+	}
+}
+
+func TestSnapshotLoadMergesMonotonically(t *testing.T) {
+	// A snapshot of an older, weaker cache state must not regress a cache
+	// that has since learned better bounds — and must still improve entries
+	// where the snapshot is stronger.
+	old := NewBoundCache(8)
+	old.Update("a", CachedBounds{Upper: 12, Lower: 3, Schedule: schedOf(1, 1), Algorithm: "lpt"})
+	old.Update("b", CachedBounds{Upper: 5, Lower: 4, Schedule: schedOf(0), Algorithm: "exact"})
+	var buf bytes.Buffer
+	if err := old.Snapshot(&buf); err != nil {
+		t.Fatalf("Snapshot: %v", err)
+	}
+
+	live := NewBoundCache(8)
+	live.Update("a", CachedBounds{Upper: 10, Lower: 4, Schedule: schedOf(0, 1), Algorithm: "ptas"})
+	live.Update("b", CachedBounds{Upper: math.Inf(1), Lower: 2})
+	if _, err := live.LoadSnapshot(bytes.NewReader(buf.Bytes())); err != nil {
+		t.Fatalf("LoadSnapshot: %v", err)
+	}
+
+	got, _ := live.Lookup("a")
+	if got.Upper != 10 || got.Lower != 4 || got.Algorithm != "ptas" {
+		t.Errorf("weaker snapshot entry regressed live entry a: %+v", got)
+	}
+	got, _ = live.Lookup("b")
+	if got.Upper != 5 || got.Lower != 4 || got.Schedule == nil || got.Algorithm != "exact" {
+		t.Errorf("stronger snapshot entry did not improve live entry b: %+v", got)
+	}
+}
+
+func TestSnapshotRejectsUnknownVersion(t *testing.T) {
+	c := NewBoundCache(4)
+	if _, err := c.LoadSnapshot(strings.NewReader(`{"version":99,"entries":[]}`)); err == nil {
+		t.Fatal("LoadSnapshot accepted an unknown snapshot version")
+	}
+	if _, err := c.LoadSnapshot(strings.NewReader(`not json`)); err == nil {
+		t.Fatal("LoadSnapshot accepted malformed input")
+	}
+}

@@ -1,0 +1,102 @@
+package serve
+
+import (
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// maxFlightEvents bounds the per-flight event replay buffer. A dual search
+// emits tens of bound improvements, a long portfolio race maybe a few
+// hundred; past the cap older context is less valuable than bounded memory,
+// so further progress events are dropped from the buffer (live subscribers
+// still receive them). The terminal result event is always appended.
+const maxFlightEvents = 1024
+
+// sseEvent is one server-sent event: a name ("incumbent", "lower-bound",
+// "result") and its pre-encoded JSON data line.
+type sseEvent struct {
+	Name string
+	Data []byte
+}
+
+// flight is one in-flight (or recently completed) solve computation: the
+// unit requests coalesce onto. The first request for a coalescing key
+// becomes the leader and owns the engine call; every later request for the
+// same key while the flight is live becomes a follower, sharing the
+// leader's eventual response bytes. The flight also carries the solve's
+// anytime event stream for SSE subscribers, with a replay buffer so a
+// subscriber attaching mid-solve (or after completion, within the
+// retention window) sees the full bound trajectory.
+type flight struct {
+	id  string
+	key string
+
+	// done is closed by finishFlight after status/body/elapsed/doneAt are
+	// set; they are immutable afterwards, so waiters read them without
+	// locking.
+	done    chan struct{}
+	status  int
+	body    []byte
+	elapsed time.Duration
+	doneAt  time.Time
+
+	followers atomic.Int64
+
+	mu     sync.Mutex
+	events []sseEvent
+	subs   map[chan sseEvent]struct{}
+}
+
+func newFlight(id, key string) *flight {
+	return &flight{id: id, key: key, done: make(chan struct{}), subs: make(map[chan sseEvent]struct{})}
+}
+
+// isDone reports whether the flight has completed (its response is set).
+func (f *flight) isDone() bool {
+	select {
+	case <-f.done:
+		return true
+	default:
+		return false
+	}
+}
+
+// publish appends the event to the replay buffer and fans it out to live
+// subscribers. Sends never block: a subscriber that falls behind its buffer
+// misses intermediate improvements (the SSE handler reconstructs the
+// terminal result from the flight itself, so the final answer is never
+// lost).
+func (f *flight) publish(ev sseEvent) {
+	f.mu.Lock()
+	if len(f.events) < maxFlightEvents || ev.Name == eventResult {
+		f.events = append(f.events, ev)
+	}
+	for ch := range f.subs {
+		select {
+		case ch <- ev:
+		default:
+		}
+	}
+	f.mu.Unlock()
+}
+
+// subscribe registers a live subscriber and returns the events published so
+// far. Registration and the replay snapshot are atomic under the flight
+// lock, so no event is missed or duplicated between replay and the channel.
+func (f *flight) subscribe() (replay []sseEvent, ch chan sseEvent, cancel func()) {
+	ch = make(chan sseEvent, 64)
+	f.mu.Lock()
+	replay = append([]sseEvent(nil), f.events...)
+	f.subs[ch] = struct{}{}
+	f.mu.Unlock()
+	var once sync.Once
+	cancel = func() {
+		once.Do(func() {
+			f.mu.Lock()
+			delete(f.subs, ch)
+			f.mu.Unlock()
+		})
+	}
+	return replay, ch, cancel
+}

@@ -1,0 +1,78 @@
+package serve
+
+import (
+	"fmt"
+	"net/http"
+)
+
+// handleEvents serves GET /v1/solve/{id}/events: the solve's anytime bound
+// trajectory as server-sent events. Buffered history is replayed first, so
+// a subscriber attaching mid-solve (or within the retention window after
+// completion) sees every improvement; the stream then follows the solve
+// live and ends with the terminal "result" event carrying the response
+// body. Event names are "incumbent" (improved feasible makespan),
+// "lower-bound" (improved certified bound) and "result".
+func (s *Server) handleEvents(w http.ResponseWriter, r *http.Request) {
+	f := s.flightByID(r.PathValue("id"))
+	if f == nil {
+		s.writeError(w, http.StatusNotFound, "unknown or expired solve id", "")
+		return
+	}
+	flusher, ok := w.(http.Flusher)
+	if !ok {
+		s.writeError(w, http.StatusInternalServerError, "response writer does not support streaming", f.id)
+		return
+	}
+	h := w.Header()
+	h.Set("Content-Type", "text/event-stream")
+	h.Set("Cache-Control", "no-cache")
+	h.Set("X-Solve-ID", f.id)
+	w.WriteHeader(http.StatusOK)
+
+	replay, ch, cancel := f.subscribe()
+	defer cancel()
+	write := func(ev sseEvent) {
+		fmt.Fprintf(w, "event: %s\ndata: %s\n\n", ev.Name, ev.Data)
+	}
+	for _, ev := range replay {
+		write(ev)
+		if ev.Name == eventResult {
+			flusher.Flush()
+			return
+		}
+	}
+	flusher.Flush()
+
+	for {
+		select {
+		case ev := <-ch:
+			write(ev)
+			flusher.Flush()
+			if ev.Name == eventResult {
+				return
+			}
+		case <-f.done:
+			// The flight sealed. The subscriber channel may have buffered
+			// events (or have dropped some under pressure): drain what is
+			// there, then guarantee the terminal event from the sealed
+			// response itself.
+			for {
+				select {
+				case ev := <-ch:
+					if ev.Name == eventResult {
+						write(ev)
+						flusher.Flush()
+						return
+					}
+					write(ev)
+				default:
+					write(sseEvent{Name: eventResult, Data: f.body})
+					flusher.Flush()
+					return
+				}
+			}
+		case <-r.Context().Done():
+			return
+		}
+	}
+}
