@@ -228,6 +228,59 @@ func BenchmarkLPBackend(b *testing.B) {
 			})
 		})
 	}
+	// The interior-point cold path on the same instance: Mehrotra iterations
+	// over the sparse Cholesky of the normal equations, crossover, and the
+	// simplex re-certification pivots — the whole hybrid solve.
+	b.Run("ipm-cold", func(b *testing.B) {
+		run(b, func() error {
+			rel, err := rounding.NewRelaxation(in, rounding.RelaxationConfig{Envelope: ub, Backend: lp.IPM})
+			if err != nil {
+				return err
+			}
+			_, err = rel.ReSolve(ub)
+			return err
+		})
+	})
+}
+
+// BenchmarkColdBuildLarge is the anchor shape of the LP-backend acceptance
+// run (M=20, N=200, K=12 — 4220 rows): one relaxation build plus the cold
+// solve at T=ub, per backend. This is the regime the auto trigger targets;
+// auto must track ipm here, and ipm must beat the pure sparse simplex.
+func BenchmarkColdBuildLarge(b *testing.B) {
+	rng := rand.New(rand.NewSource(1))
+	in := gen.Unrelated(rng, gen.Params{N: 200, M: 20, K: 12})
+	g, err := baseline.Greedy(in)
+	if err != nil {
+		b.Fatal(err)
+	}
+	ub := g.Makespan(in)
+	for _, tc := range []struct {
+		name string
+		kind lp.BackendKind
+	}{
+		{"simplex", lp.Sparse},
+		{"ipm", lp.IPM},
+		{"auto", lp.Auto},
+	} {
+		b.Run(tc.name, func(b *testing.B) {
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				rel, err := rounding.NewRelaxation(in, rounding.RelaxationConfig{Envelope: ub, Backend: tc.kind})
+				if err != nil {
+					b.Fatal(err)
+				}
+				frac, err := rel.ReSolve(ub)
+				if err != nil {
+					b.Fatal(err)
+				}
+				if frac == nil {
+					b.Fatal("envelope guess infeasible")
+				}
+			}
+		})
+	}
 }
 
 // benchDualSearch runs the full randomized-rounding dual search (greedy

@@ -16,20 +16,43 @@ const (
 	// with periodic refactorization), so per-pivot work scales with the
 	// number of nonzeros rather than the matrix dimensions.
 	Sparse BackendKind = "sparse"
+	// IPM is the interior-point backend: a Mehrotra predictor-corrector
+	// on the normal equations A·D·Aᵀ (sparse Cholesky kernel with a dense
+	// supernode tail) for the cold first solve, followed by a crossover to
+	// a vertex basis — every subsequent Solve, and any Warm-transplanted
+	// state, runs on the embedded simplex core. The simplex is always the
+	// arbiter: a non-converged IPM falls back to a cold simplex solve, so
+	// verdicts (including infeasibility certificates) are exact.
+	IPM BackendKind = "ipm"
+	// Auto picks by size at construction: IPM when the problem crosses
+	// AutoIPMMinRows rows or AutoIPMMinNNZ structural nonzeros (cold huge
+	// sparse LPs are where interior point wins), Sparse otherwise. The
+	// resolved choice is reported by Backend.Kind.
+	Auto BackendKind = "auto"
 )
 
 // DefaultBackend is the backend used when a caller does not choose one.
 const DefaultBackend = Sparse
+
+// Auto-selection thresholds: Auto resolves to IPM when the problem has at
+// least AutoIPMMinRows constraint rows or AutoIPMMinNNZ structural
+// nonzeros. Exported as variables so tests (and unusual deployments) can
+// move the cutover; the defaults come from the scheduling-relaxation
+// corpus, where the simplex cold solve falls behind around 2k rows.
+var (
+	AutoIPMMinRows = 2000
+	AutoIPMMinNNZ  = 40000
+)
 
 // ParseBackend validates a backend name ("" means DefaultBackend).
 func ParseBackend(s string) (BackendKind, error) {
 	switch BackendKind(s) {
 	case "":
 		return DefaultBackend, nil
-	case Dense, Sparse:
+	case Dense, Sparse, IPM, Auto:
 		return BackendKind(s), nil
 	default:
-		return "", fmt.Errorf("lp: unknown backend %q (want %q or %q)", s, Dense, Sparse)
+		return "", fmt.Errorf("lp: unknown backend %q (want %q, %q, %q or %q)", s, Dense, Sparse, IPM, Auto)
 	}
 }
 
@@ -135,6 +158,9 @@ type Backend interface {
 	// to the same problem), refactorizing as needed. The next Solve starts
 	// from it.
 	Warm(*Basis) error
+	// Kind reports the resolved implementation kind (never Auto: an
+	// auto-constructed backend reports what the size trigger picked).
+	Kind() BackendKind
 	// Clone returns an independent backend with the same problem data,
 	// mutation state (RHS, variable bounds) and basis/factorization, backed
 	// by its own private Workspace: mutating or solving the clone never
@@ -161,7 +187,18 @@ func NewBackend(kind BackendKind, p *Problem, ws *Workspace) (Backend, error) {
 	if ws == nil {
 		ws = NewWorkspace()
 	}
+	if kind == Auto {
+		if len(p.rows) >= AutoIPMMinRows || len(p.tRow) >= AutoIPMMinNNZ {
+			kind = IPM
+		} else {
+			kind = Sparse
+		}
+	}
+	if kind == IPM {
+		return newIPMState(p, ws), nil
+	}
 	s := newSolverState(p, ws)
+	s.kind = kind
 	switch kind {
 	case Dense:
 		s.inv = &denseInverse{}

@@ -247,7 +247,7 @@ func TestBackendsDetectInfeasible(t *testing.T) {
 // after an optimal solve and checks the warm re-solve against a cold solve
 // of the mutated problem by all three solvers.
 func TestBackendWarmResolveMatchesCold(t *testing.T) {
-	for _, kind := range []BackendKind{Dense, Sparse} {
+	for _, kind := range []BackendKind{Dense, Sparse, IPM} {
 		kind := kind
 		t.Run(string(kind), func(t *testing.T) {
 			f := func(seed int64) bool {
@@ -461,6 +461,12 @@ func TestParseBackend(t *testing.T) {
 	if k, err := ParseBackend("dense"); err != nil || k != Dense {
 		t.Errorf("ParseBackend(dense) = %v, %v", k, err)
 	}
+	if k, err := ParseBackend("ipm"); err != nil || k != IPM {
+		t.Errorf("ParseBackend(ipm) = %v, %v", k, err)
+	}
+	if k, err := ParseBackend("auto"); err != nil || k != Auto {
+		t.Errorf("ParseBackend(auto) = %v, %v", k, err)
+	}
 	if _, err := ParseBackend("nope"); err == nil {
 		t.Error("ParseBackend(nope) accepted")
 	}
@@ -470,7 +476,7 @@ func TestParseBackend(t *testing.T) {
 // mutation state and warm basis, but mutating and solving either side never
 // perturbs the other. Verified against cold solves of the mutated specs.
 func TestBackendCloneIndependence(t *testing.T) {
-	for _, kind := range []BackendKind{Dense, Sparse} {
+	for _, kind := range []BackendKind{Dense, Sparse, IPM} {
 		kind := kind
 		t.Run(string(kind), func(t *testing.T) {
 			f := func(seed int64) bool {
@@ -547,7 +553,7 @@ func TestBackendCloneIndependence(t *testing.T) {
 // checks every verdict against a cold solve — the speculative dual search's
 // exact usage pattern.
 func TestBackendCloneConcurrentSolves(t *testing.T) {
-	for _, kind := range []BackendKind{Dense, Sparse} {
+	for _, kind := range []BackendKind{Dense, Sparse, IPM} {
 		kind := kind
 		t.Run(string(kind), func(t *testing.T) {
 			rng := rand.New(rand.NewSource(11))

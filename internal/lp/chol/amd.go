@@ -1,0 +1,194 @@
+package chol
+
+// minDegree computes a fill-reducing elimination order for a symmetric
+// sparse pattern with an exact-external-degree minimum-degree heuristic on
+// a quotient graph (Amestoy/Davis/Duff lineage, without supervariable
+// detection): eliminating a variable replaces it and the elements it is
+// adjacent to by one new element whose clique is the variable's current
+// neighborhood, and the elements it absorbs are dropped. Ordering quality
+// only affects performance — any permutation factorizes correctly — so the
+// implementation favors simplicity over the last few percent of fill.
+//
+// When the uneliminated graph turns dense (minimum degree within
+// denseBailFrac of a clique, or few nodes remain) the remaining variables
+// are appended by ascending degree and the loop stops: they are exactly the
+// dense trailing block the numeric factorization stores densely, and
+// grinding exact degrees through a shrinking clique is Θ(s³) for nothing.
+func minDegree(n int, ptr, ind []int32) []int32 {
+	perm := make([]int32, 0, n)
+	if n == 0 {
+		return perm
+	}
+	adjV := make([][]int32, n)  // variable adjacency (shrinks over time)
+	adjE := make([][]int32, n)  // element adjacency per variable
+	elems := make([][]int32, n) // clique of the element created at v
+	deg := make([]int32, n)
+	elim := make([]bool, n)
+	absorbed := make([]bool, n)
+	mark := make([]int32, n)
+	var stamp int32
+
+	maxDeg := 0
+	for v := 0; v < n; v++ {
+		stamp++
+		mark[v] = stamp
+		var a []int32
+		for p := ptr[v]; p < ptr[v+1]; p++ {
+			u := ind[p]
+			if mark[u] != stamp {
+				mark[u] = stamp
+				a = append(a, u)
+			}
+		}
+		adjV[v] = a
+		deg[v] = int32(len(a))
+		if len(a) > maxDeg {
+			maxDeg = len(a)
+		}
+	}
+
+	// Degree buckets (doubly linked chains).
+	head := make([]int32, n)
+	for i := range head {
+		head[i] = -1
+	}
+	next := make([]int32, n)
+	prev := make([]int32, n)
+	insert := func(v int32, d int32) {
+		next[v] = head[d]
+		prev[v] = -1
+		if head[d] >= 0 {
+			prev[head[d]] = v
+		}
+		head[d] = v
+	}
+	remove := func(v int32, d int32) {
+		if prev[v] >= 0 {
+			next[prev[v]] = next[v]
+		} else {
+			head[d] = next[v]
+		}
+		if next[v] >= 0 {
+			prev[next[v]] = prev[v]
+		}
+	}
+	for v := int32(n - 1); v >= 0; v-- {
+		insert(v, deg[v])
+	}
+
+	lv := make([]int32, 0, n)
+	live := n
+	minDeg := int32(0)
+	for live > 0 {
+		for head[minDeg] < 0 {
+			minDeg++
+		}
+		v := head[minDeg]
+		d := minDeg
+		if live <= denseBailLive || float64(d) >= denseBailFrac*float64(live-1) {
+			// Dense bail-out: append the remainder by ascending degree.
+			for dd := minDeg; dd < int32(n) && live > 0; dd++ {
+				for u := head[dd]; u >= 0; u = next[u] {
+					perm = append(perm, u)
+					live--
+				}
+			}
+			return perm
+		}
+		remove(v, d)
+		elim[v] = true
+		live--
+
+		// Lv: the variable's current neighborhood (its new element's clique).
+		stamp++
+		mark[v] = stamp
+		lv = lv[:0]
+		for _, u := range adjV[v] {
+			if !elim[u] && mark[u] != stamp {
+				mark[u] = stamp
+				lv = append(lv, u)
+			}
+		}
+		for _, e := range adjE[v] {
+			if absorbed[e] {
+				continue
+			}
+			absorbed[e] = true // its clique ⊆ the new element's
+			for _, u := range elems[e] {
+				if !elim[u] && mark[u] != stamp {
+					mark[u] = stamp
+					lv = append(lv, u)
+				}
+			}
+			elems[e] = nil
+		}
+		perm = append(perm, v)
+		elems[v] = append([]int32(nil), lv...)
+		adjV[v], adjE[v] = nil, nil
+
+		// mark still stamps {v} ∪ Lv: prune each member's plain adjacency of
+		// everything the new element now covers, and swap absorbed elements
+		// for the new one.
+		for _, u := range lv {
+			a := adjV[u][:0]
+			for _, x := range adjV[u] {
+				if !elim[x] && mark[x] != stamp {
+					a = append(a, x)
+				}
+			}
+			adjV[u] = a
+			es := adjE[u][:0]
+			for _, e := range adjE[u] {
+				if !absorbed[e] {
+					es = append(es, e)
+				}
+			}
+			adjE[u] = append(es, v)
+		}
+
+		// Exact external degrees for the affected variables (elements are
+		// compacted of eliminated members in passing).
+		for _, u := range lv {
+			stamp++
+			mark[u] = stamp
+			nd := int32(0)
+			for _, x := range adjV[u] {
+				if mark[x] != stamp {
+					mark[x] = stamp
+					nd++
+				}
+			}
+			for _, e := range adjE[u] {
+				el := elems[e][:0]
+				for _, x := range elems[e] {
+					if elim[x] {
+						continue
+					}
+					el = append(el, x)
+					if mark[x] != stamp {
+						mark[x] = stamp
+						nd++
+					}
+				}
+				elems[e] = el
+			}
+			if nd != deg[u] {
+				remove(u, deg[u])
+				deg[u] = nd
+				insert(u, nd)
+			}
+			if nd < minDeg {
+				minDeg = nd
+			}
+		}
+	}
+	return perm
+}
+
+const (
+	// denseBailLive stops the degree machinery when this few nodes remain.
+	denseBailLive = 16
+	// denseBailFrac stops it when the minimum degree says the remaining
+	// graph is nearly a clique.
+	denseBailFrac = 0.8
+)

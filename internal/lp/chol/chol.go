@@ -1,0 +1,377 @@
+// Package chol is a sparse symmetric positive-definite LDLᵀ factorization
+// kernel: symbolic analysis (fill-reducing minimum-degree ordering,
+// elimination tree, exact column counts) done once per pattern, then
+// repeated numeric factorizations and solves against changing values on
+// that same pattern. The trailing columns that symbolic analysis finds
+// nearly full are stored and processed as one dense block (a relaxed
+// supernode tail), which removes the indirection exactly where sparse
+// storage stops paying.
+//
+// The split mirrors how an interior-point method consumes it — one Analyze
+// per LP, one Factorize+Solve pair per iteration on the fixed normal-
+// equations pattern A·D·Aᵀ — but the kernel is self-contained: any solver
+// with a fixed SPD pattern and changing values can sit on top of it. All
+// numeric scratch lives in the reusable Factor, grow-only like the simplex
+// workspace, so iteration k+1 allocates nothing.
+package chol
+
+import "fmt"
+
+// Symbolic is the reusable symbolic analysis of an SPD pattern: the
+// fill-reducing permutation, the elimination tree of the permuted pattern,
+// per-column fill counts and the dense-tail boundary. It is immutable after
+// Analyze and safe to share across Factors (and goroutines).
+type Symbolic struct {
+	n     int
+	perm  []int32 // perm[k] = original index of the k-th pivot
+	iperm []int32
+	// parent is the elimination tree over permuted indices; parent[j] > j
+	// or -1 at a root.
+	parent []int32
+	// count[j] = nonzeros of permuted column j of L including the diagonal
+	// (exact, from the true pattern — the dense tail only ever adds).
+	count []int32
+	// tail is the first permuted column of the dense trailing block
+	// (tail == n when the pattern has no dense tail worth blocking).
+	tail int
+	// lnnz is the subdiagonal entry count of the sparse columns [0, tail).
+	lnnz int
+}
+
+// N returns the matrix dimension.
+func (s *Symbolic) N() int { return s.n }
+
+// TailSize returns the width of the dense trailing block (0 = none).
+func (s *Symbolic) TailSize() int { return s.n - s.tail }
+
+// LNNZ returns the subdiagonal nonzero count of the sparse part of L.
+func (s *Symbolic) LNNZ() int { return s.lnnz }
+
+const (
+	// tailMinN: patterns smaller than this skip dense-tail detection —
+	// below it the indirection being removed doesn't cost anything yet.
+	tailMinN = 48
+	// tailMinSize: a detected tail narrower than this stays sparse.
+	tailMinSize = 16
+	// tailMaxSize caps the dense block (its storage is s²/2 floats).
+	tailMaxSize = 2048
+	// tailDensity: a column joins the tail while its true fill is at least
+	// this fraction of full.
+	tailDensity = 0.6
+)
+
+// Analyze runs the symbolic phase on a full symmetric pattern in CSC/CSR
+// form (each off-diagonal entry present in both its row and its column;
+// diagonal entries optional; duplicates tolerated). Only the pattern is
+// read — values come later, per Factorize.
+func Analyze(n int, ptr, ind []int32) *Symbolic {
+	s := &Symbolic{n: n, tail: n}
+	s.perm = minDegree(n, ptr, ind)
+	s.iperm = make([]int32, n)
+	for k, o := range s.perm {
+		s.iperm[o] = int32(k)
+	}
+
+	// Elimination tree of the permuted pattern (Liu's ancestor algorithm
+	// with path compression).
+	s.parent = make([]int32, n)
+	ancestor := make([]int32, n)
+	for k := 0; k < n; k++ {
+		s.parent[k] = -1
+		ancestor[k] = -1
+		ko := s.perm[k]
+		for p := ptr[ko]; p < ptr[ko+1]; p++ {
+			i := s.iperm[ind[p]]
+			for i != -1 && i < int32(k) {
+				inext := ancestor[i]
+				ancestor[i] = int32(k)
+				if inext == -1 {
+					s.parent[i] = int32(k)
+				}
+				i = inext
+			}
+		}
+	}
+
+	// Column counts: for each row k, the row pattern is the union of etree
+	// paths from the row's adjacency up toward k; every visited column
+	// gains one entry. O(nnz(L)) via per-row flags.
+	s.count = make([]int32, n)
+	flag := make([]int32, n)
+	for k := range flag {
+		flag[k] = -1
+		s.count[k] = 1 // diagonal
+	}
+	for k := 0; k < n; k++ {
+		flag[k] = int32(k)
+		ko := s.perm[k]
+		for p := ptr[ko]; p < ptr[ko+1]; p++ {
+			j := s.iperm[ind[p]]
+			for j != -1 && flag[j] != int32(k) {
+				flag[j] = int32(k)
+				s.count[j]++
+				j = s.parent[j]
+			}
+		}
+	}
+
+	// Dense tail: the longest suffix of columns whose true fill stays
+	// above tailDensity of full, capped at tailMaxSize.
+	if n >= tailMinN {
+		t := n
+		for t > 0 && n-t < tailMaxSize {
+			j := t - 1
+			full := n - j
+			if float64(s.count[j]) < tailDensity*float64(full) {
+				break
+			}
+			t = j
+		}
+		if n-t >= tailMinSize {
+			s.tail = t
+		}
+	}
+	for j := 0; j < s.tail; j++ {
+		s.lnnz += int(s.count[j]) - 1
+	}
+	return s
+}
+
+// Factor holds one numeric LDLᵀ factorization plus all scratch needed to
+// recompute it. A zero Factor is ready for use; buffers grow to the
+// pattern's size on first Factorize and are reused afterwards. A Factor is
+// bound to the Symbolic of its last Factorize and is not safe for
+// concurrent use.
+type Factor struct {
+	sym *Symbolic
+
+	lp  []int32 // sparse column starts (capacity layout from column counts)
+	lnz []int32 // entries appended so far per sparse column
+	li  []int32
+	lx  []float64
+	d   []float64
+
+	// Dense trailing block: packed strict lower triangle, column-major
+	// (column c of the block holds rows tail+c+1 … n−1 contiguously).
+	dense    []float64
+	denseOff []int32
+
+	y       []float64
+	pattern []int32
+	flag    []int32
+	flagK   int32 // rolling stamp base so flag never needs clearing
+	z       []float64
+
+	// Clamped counts pivots raised to minPiv by the last Factorize; a
+	// handful is routine regularization, a large fraction means the matrix
+	// was far from positive definite.
+	Clamped int
+}
+
+func growi32(buf []int32, n int) []int32 {
+	if cap(buf) < n {
+		return make([]int32, n)
+	}
+	return buf[:n]
+}
+
+func growf(buf []float64, n int) []float64 {
+	if cap(buf) < n {
+		return make([]float64, n)
+	}
+	return buf[:n]
+}
+
+// Factorize computes the LDLᵀ factorization of the matrix whose full
+// symmetric pattern was analyzed into sym and whose values are given in
+// the same (ptr, ind, vals) layout. Pivots below minPiv are clamped to it
+// (static regularization — pass the caller's δ > 0); f.Clamped reports how
+// many were. The factorization is up-looking per row (LDL.c style): each
+// row's sparse pattern is the elimination-tree reach of its adjacency, and
+// rows inside the dense tail skip pattern discovery for the tail columns
+// entirely.
+func (sym *Symbolic) Factorize(ptr, ind []int32, vals []float64, minPiv float64, f *Factor) {
+	n, tail := sym.n, sym.tail
+	f.sym = sym
+	f.Clamped = 0
+
+	f.lp = growi32(f.lp, n+1)
+	f.lnz = growi32(f.lnz, n)
+	f.lp[0] = 0
+	for j := 0; j < n; j++ {
+		w := int32(0)
+		if j < tail {
+			w = sym.count[j] - 1
+		}
+		f.lp[j+1] = f.lp[j] + w
+		f.lnz[j] = 0
+	}
+	f.li = growi32(f.li, sym.lnnz)
+	f.lx = growf(f.lx, sym.lnnz)
+	f.d = growf(f.d, n)
+
+	s := n - tail
+	dn := s * (s - 1) / 2
+	f.denseOff = growi32(f.denseOff, s+1)
+	f.denseOff[0] = 0
+	for c := 0; c < s; c++ {
+		f.denseOff[c+1] = f.denseOff[c] + int32(s-1-c)
+	}
+	f.dense = growf(f.dense, dn)
+
+	if cap(f.y) < n {
+		f.y = make([]float64, n) // must start (and stay) all-zero
+	}
+	y := f.y[:n]
+	f.pattern = growi32(f.pattern, n)
+	if cap(f.flag) < n || f.flagK > 1<<30 {
+		f.flag = make([]int32, n)
+		for i := range f.flag {
+			f.flag[i] = -1
+		}
+		f.flagK = 0
+	}
+	flag := f.flag[:n]
+	base := f.flagK
+	f.flagK += int32(n)
+
+	parent := sym.parent
+	for k := 0; k < n; k++ {
+		fk := base + int32(k)
+		flag[k] = fk
+		dk := 0.0
+		top := n
+		ko := sym.perm[k]
+		for p := ptr[ko]; p < ptr[ko+1]; p++ {
+			j := int(sym.iperm[ind[p]])
+			if j > k {
+				continue
+			}
+			v := vals[p]
+			if j == k {
+				dk += v
+				continue
+			}
+			y[j] += v
+			if j >= tail {
+				continue // covered by the dense sweep, no reach needed
+			}
+			// March up the etree until a flagged node or the tail; the
+			// local segment is reversed onto the stack top so the final
+			// pattern is in topological (descendants-first) order.
+			ln := 0
+			for jj := j; jj >= 0 && jj < tail && flag[jj] != fk; jj = int(parent[jj]) {
+				f.pattern[ln] = int32(jj)
+				ln++
+				flag[jj] = fk
+			}
+			for ln > 0 {
+				ln--
+				top--
+				f.pattern[top] = f.pattern[ln]
+			}
+		}
+
+		// Sparse columns of the row pattern.
+		for t := top; t < n; t++ {
+			i := int(f.pattern[t])
+			yi := y[i]
+			y[i] = 0
+			p0 := f.lp[i]
+			pe := p0 + f.lnz[i]
+			for p := p0; p < pe; p++ {
+				y[f.li[p]] -= f.lx[p] * yi
+			}
+			l := yi / f.d[i]
+			dk -= l * yi
+			f.li[pe] = int32(k)
+			f.lx[pe] = l
+			f.lnz[i]++
+		}
+
+		// Dense tail columns [tail, k): all present by construction.
+		for i := tail; i < k; i++ {
+			yi := y[i]
+			col := f.dense[f.denseOff[i-tail]:]
+			l := 0.0
+			if yi != 0 {
+				y[i] = 0
+				for r := i + 1; r < k; r++ {
+					y[r] -= col[r-i-1] * yi
+				}
+				l = yi / f.d[i]
+				dk -= l * yi
+			}
+			col[k-i-1] = l
+		}
+
+		if dk < minPiv {
+			dk = minPiv
+			f.Clamped++
+		}
+		f.d[k] = dk
+	}
+}
+
+// Solve overwrites b (in original index order) with M⁻¹·b using the last
+// factorization: permute, L solve, D solve, Lᵀ solve, unpermute.
+func (f *Factor) Solve(b []float64) {
+	sym := f.sym
+	if sym == nil {
+		panic("chol: Solve before Factorize")
+	}
+	n, tail := sym.n, sym.tail
+	if len(b) != n {
+		panic(fmt.Sprintf("chol: Solve vector has length %d, want %d", len(b), n))
+	}
+	f.z = growf(f.z, n)
+	z := f.z
+	for k := 0; k < n; k++ {
+		z[k] = b[sym.perm[k]]
+	}
+	// Forward: L z' = z.
+	for j := 0; j < tail; j++ {
+		zj := z[j]
+		if zj == 0 {
+			continue
+		}
+		pe := f.lp[j] + f.lnz[j]
+		for p := f.lp[j]; p < pe; p++ {
+			z[f.li[p]] -= f.lx[p] * zj
+		}
+	}
+	for j := tail; j < n; j++ {
+		zj := z[j]
+		if zj == 0 {
+			continue
+		}
+		col := f.dense[f.denseOff[j-tail]:]
+		for r := j + 1; r < n; r++ {
+			z[r] -= col[r-j-1] * zj
+		}
+	}
+	// Diagonal.
+	for k := 0; k < n; k++ {
+		z[k] /= f.d[k]
+	}
+	// Backward: Lᵀ x = z, columns in descending order.
+	for j := n - 1; j >= tail; j-- {
+		col := f.dense[f.denseOff[j-tail]:]
+		acc := z[j]
+		for r := j + 1; r < n; r++ {
+			acc -= col[r-j-1] * z[r]
+		}
+		z[j] = acc
+	}
+	for j := tail - 1; j >= 0; j-- {
+		acc := z[j]
+		pe := f.lp[j] + f.lnz[j]
+		for p := f.lp[j]; p < pe; p++ {
+			acc -= f.lx[p] * z[f.li[p]]
+		}
+		z[j] = acc
+	}
+	for k := 0; k < n; k++ {
+		b[sym.perm[k]] = z[k]
+	}
+}

@@ -1,0 +1,215 @@
+package chol
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+)
+
+// denseFromCSC expands a full symmetric CSC matrix to dense storage.
+func denseFromCSC(n int, ptr, ind []int32, vals []float64) [][]float64 {
+	a := make([][]float64, n)
+	for i := range a {
+		a[i] = make([]float64, n)
+	}
+	for j := 0; j < n; j++ {
+		for p := ptr[j]; p < ptr[j+1]; p++ {
+			a[ind[p]][j] += vals[p]
+		}
+	}
+	return a
+}
+
+// solveDense is the oracle: Gaussian elimination with partial pivoting.
+func solveDense(a [][]float64, b []float64) []float64 {
+	n := len(b)
+	m := make([][]float64, n)
+	for i := range m {
+		m[i] = append(append([]float64(nil), a[i]...), b[i])
+	}
+	for c := 0; c < n; c++ {
+		piv := c
+		for r := c + 1; r < n; r++ {
+			if math.Abs(m[r][c]) > math.Abs(m[piv][c]) {
+				piv = r
+			}
+		}
+		m[c], m[piv] = m[piv], m[c]
+		for r := c + 1; r < n; r++ {
+			f := m[r][c] / m[c][c]
+			if f == 0 {
+				continue
+			}
+			for k := c; k <= n; k++ {
+				m[r][k] -= f * m[c][k]
+			}
+		}
+	}
+	x := make([]float64, n)
+	for r := n - 1; r >= 0; r-- {
+		s := m[r][n]
+		for k := r + 1; k < n; k++ {
+			s -= m[r][k] * x[k]
+		}
+		x[r] = s / m[r][r]
+	}
+	return x
+}
+
+// randomSPD builds a full symmetric CSC matrix Q·Qᵀ + αI for a random
+// sparse Q, optionally coupling the last `denseTail` indices all-to-all so
+// the trailing block goes dense.
+func randomSPD(rng *rand.Rand, n, nnzPerCol, denseTail int) (ptr, ind []int32, vals []float64) {
+	a := make([][]float64, n)
+	for i := range a {
+		a[i] = make([]float64, n)
+	}
+	for j := 0; j < n; j++ {
+		col := make([]float64, n)
+		for t := 0; t < nnzPerCol; t++ {
+			col[rng.Intn(n)] = rng.NormFloat64()
+		}
+		for r1 := 0; r1 < n; r1++ {
+			if col[r1] == 0 {
+				continue
+			}
+			for r2 := 0; r2 < n; r2++ {
+				if col[r2] != 0 {
+					a[r1][r2] += col[r1] * col[r2]
+				}
+			}
+		}
+	}
+	for i := 0; i < denseTail; i++ {
+		for j := 0; j < denseTail; j++ {
+			ri, rj := n-1-i, n-1-j
+			a[ri][rj] += 0.1 * float64(1+(i+j)%3)
+		}
+	}
+	for i := 0; i < n; i++ {
+		a[i][i] += float64(n) // diagonal dominance ⇒ SPD
+	}
+	ptr = make([]int32, n+1)
+	for j := 0; j < n; j++ {
+		ptr[j+1] = ptr[j]
+		for r := 0; r < n; r++ {
+			if a[r][j] != 0 {
+				ind = append(ind, int32(r))
+				vals = append(vals, a[r][j])
+				ptr[j+1]++
+			}
+		}
+	}
+	return ptr, ind, vals
+}
+
+func checkSolve(t *testing.T, n int, ptr, ind []int32, vals []float64, sym *Symbolic, f *Factor, rng *rand.Rand) {
+	t.Helper()
+	perm := make([]bool, n)
+	for _, p := range sym.perm {
+		if perm[p] {
+			t.Fatalf("index %d repeated in permutation", p)
+		}
+		perm[p] = true
+	}
+	b := make([]float64, n)
+	for i := range b {
+		b[i] = rng.NormFloat64()
+	}
+	want := solveDense(denseFromCSC(n, ptr, ind, vals), b)
+	got := append([]float64(nil), b...)
+	f.Solve(got)
+	for i := range got {
+		if math.Abs(got[i]-want[i]) > 1e-7*(1+math.Abs(want[i])) {
+			t.Fatalf("x[%d] = %g, want %g (tail=%d)", i, got[i], want[i], sym.TailSize())
+		}
+	}
+}
+
+func TestFactorizeMatchesDenseOracle(t *testing.T) {
+	for seed := int64(1); seed <= 6; seed++ {
+		rng := rand.New(rand.NewSource(seed))
+		n := 40 + rng.Intn(40)
+		ptr, ind, vals := randomSPD(rng, n, 3, 0)
+		sym := Analyze(n, ptr, ind)
+		var f Factor
+		sym.Factorize(ptr, ind, vals, 1e-12, &f)
+		if f.Clamped != 0 {
+			t.Fatalf("seed %d: %d pivots clamped on an SPD matrix", seed, f.Clamped)
+		}
+		checkSolve(t, n, ptr, ind, vals, sym, &f, rng)
+	}
+}
+
+func TestDenseTailFactorization(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	n := 96
+	ptr, ind, vals := randomSPD(rng, n, 2, 40)
+	sym := Analyze(n, ptr, ind)
+	if sym.TailSize() < tailMinSize {
+		t.Fatalf("dense-coupled trailing block not detected (tail size %d)", sym.TailSize())
+	}
+	var f Factor
+	sym.Factorize(ptr, ind, vals, 1e-12, &f)
+	checkSolve(t, n, ptr, ind, vals, sym, &f, rng)
+}
+
+func TestFactorReuseAcrossValues(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	n := 60
+	ptr, ind, vals := randomSPD(rng, n, 3, 20)
+	sym := Analyze(n, ptr, ind)
+	var f Factor
+	for round := 0; round < 3; round++ {
+		scaled := make([]float64, len(vals))
+		scale := 1.0 + float64(round)
+		for i, v := range vals {
+			scaled[i] = v * scale
+		}
+		sym.Factorize(ptr, ind, scaled, 1e-12, &f)
+		checkSolve(t, n, ptr, ind, scaled, sym, &f, rng)
+	}
+}
+
+func TestTinyAndDiagonal(t *testing.T) {
+	// n=0 and a pure diagonal matrix exercise the edges of the ordering and
+	// the tail detection.
+	sym := Analyze(0, []int32{0}, nil)
+	if sym.N() != 0 {
+		t.Fatal("empty analyze")
+	}
+	n := 5
+	ptr := []int32{0, 1, 2, 3, 4, 5}
+	ind := []int32{0, 1, 2, 3, 4}
+	vals := []float64{2, 3, 4, 5, 6}
+	sym = Analyze(n, ptr, ind)
+	var f Factor
+	sym.Factorize(ptr, ind, vals, 1e-12, &f)
+	b := []float64{2, 3, 4, 5, 6}
+	f.Solve(b)
+	for i, want := range []float64{1, 1, 1, 1, 1} {
+		if math.Abs(b[i]-want) > 1e-12 {
+			t.Fatalf("diagonal solve b[%d]=%g", i, b[i])
+		}
+	}
+}
+
+func TestPivotClampCounts(t *testing.T) {
+	// An indefinite matrix (negative diagonal) must clamp rather than
+	// produce NaN/Inf.
+	n := 3
+	ptr := []int32{0, 1, 2, 3}
+	ind := []int32{0, 1, 2}
+	vals := []float64{-1, 2, 3}
+	sym := Analyze(n, ptr, ind)
+	var f Factor
+	sym.Factorize(ptr, ind, vals, 1e-8, &f)
+	if f.Clamped != 1 {
+		t.Fatalf("Clamped = %d, want 1", f.Clamped)
+	}
+	for _, d := range f.d {
+		if d < 1e-8 || math.IsNaN(d) {
+			t.Fatalf("bad pivot %g after clamp", d)
+		}
+	}
+}

@@ -1,0 +1,280 @@
+package lp
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+// TestIPMAgreesOnRandomCorpus is the IPM differential against the legacy
+// tableau oracle over the same corpus shapes as the simplex backends. The
+// hybrid design makes this unconditional: any LP the interior-point phase
+// cannot converge on (tiny, degenerate, unbounded, …) falls back to the
+// exact simplex inside the same backend.
+func TestIPMAgreesOnRandomCorpus(t *testing.T) {
+	gens := map[string]func(*rand.Rand) *problemSpec{
+		"box":   randomBoxSpec,
+		"eq":    randomEqSpec,
+		"mixed": randomMixedSpec,
+	}
+	for name, gen := range gens {
+		gen := gen
+		t.Run(name, func(t *testing.T) {
+			f := func(seed int64) bool {
+				rng := rand.New(rand.NewSource(seed))
+				ps := gen(rng)
+				legacy, err := ps.build().Solve()
+				if err != nil {
+					t.Fatalf("legacy Solve: %v", err)
+				}
+				be, err := NewBackend(IPM, ps.build(), nil)
+				if err != nil {
+					t.Fatalf("NewBackend(ipm): %v", err)
+				}
+				sol, err := be.Solve()
+				if err != nil {
+					t.Fatalf("ipm Solve: %v", err)
+				}
+				agree(t, ps, "ipm", legacy, cloneSolution(sol))
+				return true
+			}
+			if err := quick.Check(f, &quick.Config{MaxCount: 120}); err != nil {
+				t.Error(err)
+			}
+		})
+	}
+}
+
+// TestIPMDetectsInfeasible: contradicting equalities must still come back
+// Infeasible — the verdict is the simplex fallback's certificate, never an
+// interior-point guess.
+func TestIPMDetectsInfeasible(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		d := 1 + rng.Intn(4)
+		ps := &problemSpec{}
+		for j := 0; j < d; j++ {
+			ps.obj = append(ps.obj, 0)
+			ps.ub = append(ps.ub, 10)
+		}
+		var terms []Term
+		for j := 0; j < d; j++ {
+			terms = append(terms, Term{j, 1 + rng.Float64()})
+		}
+		ps.rows = append(ps.rows, specRow{EQ, 5, terms})
+		ps.rows = append(ps.rows, specRow{EQ, 7, terms})
+		be, err := NewBackend(IPM, ps.build(), nil)
+		if err != nil {
+			t.Fatalf("NewBackend: %v", err)
+		}
+		sol, err := be.Solve()
+		if err != nil {
+			t.Fatalf("Solve: %v", err)
+		}
+		return sol.Status == Infeasible
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 80}); err != nil {
+		t.Error(err)
+	}
+}
+
+// schedSpec builds an ILP-UM-shaped feasibility LP (load rows, assignment
+// rows, x≤y link rows) big enough for the interior-point phase to engage
+// and converge rather than fall back.
+func schedSpec(rng *rand.Rand, m, n, K int, T float64) *problemSpec {
+	ps := &problemSpec{}
+	class := make([]int, n)
+	for j := range class {
+		class[j] = rng.Intn(K)
+	}
+	x := make([][]int, m)
+	y := make([][]int, m)
+	id := 0
+	for i := 0; i < m; i++ {
+		x[i] = make([]int, n)
+		y[i] = make([]int, K)
+		for j := 0; j < n; j++ {
+			ps.obj = append(ps.obj, 0)
+			ps.ub = append(ps.ub, 1)
+			x[i][j] = id
+			id++
+		}
+		for k := 0; k < K; k++ {
+			ps.obj = append(ps.obj, 0)
+			ps.ub = append(ps.ub, 1)
+			y[i][k] = id
+			id++
+		}
+	}
+	for i := 0; i < m; i++ {
+		var terms []Term
+		for j := 0; j < n; j++ {
+			terms = append(terms, Term{x[i][j], 1 + rng.Float64()})
+		}
+		for k := 0; k < K; k++ {
+			terms = append(terms, Term{y[i][k], 1 + rng.Float64()})
+		}
+		ps.rows = append(ps.rows, specRow{LE, T, terms})
+	}
+	for j := 0; j < n; j++ {
+		var terms []Term
+		for i := 0; i < m; i++ {
+			terms = append(terms, Term{x[i][j], 1})
+		}
+		ps.rows = append(ps.rows, specRow{EQ, 1, terms})
+	}
+	for i := 0; i < m; i++ {
+		for j := 0; j < n; j++ {
+			ps.rows = append(ps.rows, specRow{LE, 0, []Term{{x[i][j], 1}, {y[i][class[j]], -1}}})
+		}
+	}
+	return ps
+}
+
+// TestIPMConvergesAndCrossesOver drives the interior-point internals
+// directly on a scheduling-shaped LP: mehrotra must converge (no fallback),
+// crossover must produce a basis the sparse simplex accepts via Warm, and
+// the re-certified vertex must cost only a handful of cleanup pivots.
+func TestIPMConvergesAndCrossesOver(t *testing.T) {
+	for seed := int64(1); seed <= 4; seed++ {
+		rng := rand.New(rand.NewSource(seed))
+		ps := schedSpec(rng, 4, 24, 3, 14)
+		be, err := NewBackend(Sparse, ps.build(), nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		ss := be.(*solverState)
+		iters, x, ok := mehrotra(&ss.sf)
+		if !ok {
+			t.Fatalf("seed %d: mehrotra did not converge in %d iterations", seed, iters)
+		}
+		b := crossoverBasis(&ss.sf, x)
+		if b == nil {
+			t.Fatalf("seed %d: crossover found no nonsingular basis", seed)
+		}
+		// The recovered basis must be primal-feasible at the IPM point up
+		// to the simplex's own cleanup: Warm + Solve from it must agree
+		// with a cold sparse solve, in few pivots.
+		if err := be.Warm(b); err != nil {
+			t.Fatalf("seed %d: Warm(crossover basis): %v", seed, err)
+		}
+		warm, err := be.Solve()
+		if err != nil {
+			t.Fatalf("seed %d: warm Solve: %v", seed, err)
+		}
+		cold, err := NewBackend(Sparse, ps.build(), nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		coldSol, err := cold.Solve()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if warm.Status != coldSol.Status {
+			t.Fatalf("seed %d: warm status %v, cold %v", seed, warm.Status, coldSol.Status)
+		}
+		if math.Abs(warm.Objective-coldSol.Objective) > 1e-6 {
+			t.Fatalf("seed %d: warm objective %v, cold %v", seed, warm.Objective, coldSol.Objective)
+		}
+		if !feasible(ps.build(), warm.X) {
+			t.Fatalf("seed %d: crossover-seeded solution infeasible", seed)
+		}
+		if warm.Iterations > coldSol.Iterations/2+8 {
+			t.Fatalf("seed %d: crossover cleanup took %d pivots (cold needs %d) — basis not near-optimal",
+				seed, warm.Iterations, coldSol.Iterations)
+		}
+	}
+}
+
+// TestIPMWarmTrajectoryMatchesSimplex re-solves a shrinking-T trajectory on
+// an IPM backend and a pure-sparse backend side by side: every verdict and
+// objective must match — the acceptance contract that lets `auto` swap the
+// cold solver without perturbing the dual search.
+func TestIPMWarmTrajectoryMatchesSimplex(t *testing.T) {
+	for seed := int64(1); seed <= 3; seed++ {
+		rng := rand.New(rand.NewSource(seed))
+		ub := 16.0
+		ps := schedSpec(rng, 3, 18, 3, ub)
+		ipm, err := NewBackend(IPM, ps.build(), nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		sp, err := NewBackend(Sparse, ps.build(), nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		T := ub
+		for step := 0; step < 9; step++ {
+			for r := 0; r < 3; r++ { // the load rows carry the guess
+				ipm.SetRHS(r, T)
+				sp.SetRHS(r, T)
+			}
+			a, err := ipm.Solve()
+			if err != nil {
+				t.Fatalf("seed %d step %d: ipm: %v", seed, step, err)
+			}
+			b, err := sp.Solve()
+			if err != nil {
+				t.Fatalf("seed %d step %d: sparse: %v", seed, step, err)
+			}
+			if a.Status != b.Status {
+				t.Fatalf("seed %d step %d (T=%g): ipm %v, sparse %v", seed, step, T, a.Status, b.Status)
+			}
+			if a.Status == Optimal && math.Abs(a.Objective-b.Objective) > 1e-6 {
+				t.Fatalf("seed %d step %d: objective %v vs %v", seed, step, a.Objective, b.Objective)
+			}
+			T *= 0.82
+		}
+	}
+}
+
+// TestIPMGaugeCountsOneSolve: the hybrid Solve (IPM + crossover + simplex
+// cleanup) must hold exactly one SolveGauge slot — the governor's
+// LP-peak ≤ budget invariant depends on it.
+func TestIPMGaugeCountsOneSolve(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	ps := schedSpec(rng, 3, 18, 3, 12)
+	be, err := NewBackend(IPM, ps.build(), nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	SolveGauge.Reset()
+	if _, err := be.Solve(); err != nil {
+		t.Fatal(err)
+	}
+	if peak := SolveGauge.Peak(); peak != 1 {
+		t.Fatalf("SolveGauge peak = %d after one hybrid solve, want 1", peak)
+	}
+	SolveGauge.Reset()
+}
+
+// TestAutoBackendResolvesBySize pins the size trigger: a problem over the
+// row threshold resolves to IPM, under it to Sparse, and Kind() reports
+// the resolved implementation (never "auto").
+func TestAutoBackendResolvesBySize(t *testing.T) {
+	oldRows := AutoIPMMinRows
+	AutoIPMMinRows = 30
+	defer func() { AutoIPMMinRows = oldRows }()
+
+	rng := rand.New(rand.NewSource(3))
+	big := schedSpec(rng, 3, 12, 2, 10) // 3 + 12 + 36 = 51 rows ≥ 30
+	be, err := NewBackend(Auto, big.build(), nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if be.Kind() != IPM {
+		t.Fatalf("auto over threshold resolved to %v, want %v", be.Kind(), IPM)
+	}
+	small := randomBoxSpec(rng)
+	be, err = NewBackend(Auto, small.build(), nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if be.Kind() != Sparse {
+		t.Fatalf("auto under threshold resolved to %v, want %v", be.Kind(), Sparse)
+	}
+	if k := be.Kind(); k == Auto {
+		t.Fatal("Kind() must never report auto")
+	}
+}

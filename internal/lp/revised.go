@@ -35,6 +35,8 @@ type solverState struct {
 	sol    Solution
 	iters  int  // pivots in the current Solve call
 	dualOK bool // the current basis is known dual feasible (prior optimum)
+
+	kind BackendKind // resolved implementation kind (Dense or Sparse)
 }
 
 const (
@@ -85,8 +87,10 @@ func (s *solverState) SetVarUpper(v int, upper float64) {
 	}
 }
 
+func (s *solverState) Kind() BackendKind { return s.kind }
+
 func (s *solverState) Clone() Backend {
-	c := &solverState{ws: NewWorkspace(), dualOK: s.dualOK}
+	c := &solverState{ws: NewWorkspace(), dualOK: s.dualOK, kind: s.kind}
 	c.sf.copyFrom(&s.sf, c.ws)
 	c.basis = append([]int(nil), s.basis...)
 	c.status = append([]varStatus(nil), s.status...)
@@ -151,6 +155,14 @@ func (s *solverState) Warm(b *Basis) error {
 func (s *solverState) Solve() (*Solution, error) {
 	SolveGauge.enter()
 	defer SolveGauge.exit()
+	return s.solve()
+}
+
+// solve is Solve without the gauge accounting, for callers that already
+// hold a gauge slot (the IPM backend wraps its whole hybrid solve — IPM
+// phase, crossover and simplex cleanup — in one enter/exit, so delegating
+// here must not count a second concurrent solve).
+func (s *solverState) solve() (*Solution, error) {
 	s.iters = 0
 	s.xB = growF(&s.ws.xB, s.sf.m)
 	s.computeXB()

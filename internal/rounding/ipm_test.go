@@ -1,0 +1,124 @@
+package rounding
+
+import (
+	"context"
+	"math/rand"
+	"testing"
+
+	"repro/internal/baseline"
+	"repro/internal/core"
+	"repro/internal/gen"
+	"repro/internal/lp"
+)
+
+// TestReSolveIPMTrajectoryMatchesSparse drives the same descending guess
+// trajectories as the sparse backend through an IPM-backed Relaxation and
+// cross-checks every verdict against cold SolveLP — the contract that lets
+// the interior-point cold path slot under the dual search unchanged.
+func TestReSolveIPMTrajectoryMatchesSparse(t *testing.T) {
+	for seed := int64(0); seed < 6; seed++ {
+		rng := rand.New(rand.NewSource(seed))
+		p := gen.Params{N: 14 + rng.Intn(10), M: 3 + rng.Intn(2), K: 2 + rng.Intn(3)}
+		var in *core.Instance
+		if seed%2 == 0 {
+			in = gen.Unrelated(rng, p)
+		} else {
+			in = gen.UnrelatedClassUniform(rng, p)
+		}
+		g, err := baseline.Greedy(in)
+		if err != nil {
+			t.Fatalf("greedy: %v", err)
+		}
+		ub := g.Makespan(in)
+		if ub <= 0 {
+			continue
+		}
+		var guesses []float64
+		for T := ub; T > ub/64; T *= 0.82 {
+			guesses = append(guesses, T)
+		}
+		runGuessSequence(t, in, lp.IPM, ub, guesses)
+	}
+}
+
+// TestAutoRelaxationSurfacesResolution pins the auto selection through the
+// rounding layer: over the (lowered) row threshold the relaxation reports
+// "auto(ipm)", under it "auto(sparse)", and ScheduleDetailed carries that
+// string out via Detail.LPBackend.
+func TestAutoRelaxationSurfacesResolution(t *testing.T) {
+	oldRows := lp.AutoIPMMinRows
+	oldNNZ := lp.AutoIPMMinNNZ
+	lp.AutoIPMMinRows = 60
+	lp.AutoIPMMinNNZ = 1 << 30
+	defer func() { lp.AutoIPMMinRows = oldRows; lp.AutoIPMMinNNZ = oldNNZ }()
+
+	rng := rand.New(rand.NewSource(7))
+	big := gen.Unrelated(rng, gen.Params{N: 20, M: 4, K: 3})  // 4+20+80 rows ≥ 60
+	small := gen.Unrelated(rng, gen.Params{N: 5, M: 2, K: 2}) // 2+5+10 rows < 60
+
+	for _, tc := range []struct {
+		in   *core.Instance
+		want string
+	}{
+		{big, "auto(ipm)"},
+		{small, "auto(sparse)"},
+	} {
+		rel, err := NewRelaxation(tc.in, RelaxationConfig{Backend: lp.Auto})
+		if err != nil {
+			t.Fatalf("NewRelaxation(auto): %v", err)
+		}
+		if rel.Backend() != lp.Auto {
+			t.Errorf("Backend() = %v, want requested kind %v", rel.Backend(), lp.Auto)
+		}
+		if got := rel.ResolvedBackend(); got != tc.want {
+			t.Errorf("ResolvedBackend() = %q, want %q", got, tc.want)
+		}
+	}
+
+	res, det, err := ScheduleDetailed(context.Background(), big, Options{
+		Rng:       rand.New(rand.NewSource(1)),
+		LPBackend: "auto",
+	})
+	if err != nil {
+		t.Fatalf("ScheduleDetailed(auto): %v", err)
+	}
+	if res.Schedule == nil || !res.Schedule.Complete() {
+		t.Fatal("incomplete schedule")
+	}
+	if err := res.Schedule.Validate(big); err != nil {
+		t.Errorf("Validate: %v", err)
+	}
+	if det.LPBackend != "auto(ipm)" {
+		t.Errorf("Detail.LPBackend = %q, want %q", det.LPBackend, "auto(ipm)")
+	}
+}
+
+// TestScheduleDetailedIPMBackend runs the full algorithm end-to-end on the
+// explicit ipm backend: valid bounded schedule, effort surfaced, backend
+// reported verbatim.
+func TestScheduleDetailedIPMBackend(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	in := gen.Unrelated(rng, gen.Params{N: 16, M: 3, K: 3})
+	res, det, err := ScheduleDetailed(context.Background(), in, Options{
+		Rng:       rand.New(rand.NewSource(2)),
+		LPBackend: "ipm",
+	})
+	if err != nil {
+		t.Fatalf("ScheduleDetailed: %v", err)
+	}
+	if res.Schedule == nil || !res.Schedule.Complete() {
+		t.Fatal("incomplete schedule")
+	}
+	if err := res.Schedule.Validate(in); err != nil {
+		t.Errorf("Validate: %v", err)
+	}
+	if res.Makespan < res.LowerBound-core.Eps {
+		t.Errorf("makespan %v below lower bound %v", res.Makespan, res.LowerBound)
+	}
+	if det.LPIterations <= 0 {
+		t.Errorf("LP iterations not surfaced: %d", det.LPIterations)
+	}
+	if det.LPBackend != "ipm" {
+		t.Errorf("Detail.LPBackend = %q, want %q", det.LPBackend, "ipm")
+	}
+}

@@ -53,8 +53,10 @@ type Options struct {
 	// search skips guesses at or above the live incumbent.
 	Bounds core.BoundBus
 	// LPBackend names the lp.Backend the per-guess feasibility LPs run on:
-	// "sparse" (revised simplex, the default), "dense", or "" for the
-	// default. Unknown names are a configuration error.
+	// "sparse" (revised simplex, the default), "dense", "ipm"
+	// (interior-point cold solve with crossover to warm simplex), "auto"
+	// (size-triggered: IPM on large cold builds, sparse otherwise), or ""
+	// for the default. Unknown names are a configuration error.
 	LPBackend string
 	// SearchWorkers is the speculative parallelism of the binary search on
 	// T (dual.Speculate): that many makespan guesses are evaluated
@@ -319,7 +321,9 @@ type RelaxationConfig struct {
 	// greedy bound — then ReSolve is also exact above it); 0 computes the
 	// greedy bound internally.
 	Envelope float64
-	// Backend selects the lp.Backend implementation ("" = lp.DefaultBackend).
+	// Backend selects the lp.Backend implementation ("" =
+	// lp.DefaultBackend). lp.Auto resolves by problem size at build time;
+	// rebuilds after ApplyDelta re-resolve it against the grown problem.
 	Backend lp.BackendKind
 }
 
@@ -436,8 +440,23 @@ func (rel *Relaxation) Clone() *Relaxation {
 	return c
 }
 
-// Backend reports the lp backend kind the relaxation solves on.
+// Backend reports the lp backend kind the relaxation was requested with
+// (possibly lp.Auto); ResolvedBackend reports what actually runs.
 func (rel *Relaxation) Backend() lp.BackendKind { return rel.kind }
+
+// ResolvedBackend reports the backend implementation the relaxation
+// actually solves on, as "kind" when the request resolved to itself or
+// "requested(resolved)" when it differed — "auto(ipm)" says the size
+// trigger picked the interior-point path for this instance.
+func (rel *Relaxation) ResolvedBackend() string {
+	if rel.be == nil {
+		return string(rel.kind)
+	}
+	if k := rel.be.Kind(); k != rel.kind {
+		return fmt.Sprintf("%s(%s)", rel.kind, k)
+	}
+	return string(rel.kind)
+}
 
 // Iterations returns the cumulative simplex pivots across all ReSolve
 // calls so far — the per-backend effort metric behind Detail.LPIterations.
@@ -753,12 +772,15 @@ type Detail struct {
 	PureSchedule *core.Schedule
 	// Guesses is the number of LP feasibility tests performed.
 	Guesses int
-	// LPIterations is the total number of simplex pivots across every LP
-	// solved (the build at T=ub plus each warm re-solve) — the effort
-	// metric that makes LP-backend wins visible per run, not only in
-	// microbenchmarks.
+	// LPIterations is the total number of LP iterations across every LP
+	// solved (the build at T=ub plus each warm re-solve): simplex pivots,
+	// plus interior-point iterations on the ipm/auto cold path — the
+	// effort metric that makes LP-backend wins visible per run, not only
+	// in microbenchmarks.
 	LPIterations int
-	// LPBackend is the lp backend the run solved on ("dense", "sparse").
+	// LPBackend is the lp backend the run solved on ("dense", "sparse",
+	// "ipm"), with an auto request reporting its size-triggered
+	// resolution as e.g. "auto(ipm)".
 	LPBackend string
 	// Accepted is the search's final accept-backed upper bracket edge
 	// (dual.Outcome.Accepted). The re-solve pipeline retains it and lifts
@@ -835,7 +857,7 @@ func ScheduleDetailed(ctx context.Context, in *core.Instance, opt Options) (core
 			return core.Result{}, det, err
 		}
 	}
-	det.LPBackend = string(rel.Backend())
+	det.LPBackend = rel.ResolvedBackend()
 	// Seed the pure-rounding record at T = ub, where the LP is feasible by
 	// construction (the greedy schedule is an integral witness); the binary
 	// search may otherwise reject every interior guess and leave no

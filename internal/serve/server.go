@@ -77,6 +77,12 @@ type Config struct {
 	// solve of the identical request would return the same (or the same
 	// cached) result. 0 disables (strictly concurrent coalescing only).
 	Linger time.Duration
+	// LPBackend is the server-wide default for SolveOptions.LPBackend
+	// ("dense", "sparse", "ipm", "auto"); requests that name a backend
+	// override it. Applied before the coalescing key is formed, so a
+	// request inheriting the default and one naming the same backend
+	// explicitly coalesce. Empty defers to the engine default.
+	LPBackend string
 }
 
 // withDefaults fills unset Config fields.
@@ -373,6 +379,9 @@ func (s *Server) handleSolve(w http.ResponseWriter, r *http.Request) {
 		s.writeShed(w, &shedError{status: http.StatusServiceUnavailable, retryAfter: time.Second, reason: "request deadline already expired"})
 		return
 	}
+	if req.Options.LPBackend == "" {
+		req.Options.LPBackend = s.cfg.LPBackend
+	}
 
 	key := in.Fingerprint() + "|" + req.Options.digest()
 	f, leader, shed := s.admitOrJoin(key, timeout)
@@ -540,6 +549,9 @@ func (s *Server) handleBatch(w http.ResponseWriter, r *http.Request) {
 	if shed := s.admitBatch(len(ins), timeout); shed != nil {
 		s.writeShed(w, shed)
 		return
+	}
+	if req.Options.LPBackend == "" {
+		req.Options.LPBackend = s.cfg.LPBackend
 	}
 	s.wg.Add(1)
 	defer s.wg.Done()

@@ -199,11 +199,16 @@ func WithRoundingC(c0 int) SolveOption {
 
 // WithLPBackend selects the LP solver backend for solvers that run LPs
 // (the randomized rounding's per-guess feasibility tests): "sparse" — the
-// warm-started sparse revised simplex, the default — or "dense", the
-// reference dense solver. This is the plug-in seam for future backends
-// (e.g. interior point); unknown names are reported as a solve error.
-// Result.LPIters exposes the per-run simplex effort for comparisons, and
-// `schedbench -engine -lp=dense|sparse` prints comparison rows.
+// warm-started sparse revised simplex, the default — "dense", the
+// reference dense solver, "ipm" — interior-point (Mehrotra
+// predictor-corrector over a sparse Cholesky of the normal equations) for
+// the cold solve, crossing over to a simplex basis so warm re-solves stay
+// on the dual-simplex path — or "auto", which picks IPM on instances
+// large enough to amortize the factorization and sparse otherwise.
+// Unknown names are reported as a solve error. Result.LPIters exposes the
+// per-run LP effort (pivots plus interior-point iterations) for
+// comparisons, and `schedbench -engine -lp=dense|sparse|ipm|auto` prints
+// comparison rows.
 func WithLPBackend(kind string) SolveOption {
 	return func(c *solveConfig) { c.opt.LPBackend = kind }
 }
