@@ -256,18 +256,23 @@ func BenchmarkColdBuildLarge(b *testing.B) {
 	}
 	ub := g.Makespan(in)
 	for _, tc := range []struct {
-		name string
-		kind lp.BackendKind
+		name       string
+		kind       lp.BackendKind
+		noPresolve bool
 	}{
-		{"simplex", lp.Sparse},
-		{"ipm", lp.IPM},
-		{"auto", lp.Auto},
+		{"simplex", lp.Sparse, false},
+		{"ipm", lp.IPM, false},
+		{"auto", lp.Auto, false},
+		// The unpresolved baselines: what the same backends cost without
+		// the reduction + equilibration pipeline in front.
+		{"simplex-nopresolve", lp.Sparse, true},
+		{"ipm-nopresolve", lp.IPM, true},
 	} {
 		b.Run(tc.name, func(b *testing.B) {
 			b.ReportAllocs()
 			b.ResetTimer()
 			for i := 0; i < b.N; i++ {
-				rel, err := rounding.NewRelaxation(in, rounding.RelaxationConfig{Envelope: ub, Backend: tc.kind})
+				rel, err := rounding.NewRelaxation(in, rounding.RelaxationConfig{Envelope: ub, Backend: tc.kind, NoPresolve: tc.noPresolve})
 				if err != nil {
 					b.Fatal(err)
 				}

@@ -77,6 +77,7 @@ func main() {
 		m       = flag.Int("m", 4, "engine mode: number of machines")
 		k       = flag.Int("k", 3, "engine mode: number of setup classes")
 		lpKind  = flag.String("lp", "", "engine mode: LP backend for the randomized rounding's feasibility LPs (dense|sparse|ipm|auto; default sparse)")
+	noPre   = flag.Bool("no-presolve", false, "disable the LP presolve/equilibration pipeline ahead of cold LP builds (baseline measurement)")
 		sworker = flag.Int("search-workers", 0, "engine mode: speculative parallelism of dual-approximation searches (guesses evaluated concurrently; <2 = sequential bisection)")
 		oversub = flag.Bool("oversub", false, "oversubscription scenario: governed vs ungoverned engine under batch × portfolio × speculative-search load")
 		batch   = flag.Int("batch", 8, "oversub mode: instances per SolveBatch")
@@ -100,7 +101,7 @@ func main() {
 			fmt.Printf("%-4s %s\n     claim: %s\n", e.ID, e.Name, e.Claim)
 		}
 	case *engMode:
-		if err := engineBench(*seed, *n, *m, *k, *timeout, *gap, *lpKind, *sworker); err != nil {
+		if err := engineBench(*seed, *n, *m, *k, *timeout, *gap, *lpKind, *sworker, *noPre); err != nil {
 			fmt.Fprintln(os.Stderr, "error:", err)
 			os.Exit(1)
 		}
@@ -158,7 +159,7 @@ func run(e experiments.Experiment, cfg experiments.Config) error {
 // registry, reporting makespans, lower-bound ratios, runtimes and — for the
 // portfolio — the time-to-incumbent: how far into the race the winning
 // makespan was published to the shared bound bus.
-func engineBench(seed int64, n, m, k int, timeout time.Duration, gap float64, lpKind string, sworkers int) error {
+func engineBench(seed int64, n, m, k int, timeout time.Duration, gap float64, lpKind string, sworkers int, noPresolve bool) error {
 	// Every row solves cold (WithoutWarmStart): the rows compare the
 	// algorithms, so a warm start from an earlier row's cached bounds would
 	// contaminate the measurement. The -lp flag pins the LP backend of the
@@ -196,31 +197,39 @@ func engineBench(seed int64, n, m, k int, timeout time.Duration, gap float64, lp
 		if lpKind != "" {
 			title += fmt.Sprintf(" [lp=%s]", lpKind)
 		}
-		tab := table.New(title, "solver", "makespan", "ratio", "time", "lp-iters", "sw", "tti")
+		if noPresolve {
+			title += " [no-presolve]"
+		}
+		tab := table.New(title, "solver", "makespan", "ratio", "time", "lp-iters", "presolve", "sw", "tti")
 		for _, name := range eng.Applicable(in) {
 			ctx, cancel := withTimeout(timeout)
+			before := lp.PresolveTotals()
 			start := time.Now()
 			res, err := eng.Solve(ctx, in,
 				sched.WithAlgorithm(name), sched.WithoutWarmStart(),
-				sched.WithLPBackend(lpKind), sched.WithSearchWorkers(sworkers))
+				sched.WithLPBackend(lpKind), sched.WithLPPresolve(!noPresolve),
+				sched.WithSearchWorkers(sworkers))
 			elapsed := time.Since(start)
 			cancel()
 			if err != nil {
-				tab.AddRow(name, "error", err.Error(), fmtDur(elapsed), "-", "-", "-")
+				tab.AddRow(name, "error", err.Error(), fmtDur(elapsed), "-", "-", "-", "-")
 				continue
 			}
 			tab.AddRow(name, fmt.Sprintf("%.0f", res.Makespan), fmt.Sprintf("%.3f", res.Ratio()),
-				fmtDur(elapsed), fmtIters(res.LPIters), fmtSearchWorkers(name, sworkers), "-")
+				fmtDur(elapsed), fmtIters(res.LPIters), presolveCell(before, lp.PresolveTotals()),
+				fmtSearchWorkers(name, sworkers), "-")
 		}
 		ctx, cancel := withTimeout(timeout)
+		before := lp.PresolveTotals()
 		start := time.Now()
 		pr, err := eng.Portfolio(ctx, in,
 			sched.WithGap(gap), sched.WithoutWarmStart(),
-			sched.WithLPBackend(lpKind), sched.WithSearchWorkers(sworkers))
+			sched.WithLPBackend(lpKind), sched.WithLPPresolve(!noPresolve),
+			sched.WithSearchWorkers(sworkers))
 		elapsed := time.Since(start)
 		cancel()
 		if err != nil {
-			tab.AddRow("portfolio", "error", err.Error(), fmtDur(elapsed), "-", "-", "-")
+			tab.AddRow("portfolio", "error", err.Error(), fmtDur(elapsed), "-", "-", "-", "-")
 		} else {
 			tti := "-"
 			for _, o := range pr.Outcomes {
@@ -233,7 +242,8 @@ func engineBench(seed int64, n, m, k int, timeout time.Duration, gap float64, lp
 				name += " (gap hit)"
 			}
 			tab.AddRow(name, fmt.Sprintf("%.0f", pr.Best.Makespan), fmt.Sprintf("%.3f", pr.Best.Ratio()),
-				fmtDur(elapsed), fmtIters(pr.Best.LPIters), fmtSearchWorkers(pr.Winner, sworkers), tti)
+				fmtDur(elapsed), fmtIters(pr.Best.LPIters), presolveCell(before, lp.PresolveTotals()),
+				fmtSearchWorkers(pr.Winner, sworkers), tti)
 		}
 		fmt.Println(tab.String())
 	}
@@ -451,6 +461,31 @@ func fmtIters(n int64) string {
 		return "-"
 	}
 	return fmt.Sprintf("%d", n)
+}
+
+// presolveCell renders the presolve pipeline's aggregate work between two
+// lp.PresolveTotals snapshots: percentage of rows and nonzeros removed
+// across every presolve run the row triggered, plus the mean number of
+// Ruiz scaling passes per run. "-" when no presolve ran (solver without
+// LPs, or -no-presolve).
+func presolveCell(before, after lp.PresolveTotalsSnapshot) string {
+	runs := after.Runs - before.Runs
+	if runs <= 0 {
+		return "-"
+	}
+	rb := after.RowsBefore - before.RowsBefore
+	ra := after.RowsAfter - before.RowsAfter
+	nb := after.NNZBefore - before.NNZBefore
+	na := after.NNZAfter - before.NNZAfter
+	sp := after.ScalePasses - before.ScalePasses
+	rowPct, nnzPct := 0.0, 0.0
+	if rb > 0 {
+		rowPct = 100 * float64(rb-ra) / float64(rb)
+	}
+	if nb > 0 {
+		nnzPct = 100 * float64(nb-na) / float64(nb)
+	}
+	return fmt.Sprintf("r-%.0f%% z-%.0f%% s%.1f", rowPct, nnzPct, float64(sp)/float64(runs))
 }
 
 // dualSearchSolvers names the registry solvers that run a dual-approximation

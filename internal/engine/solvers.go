@@ -155,6 +155,7 @@ func newRoundingSolver() Solver {
 			Precision:     opt.Precision,
 			Bounds:        opt.Bounds,
 			LPBackend:     opt.LPBackend,
+			LPNoPresolve:  opt.LPNoPresolve,
 			SearchWorkers: opt.SearchWorkers,
 			Budget:        opt.Budget,
 			Warm:          opt.Warm,

@@ -179,10 +179,20 @@ type Backend interface {
 // own SetRHS/SetVarUpper mutators). ws supplies reusable scratch so that
 // building and solving allocates from the workspace's grow-only buffers;
 // nil allocates a private workspace.
-func NewBackend(kind BackendKind, p *Problem, ws *Workspace) (Backend, error) {
+//
+// By default the backend runs behind the presolve+scaling pipeline (see
+// WithPresolve): the first cold Solve reduces the mutated problem to a
+// fixed point and equilibrates it before the inner solver sees it. Auto is
+// resolved against the original (unreduced) dimensions, so the size
+// trigger's meaning is unchanged.
+func NewBackend(kind BackendKind, p *Problem, ws *Workspace, opts ...BackendOption) (Backend, error) {
 	kind, err := ParseBackend(string(kind))
 	if err != nil {
 		return nil, err
+	}
+	cfg := backendConfig{presolve: true}
+	for _, o := range opts {
+		o(&cfg)
 	}
 	if ws == nil {
 		ws = NewWorkspace()
@@ -194,6 +204,17 @@ func NewBackend(kind BackendKind, p *Problem, ws *Workspace) (Backend, error) {
 			kind = Sparse
 		}
 	}
+	if cfg.presolve && len(p.rows) > 0 && len(p.obj) > 0 {
+		return newPresolveBackend(kind, p, ws), nil
+	}
+	return newResolvedBackend(kind, p, ws)
+}
+
+// newResolvedBackend constructs a concrete (unwrapped) backend of an
+// already-resolved kind. This is the build path the presolve wrapper uses
+// for its inner solver, on both the reduced problem and the full-problem
+// bypass.
+func newResolvedBackend(kind BackendKind, p *Problem, ws *Workspace) (Backend, error) {
 	if kind == IPM {
 		return newIPMState(p, ws), nil
 	}

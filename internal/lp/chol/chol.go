@@ -155,6 +155,11 @@ type Factor struct {
 	// (column c of the block holds rows tail+c+1 … n−1 contiguously).
 	dense    []float64
 	denseOff []int32
+	// rawPanel holds the pre-normalization ("raw", = L·d) values of the
+	// current panel's columns during the blocked tail factorization. The
+	// trailing rank-w update needs raw values as multiplicands to reproduce
+	// the scalar kernel's arithmetic exactly (see factorDenseTail).
+	rawPanel []float64
 
 	y       []float64
 	pattern []int32
@@ -289,6 +294,18 @@ func (sym *Symbolic) Factorize(ptr, ind []int32, vals []float64, minPiv float64,
 			f.lnz[i]++
 		}
 
+		if blockedTail && k >= tail {
+			// Blocked mode: park the raw Schur row (post-sparse) in the
+			// packed block and the partial diagonal in d; the tail is
+			// factored in panels after the row loop (factorDenseTail).
+			for j := tail; j < k; j++ {
+				f.dense[f.denseOff[j-tail]+int32(k-j-1)] = y[j]
+				y[j] = 0
+			}
+			f.d[k] = dk
+			continue
+		}
+
 		// Dense tail columns [tail, k): all present by construction.
 		for i := tail; i < k; i++ {
 			yi := y[i]
@@ -310,6 +327,127 @@ func (sym *Symbolic) Factorize(ptr, ind []int32, vals []float64, minPiv float64,
 			f.Clamped++
 		}
 		f.d[k] = dk
+	}
+
+	if blockedTail && tail < n {
+		f.factorDenseTail(minPiv)
+	}
+}
+
+// blockedTail switches the dense supernode tail between the blocked
+// panel×panel factorization (default) and the original up-looking scalar
+// loop. The two produce byte-identical factors (the blocked kernel
+// reproduces the scalar kernel's per-entry rounding sequence); the
+// differential test flips this to prove it.
+var blockedTail = true
+
+// tailPanel is the panel width of the blocked dense-tail factorization.
+const tailPanel = 32
+
+// factorDenseTail runs a right-looking blocked LDLᵀ over the packed dense
+// block. On entry f.dense holds the raw Schur rows (scattered by the main
+// row loop) and f.d[tail:] the partial diagonals; on exit f.dense holds the
+// normalized L values in the same packed layout the scalar path produces,
+// and f.d[tail:] the clamped pivots.
+//
+// Byte-identical arithmetic with the up-looking scalar loop is a designed
+// invariant, not an accident. The scalar loop applies, to every entry
+// (k, j) of the block, the individually rounded updates
+//
+//	t -= fl(L[j,i] · raw[k,i])   for i = tail … j−1, ascending,
+//
+// where raw[k,i] is row k's pre-normalization value of column i, and then
+// normalizes by the division raw/d (diagonals see the same sequence with
+// j = k, multiplier L[k,i]). The blocked kernel performs the same
+// subtractions in the same ascending-i order — panels left of j first,
+// then the in-panel prefix — as separate statements (Go never fuses
+// floating-point ops), keeps raw panel columns as multiplicands (f.rawPanel)
+// instead of recomputing them from normalized values, normalizes by the
+// same division, and clamps at column finalize exactly like the scalar
+// row-end clamp. Zero raws normalize to +0 explicitly, matching the scalar
+// skip-on-zero branch.
+func (f *Factor) factorDenseTail(minPiv float64) {
+	sym := f.sym
+	n, tail := sym.n, sym.tail
+	s := n - tail
+	if s <= 0 {
+		return
+	}
+	d := f.d
+	f.rawPanel = growf(f.rawPanel, s*tailPanel)
+
+	for p0 := 0; p0 < s; p0 += tailPanel {
+		p1 := p0 + tailPanel
+		if p1 > s {
+			p1 = s
+		}
+		// Factor the panel's columns in place.
+		for c := p0; c < p1; c++ {
+			cc := f.dense[f.denseOff[c]:]
+			dd := d[tail+c]
+			for i := p0; i < c; i++ {
+				lci := f.dense[f.denseOff[i]+int32(c-i-1)]
+				ri := f.rawPanel[(i-p0)*s:]
+				dd -= lci * ri[c]
+				for k := c + 1; k < s; k++ {
+					cc[k-c-1] -= lci * ri[k]
+				}
+			}
+			if dd < minPiv {
+				dd = minPiv
+				f.Clamped++
+			}
+			d[tail+c] = dd
+			rc := f.rawPanel[(c-p0)*s:]
+			for k := c + 1; k < s; k++ {
+				v := cc[k-c-1]
+				rc[k] = v
+				if v == 0 {
+					cc[k-c-1] = 0 // matches the scalar skip: l is exactly +0
+				} else {
+					cc[k-c-1] = v / dd
+				}
+			}
+		}
+		// Rank-w update of the trailing block, register-tiled four panel
+		// columns at a time. Each entry's updates stay ascending in i and
+		// individually rounded (separate statements).
+		for j := p1; j < s; j++ {
+			cj := f.dense[f.denseOff[j]:]
+			dj := d[tail+j]
+			i := p0
+			for ; i+3 < p1; i += 4 {
+				l0 := f.dense[f.denseOff[i]+int32(j-i-1)]
+				l1 := f.dense[f.denseOff[i+1]+int32(j-i-2)]
+				l2 := f.dense[f.denseOff[i+2]+int32(j-i-3)]
+				l3 := f.dense[f.denseOff[i+3]+int32(j-i-4)]
+				r0 := f.rawPanel[(i-p0)*s:]
+				r1 := f.rawPanel[(i+1-p0)*s:]
+				r2 := f.rawPanel[(i+2-p0)*s:]
+				r3 := f.rawPanel[(i+3-p0)*s:]
+				dj -= l0 * r0[j]
+				dj -= l1 * r1[j]
+				dj -= l2 * r2[j]
+				dj -= l3 * r3[j]
+				for k := j + 1; k < s; k++ {
+					t := cj[k-j-1]
+					t -= l0 * r0[k]
+					t -= l1 * r1[k]
+					t -= l2 * r2[k]
+					t -= l3 * r3[k]
+					cj[k-j-1] = t
+				}
+			}
+			for ; i < p1; i++ {
+				li := f.dense[f.denseOff[i]+int32(j-i-1)]
+				ri := f.rawPanel[(i-p0)*s:]
+				dj -= li * ri[j]
+				for k := j + 1; k < s; k++ {
+					cj[k-j-1] -= li * ri[k]
+				}
+			}
+			d[tail+j] = dj
+		}
 	}
 }
 

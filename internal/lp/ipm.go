@@ -111,6 +111,9 @@ const (
 	// structure dense enough to cross it would also make A·D·Aᵀ explode,
 	// so the simplex fallback is the right answer there.
 	ipmScatterCap = 1 << 26
+	// ipmRefineTol triggers one step of iterative refinement on the normal-
+	// equations solve when the relative residual ‖rhs − M·Δy‖∞ exceeds it.
+	ipmRefineTol = 1e-9
 )
 
 // mehrotra solves min c·x̂ s.t. Â x̂ = b, 0 ≤ x̂ ≤ u over the full column
@@ -238,6 +241,7 @@ func mehrotra(sf *standardForm) (iters int, x []float64, ok bool) {
 	dy := make([]float64, m)
 	rp := make([]float64, m)
 	rhs := make([]float64, m)
+	resv := make([]float64, m) // refinement residual scratch
 
 	bNorm, cNorm := 1.0, 1.0
 	for _, v := range sf.rhs {
@@ -401,7 +405,7 @@ func mehrotra(sf *standardForm) (iters int, x []float64, ok bool) {
 				}
 			}
 		}
-		solveKKT(sf, act, fin, x, wv, sv, tv, dv, rd, ru, rxs, rwt, r2, rp, rhs, dy, dx, dw, ds, dt, &fac)
+		solveKKT(sf, act, fin, x, wv, sv, tv, dv, rd, ru, rxs, rwt, r2, rp, rhs, dy, dx, dw, ds, dt, &fac, mp, mi, mx, resv)
 		apAff := maxStep(x, dx, wv, dw, act, fin, 1)
 		adAff := maxStep(sv, ds, tv, dt, act, fin, 1)
 		muAff := 0.0
@@ -435,7 +439,7 @@ func mehrotra(sf *standardForm) (iters int, x []float64, ok bool) {
 				rwt[j] = target - wv[j]*tv[j] - dw[j]*dt[j]
 			}
 		}
-		solveKKT(sf, act, fin, x, wv, sv, tv, dv, rd, ru, rxs, rwt, r2, rp, rhs, dy, dx, dw, ds, dt, &fac)
+		solveKKT(sf, act, fin, x, wv, sv, tv, dv, rd, ru, rxs, rwt, r2, rp, rhs, dy, dx, dw, ds, dt, &fac, mp, mi, mx, resv)
 
 		ap := ipmStepFrac * maxStep(x, dx, wv, dw, act, fin, 1/ipmStepFrac)
 		ad := ipmStepFrac * maxStep(sv, ds, tv, dt, act, fin, 1/ipmStepFrac)
@@ -480,7 +484,7 @@ func mehrotra(sf *standardForm) (iters int, x []float64, ok bool) {
 //	r2_j = rd_j − rxs_j/x_j + rwt_j/w_j − (t_j/w_j)·ru_j
 //
 // after which the eliminated directions are recovered column by column.
-func solveKKT(sf *standardForm, act, fin []bool, x, wv, sv, tv, dv, rd, ru, rxs, rwt, r2 []float64, rp, rhs, dy []float64, dx, dw, ds, dt []float64, fac *chol.Factor) {
+func solveKKT(sf *standardForm, act, fin []bool, x, wv, sv, tv, dv, rd, ru, rxs, rwt, r2 []float64, rp, rhs, dy []float64, dx, dw, ds, dt []float64, fac *chol.Factor, mp, mi []int32, mx, resv []float64) {
 	n := sf.n
 	copy(rhs, rp)
 	for j := 0; j < n; j++ {
@@ -496,6 +500,36 @@ func solveKKT(sf *standardForm, act, fin []bool, x, wv, sv, tv, dv, rd, ru, rxs,
 	}
 	copy(dy, rhs)
 	fac.Solve(dy)
+	// One step of iterative refinement. Late in the path-following run the
+	// diagonal of D spans many orders of magnitude and the Cholesky solve
+	// (with its clamped pivots) can lose enough digits in Δy to stall the
+	// centering step. M is stored full-symmetric in (mp, mi, mx), so the
+	// true residual is one sparse matvec; when it is no longer negligible
+	// against the right-hand side, a single corrective solve on the same
+	// factorization recovers the lost accuracy.
+	rhsInf := 0.0
+	for _, v := range rhs {
+		if a := math.Abs(v); a > rhsInf {
+			rhsInf = a
+		}
+	}
+	resInf := 0.0
+	for r := range resv {
+		t := rhs[r]
+		for q := mp[r]; q < mp[r+1]; q++ {
+			t -= mx[q] * dy[mi[q]]
+		}
+		resv[r] = t
+		if a := math.Abs(t); a > resInf {
+			resInf = a
+		}
+	}
+	if resInf > ipmRefineTol*(1+rhsInf) {
+		fac.Solve(resv)
+		for r := range dy {
+			dy[r] += resv[r]
+		}
+	}
 	for j := 0; j < n; j++ {
 		if !act[j] {
 			dx[j], dw[j], ds[j], dt[j] = 0, 0, 0, 0

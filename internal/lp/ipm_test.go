@@ -140,7 +140,9 @@ func TestIPMConvergesAndCrossesOver(t *testing.T) {
 	for seed := int64(1); seed <= 4; seed++ {
 		rng := rand.New(rand.NewSource(seed))
 		ps := schedSpec(rng, 4, 24, 3, 14)
-		be, err := NewBackend(Sparse, ps.build(), nil)
+		// White-box: this test drives mehrotra/crossover on the concrete
+		// solver state, so it opts out of the presolve wrapper.
+		be, err := NewBackend(Sparse, ps.build(), nil, WithPresolve(false))
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -163,7 +165,7 @@ func TestIPMConvergesAndCrossesOver(t *testing.T) {
 		if err != nil {
 			t.Fatalf("seed %d: warm Solve: %v", seed, err)
 		}
-		cold, err := NewBackend(Sparse, ps.build(), nil)
+		cold, err := NewBackend(Sparse, ps.build(), nil, WithPresolve(false))
 		if err != nil {
 			t.Fatal(err)
 		}

@@ -175,6 +175,9 @@ type Solution struct {
 	Objective float64
 	// Iterations is the total number of simplex pivots performed.
 	Iterations int
+	// Presolve reports what the reduction pipeline did for this backend,
+	// when the solve ran through one (nil otherwise). See WithPresolve.
+	Presolve *PresolveInfo
 }
 
 // Value returns the value of variable v in the solution.

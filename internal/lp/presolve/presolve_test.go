@@ -1,0 +1,350 @@
+package presolve
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+)
+
+// tinyInput builds an Input from dense row descriptions for readable
+// hand-constructed cases.
+func tinyInput(obj, ub []float64, sense []int8, rhs []float64, rows [][]float64) *Input {
+	in := &Input{NumCols: len(obj), NumRows: len(rows), Obj: obj, UB: ub, Sense: sense, RHS: rhs}
+	for r, row := range rows {
+		for j, v := range row {
+			if v != 0 {
+				in.Row = append(in.Row, int32(r))
+				in.Col = append(in.Col, int32(j))
+				in.Coef = append(in.Coef, v)
+			}
+		}
+	}
+	return in
+}
+
+func TestFixedColumnElimination(t *testing.T) {
+	// x0 clamped to 0 (ub=0): its coefficients must fold out, and the row
+	// with only x0 must disappear entirely.
+	in := tinyInput(
+		[]float64{1, 1},
+		[]float64{0, 5},
+		[]int8{SenseLE, SenseLE},
+		[]float64{3, 4},
+		[][]float64{{2, 1}, {1, 0}},
+	)
+	res := Reduce(in, Options{})
+	if res.Infeasible {
+		t.Fatal("unexpectedly infeasible")
+	}
+	if res.Fix[0] != FixLower || res.FixVal[0] != 0 {
+		t.Fatalf("x0 not eliminated at 0: fix=%v val=%v", res.Fix[0], res.FixVal[0])
+	}
+	if res.Stats.ColsAfter >= res.Stats.ColsBefore {
+		t.Fatalf("no column reduction: %+v", res.Stats)
+	}
+	// Row 1 (only x0) becomes 0 ≤ 3 and must be removed.
+	if res.RowMap[1] != -1 {
+		t.Fatalf("row with only the fixed column survived: RowMap=%v", res.RowMap)
+	}
+}
+
+func TestEmptyRowInfeasible(t *testing.T) {
+	// 0·x ≥ 2 is infeasible once x0 is eliminated.
+	in := tinyInput(
+		[]float64{1},
+		[]float64{0},
+		[]int8{SenseGE},
+		[]float64{2},
+		[][]float64{{1}},
+	)
+	res := Reduce(in, Options{})
+	if !res.Infeasible {
+		t.Fatal("want infeasible from empty GE row with positive rhs")
+	}
+}
+
+func TestSingletonEQRowFixesColumn(t *testing.T) {
+	// 2·x1 = 4 pins x1 = 2; the other row folds 3·2 = 6 out of its RHS.
+	in := tinyInput(
+		[]float64{1, 1},
+		[]float64{10, 10},
+		[]int8{SenseEQ, SenseLE},
+		[]float64{4, 10},
+		[][]float64{{0, 2}, {1, 3}},
+	)
+	res := Reduce(in, Options{})
+	if res.Infeasible {
+		t.Fatal("unexpectedly infeasible")
+	}
+	if res.Fix[1] != FixValue || math.Abs(res.FixVal[1]-2) > 1e-12 {
+		t.Fatalf("x1 not pinned at 2: fix=%v val=%v", res.Fix[1], res.FixVal[1])
+	}
+	if math.Abs(res.RHSShift[1]-6) > 1e-12 {
+		t.Fatalf("RHS fold on row 1 = %v, want 6", res.RHSShift[1])
+	}
+}
+
+func TestSingletonLERowFoldsBound(t *testing.T) {
+	// 2·x0 ≤ 3 is a bound x0 ≤ 1.5, tighter than ub=10: the row folds away.
+	in := tinyInput(
+		[]float64{-1, 0},
+		[]float64{10, 1},
+		[]int8{SenseLE, SenseLE},
+		[]float64{3, 5},
+		[][]float64{{2, 0}, {1, 1}},
+	)
+	res := Reduce(in, Options{})
+	if res.Infeasible {
+		t.Fatal("unexpectedly infeasible")
+	}
+	if res.RowMap[0] != -1 {
+		t.Fatal("singleton LE row not removed")
+	}
+	if res.UBFold[0] > 1.5+1e-12 {
+		t.Fatalf("UBFold[0]=%v, want ≤1.5", res.UBFold[0])
+	}
+	// The reduced ub of the kept column must reflect the fold (modulo the
+	// column scaling, which is identity here with Scale off).
+	if rj := res.ColMap[0]; rj >= 0 {
+		if got := res.RUB[rj] * res.ColScale[rj]; math.Abs(got-1.5) > 1e-12 {
+			t.Fatalf("reduced ub for x0 = %v, want 1.5", got)
+		}
+	}
+}
+
+func TestRedundantRowRemoval(t *testing.T) {
+	// x0 + x1 ≤ 100 with ub 1 each is slack at any feasible point.
+	in := tinyInput(
+		[]float64{-1, -1},
+		[]float64{1, 1},
+		[]int8{SenseLE, SenseLE},
+		[]float64{100, 1.5},
+		[][]float64{{1, 1}, {1, 1}},
+	)
+	res := Reduce(in, Options{})
+	if res.Stats.RedundantRows != 1 || res.RowMap[0] != -1 {
+		t.Fatalf("redundant row not removed: %+v", res.Stats)
+	}
+	if res.RowMap[1] == -1 {
+		t.Fatal("binding row was removed")
+	}
+}
+
+func TestActivityInfeasible(t *testing.T) {
+	// x0 + x1 ≥ 5 with ub 1 each can never reach 5.
+	in := tinyInput(
+		[]float64{0, 0},
+		[]float64{1, 1},
+		[]int8{SenseGE},
+		[]float64{5},
+		[][]float64{{1, 1}},
+	)
+	res := Reduce(in, Options{})
+	if !res.Infeasible {
+		t.Fatal("want infeasible from unreachable GE activity")
+	}
+}
+
+func TestRuizScalingEquilibrates(t *testing.T) {
+	// Wildly unbalanced coefficients: after scaling every row and column
+	// max |a| must sit near 1.
+	rng := rand.New(rand.NewSource(7))
+	n, m := 12, 8
+	in := &Input{NumCols: n, NumRows: m,
+		Obj: make([]float64, n), UB: make([]float64, n),
+		Sense: make([]int8, m), RHS: make([]float64, m)}
+	for j := 0; j < n; j++ {
+		in.Obj[j] = rng.NormFloat64()
+		in.UB[j] = 1 + rng.Float64()*9
+	}
+	for r := 0; r < m; r++ {
+		in.Sense[r] = SenseLE
+		in.RHS[r] = 1e3 * (1 + rng.Float64())
+		for j := 0; j < n; j++ {
+			if rng.Float64() < 0.5 {
+				mag := math.Pow(10, float64(rng.Intn(9))-4) // 1e-4 … 1e4
+				in.Row = append(in.Row, int32(r))
+				in.Col = append(in.Col, int32(j))
+				in.Coef = append(in.Coef, mag*(1+rng.Float64()))
+			}
+		}
+	}
+	res := Reduce(in, Options{Scale: true})
+	if res.Infeasible {
+		t.Fatal("unexpectedly infeasible")
+	}
+	if res.Stats.ScalePasses == 0 {
+		t.Fatal("scaling did not run")
+	}
+	rmax := make([]float64, len(res.RRHS))
+	cmax := make([]float64, len(res.RObj))
+	for q, v := range res.RCoef {
+		a := math.Abs(v)
+		if a > rmax[res.RRow[q]] {
+			rmax[res.RRow[q]] = a
+		}
+		if a > cmax[res.RCol[q]] {
+			cmax[res.RCol[q]] = a
+		}
+	}
+	for r, v := range rmax {
+		if v != 0 && (v < 0.5 || v > 2) {
+			t.Fatalf("row %d max |a| = %v after scaling", r, v)
+		}
+	}
+	for j, v := range cmax {
+		if v != 0 && (v < 0.5 || v > 2) {
+			t.Fatalf("col %d max |a| = %v after scaling", j, v)
+		}
+	}
+}
+
+func TestPostsolveXMapsFixedAndScaled(t *testing.T) {
+	in := tinyInput(
+		[]float64{1, 1, 1},
+		[]float64{0, 10, 10},
+		[]int8{SenseEQ},
+		[]float64{4},
+		[][]float64{{1, 2, 0}},
+	)
+	res := Reduce(in, Options{Scale: true})
+	if res.Infeasible {
+		t.Fatal("unexpectedly infeasible")
+	}
+	// x0 fixed at 0; x1 pinned by the singleton EQ at 2 (after x0 folds
+	// out); x2 is a zero column fixed at its cheapest bound 0.
+	xOrig := make([]float64, 3)
+	var xRed []float64
+	if len(res.ColOrig) > 0 {
+		xRed = make([]float64, len(res.ColOrig))
+	}
+	res.PostsolveX(xRed, xOrig)
+	want := []float64{0, 2, 0}
+	for j := range want {
+		if math.Abs(xOrig[j]-want[j]) > 1e-9 {
+			t.Fatalf("postsolve x = %v, want %v", xOrig, want)
+		}
+	}
+}
+
+// TestReduceFixedPointIdempotent: reducing an already-reduced problem must
+// find nothing further (the fixed-point property the pass cap relies on).
+func TestReduceFixedPointIdempotent(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	for trial := 0; trial < 25; trial++ {
+		n := 4 + rng.Intn(8)
+		m := 3 + rng.Intn(6)
+		in := &Input{NumCols: n, NumRows: m,
+			Obj: make([]float64, n), UB: make([]float64, n),
+			Sense: make([]int8, m), RHS: make([]float64, m)}
+		for j := 0; j < n; j++ {
+			in.Obj[j] = rng.NormFloat64()
+			in.UB[j] = rng.Float64() * 4
+			if rng.Float64() < 0.2 {
+				in.UB[j] = 0
+			}
+		}
+		for r := 0; r < m; r++ {
+			in.Sense[r] = int8(rng.Intn(3))
+			in.RHS[r] = rng.Float64() * 6
+			for j := 0; j < n; j++ {
+				if rng.Float64() < 0.4 {
+					in.Row = append(in.Row, int32(r))
+					in.Col = append(in.Col, int32(j))
+					in.Coef = append(in.Coef, rng.NormFloat64())
+				}
+			}
+		}
+		res := Reduce(in, Options{})
+		if res.Infeasible {
+			continue
+		}
+		again := Reduce(&Input{
+			NumCols: len(res.RObj), NumRows: len(res.RRHS),
+			Obj: res.RObj, UB: res.RUB, Sense: res.RSense, RHS: res.RRHS,
+			Row: res.RRow, Col: res.RCol, Coef: res.RCoef,
+		}, Options{})
+		if again.Infeasible {
+			t.Fatalf("trial %d: reduced problem re-reduces to infeasible", trial)
+		}
+		if again.HasReductions() {
+			t.Fatalf("trial %d: second Reduce still found work: %+v", trial, again.Stats)
+		}
+	}
+}
+
+// schedShapedInput builds a scheduling-relaxation-shaped Input (load rows,
+// assignment rows, link rows) with a clampFrac share of the x columns at
+// ub=0 — the state a mid-search guess leaves the problem in.
+func schedShapedInput(rng *rand.Rand, m, n int, clampFrac float64) *Input {
+	nx := m * n
+	nc := nx + m // x vars + one y var per machine
+	in := &Input{NumCols: nc, Obj: make([]float64, nc), UB: make([]float64, nc)}
+	for j := 0; j < nc; j++ {
+		in.UB[j] = 1
+		if j < nx && rng.Float64() < clampFrac {
+			in.UB[j] = 0
+		}
+	}
+	addRow := func(sense int8, rhs float64) int32 {
+		r := int32(in.NumRows)
+		in.NumRows++
+		in.Sense = append(in.Sense, sense)
+		in.RHS = append(in.RHS, rhs)
+		return r
+	}
+	add := func(r int32, j int, v float64) {
+		in.Row = append(in.Row, r)
+		in.Col = append(in.Col, int32(j))
+		in.Coef = append(in.Coef, v)
+	}
+	for i := 0; i < m; i++ {
+		r := addRow(SenseLE, 2+float64(n)/float64(m)*2)
+		for j := 0; j < n; j++ {
+			add(r, i*n+j, 0.5+rng.Float64()*2)
+		}
+		add(r, nx+i, 0.2+rng.Float64())
+	}
+	for j := 0; j < n; j++ {
+		r := addRow(SenseEQ, 1)
+		for i := 0; i < m; i++ {
+			add(r, i*n+j, 1)
+		}
+	}
+	for i := 0; i < m; i++ {
+		for j := 0; j < n; j++ {
+			r := addRow(SenseLE, 0)
+			add(r, i*n+j, 1)
+			add(r, nx+i, -1)
+		}
+	}
+	return in
+}
+
+// BenchmarkPresolveReduce measures the whole pipeline (reductions to a
+// fixed point plus Ruiz scaling) on scheduling-shaped LPs, unclamped (the
+// envelope build) and with a third of the columns clamped (a mid-search
+// guess).
+func BenchmarkPresolveReduce(b *testing.B) {
+	for _, tc := range []struct {
+		name      string
+		m, n      int
+		clampFrac float64
+	}{
+		{"m20n200/envelope", 20, 200, 0},
+		{"m20n200/clamped", 20, 200, 0.33},
+	} {
+		b.Run(tc.name, func(b *testing.B) {
+			rng := rand.New(rand.NewSource(2))
+			in := schedShapedInput(rng, tc.m, tc.n, tc.clampFrac)
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				res := Reduce(in, Options{Scale: true})
+				if res.Infeasible {
+					b.Fatal("unexpectedly infeasible")
+				}
+			}
+		})
+	}
+}

@@ -58,6 +58,10 @@ type Options struct {
 	// (size-triggered: IPM on large cold builds, sparse otherwise), or ""
 	// for the default. Unknown names are a configuration error.
 	LPBackend string
+	// LPNoPresolve disables the LP presolve/scaling pipeline that
+	// otherwise runs ahead of every cold backend build (lp.WithPresolve).
+	// Off by default: presolve on.
+	LPNoPresolve bool
 	// SearchWorkers is the speculative parallelism of the binary search on
 	// T (dual.Speculate): that many makespan guesses are evaluated
 	// concurrently, each on its own Relaxation clone, shrinking the search
@@ -325,6 +329,9 @@ type RelaxationConfig struct {
 	// lp.DefaultBackend). lp.Auto resolves by problem size at build time;
 	// rebuilds after ApplyDelta re-resolve it against the grown problem.
 	Backend lp.BackendKind
+	// NoPresolve opts the relaxation's backends out of the LP presolve and
+	// equilibration-scaling pipeline (lp.WithPresolve(false)).
+	NoPresolve bool
 }
 
 // Relaxation is the ILP-UM LP relaxation built once at the envelope T=ub
@@ -340,11 +347,12 @@ type RelaxationConfig struct {
 // by ReSolve is a buffer owned by the Relaxation, valid until the next
 // ReSolve call.
 type Relaxation struct {
-	in   *core.Instance
-	kind lp.BackendKind
-	ws   *lp.Workspace
-	mdl  *ilpModel
-	be   lp.Backend
+	in         *core.Instance
+	kind       lp.BackendKind
+	noPresolve bool
+	ws         *lp.Workspace
+	mdl        *ilpModel
+	be         lp.Backend
 
 	envelope float64
 	banned   []bool // current clamp state, parallel to mdl.xv
@@ -367,8 +375,9 @@ type Relaxation struct {
 	pending  *lp.Basis
 	lastT    float64
 
-	frac  *Fractional
-	iters int
+	frac     *Fractional
+	iters    int
+	presolve *lp.PresolveInfo // latest reduction stats (nil when bypassed off)
 }
 
 // NewRelaxation builds the relaxation once at cfg.Envelope (via the same
@@ -388,7 +397,7 @@ func NewRelaxation(in *core.Instance, cfg RelaxationConfig) (*Relaxation, error)
 		ub = g.Makespan(in)
 	}
 	rel := &Relaxation{
-		in: in, kind: kind, ws: lp.NewWorkspace(),
+		in: in, kind: kind, noPresolve: cfg.NoPresolve, ws: lp.NewWorkspace(),
 		mdl:      buildILPModel(in, ub),
 		envelope: ub,
 		avail:    make([]int, in.N),
@@ -401,7 +410,7 @@ func NewRelaxation(in *core.Instance, cfg RelaxationConfig) (*Relaxation, error)
 	if rel.mdl.infeasible {
 		return rel, nil // every ReSolve reports infeasible without solving
 	}
-	rel.be, err = lp.NewBackend(kind, rel.mdl.prob, rel.ws)
+	rel.be, err = lp.NewBackend(kind, rel.mdl.prob, rel.ws, lp.WithPresolve(!cfg.NoPresolve))
 	if err != nil {
 		return nil, fmt.Errorf("rounding: %w", err)
 	}
@@ -425,7 +434,7 @@ func (rel *Relaxation) Clone() *Relaxation {
 		rel.materialize()
 	}
 	c := &Relaxation{
-		in: rel.in, kind: rel.kind, ws: lp.NewWorkspace(), mdl: rel.mdl,
+		in: rel.in, kind: rel.kind, noPresolve: rel.noPresolve, ws: lp.NewWorkspace(), mdl: rel.mdl,
 		envelope: rel.envelope,
 		banned:   append([]bool(nil), rel.banned...),
 		avail:    append([]int(nil), rel.avail...),
@@ -461,6 +470,11 @@ func (rel *Relaxation) ResolvedBackend() string {
 // Iterations returns the cumulative simplex pivots across all ReSolve
 // calls so far — the per-backend effort metric behind Detail.LPIterations.
 func (rel *Relaxation) Iterations() int { return rel.iters }
+
+// Presolve reports what the LP presolve pipeline did for this relaxation's
+// backend — the stats from the most recent solve that ran through it, or
+// nil when presolve is disabled or no solve has completed yet.
+func (rel *Relaxation) Presolve() *lp.PresolveInfo { return rel.presolve }
 
 // ReSolve solves the relaxation for guess T, reusing the built problem and
 // warm-starting from the previous guess's basis. Like SolveLP it returns
@@ -521,6 +535,9 @@ func (rel *Relaxation) ReSolve(T float64) (*Fractional, error) {
 		}
 	}
 	rel.iters += sol.Iterations
+	if sol.Presolve != nil {
+		rel.presolve = sol.Presolve
+	}
 	rel.lastT = T
 	switch sol.Status {
 	case lp.Optimal:
@@ -544,7 +561,7 @@ func (rel *Relaxation) ReSolve(T float64) (*Fractional, error) {
 // mutation state (clamped variables, permanently dead columns and rows,
 // load RHS at T).
 func (rel *Relaxation) rebuild(T float64) error {
-	be, err := lp.NewBackend(rel.kind, rel.mdl.prob, rel.ws)
+	be, err := lp.NewBackend(rel.kind, rel.mdl.prob, rel.ws, lp.WithPresolve(!rel.noPresolve))
 	if err != nil {
 		return err
 	}
@@ -585,7 +602,7 @@ func (rel *Relaxation) replay(be lp.Backend, T float64) {
 func (rel *Relaxation) materialize() {
 	ext := rel.pending
 	rel.pending, rel.stale = nil, false
-	be, err := lp.NewBackend(rel.kind, rel.mdl.prob, rel.ws)
+	be, err := lp.NewBackend(rel.kind, rel.mdl.prob, rel.ws, lp.WithPresolve(!rel.noPresolve))
 	if err != nil {
 		rel.be = nil // surfaced by ReSolve as an error
 		return
@@ -782,6 +799,10 @@ type Detail struct {
 	// "ipm"), with an auto request reporting its size-triggered
 	// resolution as e.g. "auto(ipm)".
 	LPBackend string
+	// LPPresolve is the presolve pipeline's reduction report for the
+	// primary relaxation (rows/columns/nonzeros before and after, scaling
+	// passes), nil when presolve was disabled or never engaged.
+	LPPresolve *lp.PresolveInfo
 	// Accepted is the search's final accept-backed upper bracket edge
 	// (dual.Outcome.Accepted). The re-solve pipeline retains it and lifts
 	// it through Delta.AcceptedCap into the next search's bracket.
@@ -852,7 +873,7 @@ func ScheduleDetailed(ctx context.Context, in *core.Instance, opt Options) (core
 	// warm-started basis) instead of rebuilding problem and tableau.
 	if rel == nil {
 		var err error
-		rel, err = NewRelaxation(in, RelaxationConfig{Envelope: ub, Backend: lp.BackendKind(opt.LPBackend)})
+		rel, err = NewRelaxation(in, RelaxationConfig{Envelope: ub, Backend: lp.BackendKind(opt.LPBackend), NoPresolve: opt.LPNoPresolve})
 		if err != nil {
 			return core.Result{}, det, err
 		}
@@ -940,6 +961,7 @@ func ScheduleDetailed(ctx context.Context, in *core.Instance, opt Options) (core
 	}
 	det.Accepted = out.Accepted
 	det.Relaxation = rels[0]
+	det.LPPresolve = rels[0].Presolve()
 	if solveErr != nil {
 		return core.Result{}, det, solveErr
 	}

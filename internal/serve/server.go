@@ -44,6 +44,7 @@ import (
 	"time"
 
 	"repro"
+	"repro/internal/lp"
 )
 
 // maxRequestBody bounds request bodies (a 10k-job unrelated instance is a
@@ -667,12 +668,13 @@ type CoalesceStats struct {
 
 // Stats is the /statsz document.
 type Stats struct {
-	Queue    QueueStats          `json:"queue"`
-	Requests RequestStats        `json:"requests"`
-	Coalesce CoalesceStats       `json:"coalesce"`
-	Cache    sched.CacheStats    `json:"cache"`
-	Governor sched.GovernorStats `json:"governor"`
-	Draining bool                `json:"draining"`
+	Queue    QueueStats                `json:"queue"`
+	Requests RequestStats              `json:"requests"`
+	Coalesce CoalesceStats             `json:"coalesce"`
+	Cache    sched.CacheStats          `json:"cache"`
+	Governor sched.GovernorStats       `json:"governor"`
+	Presolve lp.PresolveTotalsSnapshot `json:"presolve"`
+	Draining bool                      `json:"draining"`
 }
 
 // Stats snapshots the server's counters plus the engine's cache and
@@ -694,6 +696,7 @@ func (s *Server) Stats() Stats {
 		Coalesce: CoalesceStats{Leaders: s.leaders.Load(), Followers: s.followers.Load()},
 		Cache:    s.eng.CacheStats(),
 		Governor: s.eng.GovernorStats(),
+		Presolve: lp.PresolveTotals(),
 		Draining: s.draining.Load(),
 	}
 }

@@ -213,6 +213,18 @@ func WithLPBackend(kind string) SolveOption {
 	return func(c *solveConfig) { c.opt.LPBackend = kind }
 }
 
+// WithLPPresolve toggles the LP presolve + equilibration-scaling pipeline
+// that runs ahead of every cold LP backend build (on by default): fixed
+// and implied-fixed variables are eliminated, redundant and singleton rows
+// removed, and the reduced matrix Ruiz-scaled before it reaches the
+// simplex or interior-point solver. Solutions, bases and infeasibility
+// certificates are mapped back to the original problem, so verdicts are
+// identical either way; pass false to measure the unpresolved baseline
+// (`schedbench -no-presolve` does the same).
+func WithLPPresolve(on bool) SolveOption {
+	return func(c *solveConfig) { c.opt.LPNoPresolve = !on }
+}
+
 // WithSearchWorkers sets the speculative parallelism of dual-approximation
 // binary searches: solvers that search over a makespan guess (the PTAS,
 // the randomized rounding, the class-uniform special cases) evaluate up to

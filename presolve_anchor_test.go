@@ -1,0 +1,81 @@
+package sched_test
+
+import (
+	"math/rand"
+	"testing"
+
+	"repro/internal/baseline"
+	"repro/internal/gen"
+	"repro/internal/lp"
+	"repro/internal/rounding"
+)
+
+// TestPresolveAnchorReductions pins the presolve pipeline's behavior on the
+// LP-backend anchor shape (M=20, N=200, K=12 — 4220 rows, the
+// BenchmarkColdBuildLarge instance).
+//
+// At the envelope T=ub no x_ij is clamped (every p_ij is below the greedy
+// makespan), so the classical reductions find nothing — the measured cold
+// speedup there comes from Ruiz equilibration cutting solver iterations,
+// and this test asserts the scaling engaged. At a tight mid-search guess
+// (T = 0.35·ub) the clamps give presolve real material, and the row and
+// nonzero reductions must clear 20%.
+func TestPresolveAnchorReductions(t *testing.T) {
+	if testing.Short() {
+		t.Skip("anchor-sized LP build")
+	}
+	rng := rand.New(rand.NewSource(1))
+	in := gen.Unrelated(rng, gen.Params{N: 200, M: 20, K: 12})
+	g, err := baseline.Greedy(in)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ub := g.Makespan(in)
+
+	// Envelope solve: no structural material, but scaling must run and the
+	// solve must go through the wrapper (info populated, not bypassed).
+	rel, err := rounding.NewRelaxation(in, rounding.RelaxationConfig{Envelope: ub, Backend: lp.Sparse})
+	if err != nil {
+		t.Fatal(err)
+	}
+	frac, err := rel.ReSolve(ub)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if frac == nil {
+		t.Fatal("envelope guess infeasible")
+	}
+	pi := rel.Presolve()
+	if pi == nil || pi.Bypassed {
+		t.Fatalf("envelope solve did not run through presolve: %+v", pi)
+	}
+	if pi.ScalePasses == 0 {
+		t.Fatal("Ruiz scaling did not engage on the anchor")
+	}
+	t.Logf("envelope: rows %d→%d, nnz %d→%d, scale passes %d",
+		pi.RowsBefore, pi.RowsAfter, pi.NNZBefore, pi.NNZAfter, pi.ScalePasses)
+
+	// Clamped variant: a fresh relaxation whose first solve happens at a
+	// tight guess, so the p_ij > T clamps are part of the presolved
+	// problem. This is where the reductions must bite.
+	rel2, err := rounding.NewRelaxation(in, rounding.RelaxationConfig{Envelope: ub, Backend: lp.Sparse})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := rel2.ReSolve(0.35 * ub); err != nil {
+		t.Fatal(err)
+	}
+	pi2 := rel2.Presolve()
+	if pi2 == nil {
+		t.Fatal("clamped solve did not run through presolve")
+	}
+	t.Logf("clamped T=0.35·ub: rows %d→%d (%.1f%%), nnz %d→%d (%.1f%%)",
+		pi2.RowsBefore, pi2.RowsAfter, 100*pi2.RowReduction(),
+		pi2.NNZBefore, pi2.NNZAfter, 100*pi2.NNZReduction())
+	if pi2.RowReduction() < 0.20 {
+		t.Errorf("row reduction %.1f%% below the 20%% anchor target", 100*pi2.RowReduction())
+	}
+	if pi2.NNZReduction() < 0.20 {
+		t.Errorf("nnz reduction %.1f%% below the 20%% anchor target", 100*pi2.NNZReduction())
+	}
+}
